@@ -1,0 +1,114 @@
+// Ablation: the cost of each individual protection delta (paper §6's
+// explanation of where Table 2's overhead comes from):
+//   * TAS    — SWAP acquire vs CAS acquire, and the extra release load;
+//   * Ticket — the extra load in release (the paper's stated cause of
+//              the Radiosity/Raytrace/Streamcluster/Synthetic overheads);
+//   * MCS    — the I.locked marker and I.next scrub;
+//   * CLH    — the I.prev null-check and reset;
+//   * ABQL   — the Place INVALID discipline;
+//   * GT     — the holder-array check.
+// All single-threaded: this isolates the instruction cost of the fix
+// from contention effects.
+#include <benchmark/benchmark.h>
+
+#include "core/abql.hpp"
+#include "core/clh.hpp"
+#include "core/graunke_thakkar.hpp"
+#include "core/hemlock.hpp"
+#include "core/mcs.hpp"
+#include "core/mcs_k42.hpp"
+#include "core/tas.hpp"
+#include "core/ticket.hpp"
+
+namespace {
+
+using namespace resilock;
+
+template <typename Lock>
+void BM_PlainCycle(benchmark::State& state) {
+  Lock lock;
+  for (auto _ : state) {
+    lock.acquire();
+    benchmark::DoNotOptimize(&lock);
+    lock.release();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <typename Lock>
+void BM_CtxCycle(benchmark::State& state) {
+  Lock lock;
+  typename Lock::Context ctx;
+  for (auto _ : state) {
+    lock.acquire(ctx);
+    benchmark::DoNotOptimize(&lock);
+    lock.release(ctx);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <typename Lock>
+void BM_NodeCycle(benchmark::State& state) {
+  Lock lock;
+  typename Lock::QNode node;
+  for (auto _ : state) {
+    lock.acquire(node);
+    benchmark::DoNotOptimize(&lock);
+    lock.release(node);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// The BENCHMARK macro cannot hold commas in template arguments.
+using TasSwapOriginal = BasicTasLock<kOriginal, TasVariant::kTas>;
+using TasSwapResilient = BasicTasLock<kResilient, TasVariant::kTas>;
+
+}  // namespace
+
+using namespace resilock;  // benchmark registrations below use lock names
+
+// TAS: the acquire-side delta is SWAP -> CAS; the release-side delta is
+// the owner-check load.
+BENCHMARK(BM_PlainCycle<TasSwapOriginal>)
+    ->Name("ablation/TAS_swap_acquire/original");
+BENCHMARK(BM_PlainCycle<TasSwapResilient>)
+    ->Name("ablation/TAS_cas_acquire/resilient");
+BENCHMARK(BM_PlainCycle<TatasLock>)->Name("ablation/TATAS/original");
+BENCHMARK(BM_PlainCycle<TatasLockResilient>)
+    ->Name("ablation/TATAS/resilient");
+
+// Ticket: one extra load + one extra store in release.
+BENCHMARK(BM_PlainCycle<TicketLock>)->Name("ablation/Ticket/original");
+BENCHMARK(BM_PlainCycle<TicketLockResilient>)
+    ->Name("ablation/Ticket/resilient");
+
+// MCS: locked marker + next scrub.
+BENCHMARK(BM_NodeCycle<McsLock>)->Name("ablation/MCS/original");
+BENCHMARK(BM_NodeCycle<McsLockResilient>)->Name("ablation/MCS/resilient");
+
+// CLH: prev check + reset (the paper calls it "outside the critical
+// path" — this measures exactly how close to free it is).
+BENCHMARK(BM_CtxCycle<ClhLock>)->Name("ablation/CLH/original");
+BENCHMARK(BM_CtxCycle<ClhLockResilient>)->Name("ablation/CLH/resilient");
+
+// ABQL: Place INVALID discipline.
+BENCHMARK(BM_CtxCycle<AndersonLock>)->Name("ablation/ABQL/original");
+BENCHMARK(BM_CtxCycle<AndersonLockResilient>)
+    ->Name("ablation/ABQL/resilient");
+
+// GT: holder-array check.
+BENCHMARK(BM_PlainCycle<GraunkeThakkarLock>)->Name("ablation/GT/original");
+BENCHMARK(BM_PlainCycle<GraunkeThakkarLockResilient>)
+    ->Name("ablation/GT/resilient");
+
+// Hemlock: ACQ sentinel discipline.
+BENCHMARK(BM_PlainCycle<Hemlock>)->Name("ablation/Hemlock/original");
+BENCHMARK(BM_PlainCycle<HemlockResilient>)
+    ->Name("ablation/Hemlock/resilient");
+
+// MCS-K42: owner word maintenance.
+BENCHMARK(BM_PlainCycle<McsK42Lock>)->Name("ablation/MCS_K42/original");
+BENCHMARK(BM_PlainCycle<McsK42LockResilient>)
+    ->Name("ablation/MCS_K42/resilient");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Ablation: ReadIndicator implementations (paper §4). Measures the
+// arrive/depart cycle and the writer-side is_empty() query for the
+// centralized counter, per-domain split counters, the SNZI tree, and the
+// CheckedReadIndicator extension — quantifying what detectability of the
+// R-side misuse costs.
+#include <benchmark/benchmark.h>
+
+#include "core/rw/read_indicator.hpp"
+#include "platform/thread_registry.hpp"
+#include "platform/topology.hpp"
+
+namespace {
+
+using namespace resilock;
+
+const platform::Topology& topo() {
+  static const auto t = platform::Topology::uniform(2, 4);
+  return t;
+}
+
+template <typename I>
+I make_indicator() {
+  if constexpr (std::is_constructible_v<I, const platform::Topology&>) {
+    return I(topo());
+  } else {
+    return I();
+  }
+}
+
+template <typename I>
+void BM_ArriveDepart(benchmark::State& state) {
+  static I* ind = nullptr;
+  if (state.thread_index() == 0) {
+    static I instance = make_indicator<I>();
+    ind = &instance;
+  }
+  const auto pid = platform::self_pid();
+  for (auto _ : state) {
+    ind->arrive(pid);
+    ind->depart(pid);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <typename I>
+void BM_IsEmptyQuery(benchmark::State& state) {
+  I ind = make_indicator<I>();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ind.is_empty());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_ArriveDepart<CentralReadIndicator>)
+    ->Name("readindr/arrive_depart/central")
+    ->Threads(1)
+    ->Threads(4);
+BENCHMARK(BM_ArriveDepart<SplitReadIndicator>)
+    ->Name("readindr/arrive_depart/split")
+    ->Threads(1)
+    ->Threads(4);
+BENCHMARK(BM_ArriveDepart<SnziReadIndicator>)
+    ->Name("readindr/arrive_depart/snzi")
+    ->Threads(1)
+    ->Threads(4);
+BENCHMARK(BM_ArriveDepart<CheckedReadIndicator>)
+    ->Name("readindr/arrive_depart/checked")
+    ->Threads(1)
+    ->Threads(4);
+
+BENCHMARK(BM_IsEmptyQuery<CentralReadIndicator>)
+    ->Name("readindr/is_empty/central");
+BENCHMARK(BM_IsEmptyQuery<SplitReadIndicator>)
+    ->Name("readindr/is_empty/split");
+BENCHMARK(BM_IsEmptyQuery<SnziReadIndicator>)
+    ->Name("readindr/is_empty/snzi");
+BENCHMARK(BM_IsEmptyQuery<CheckedReadIndicator>)
+    ->Name("readindr/is_empty/checked");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Figure 14 reproduction: % overhead of the resilient fix at every
+// thread count (1,2,4,...,max) for each lock x application, plus the
+// per-configuration average — the full grid from the paper's appendix.
+//
+// '#' marks thread counts an app cannot run (power-of-two constraint),
+// '*' marks lock/app combinations without trylock support (CLH), exactly
+// as in the paper's figure.
+#include <cstdio>
+#include <vector>
+
+#include "core/lock_registry.hpp"
+#include "harness/app_profiles.hpp"
+#include "harness/evaluation.hpp"
+
+int main() {
+  using namespace resilock;
+  using namespace resilock::harness;
+
+  const std::uint32_t max_threads = env_max_threads();
+  const std::uint32_t reps = env_reps();
+  const auto axis = thread_axis(max_threads);
+
+  std::printf("=== Figure 14: %% overhead grid (reps=%u, scale=%.2f) ===\n\n",
+              reps, env_scale());
+  std::printf("%-14s", "Lock(Threads)");
+  for (const auto& p : app_profiles()) std::printf("%14s", p.name.c_str());
+  std::printf("\n");
+
+  for (const auto& lock : table2_lock_names()) {
+    std::vector<double> sums(app_profiles().size(), 0.0);
+    std::vector<unsigned> counts(app_profiles().size(), 0);
+    for (const std::uint32_t threads : axis) {
+      std::printf("%-8s(%3u) ", lock.c_str(), threads);
+      std::size_t col = 0;
+      for (const auto& profile : app_profiles()) {
+        const auto cell = overhead_cell(profile, lock, threads, reps);
+        if (cell) {
+          std::printf("%13.2f ", *cell);
+          sums[col] += *cell;
+          counts[col] += 1;
+        } else if (profile.pow2_threads_only &&
+                   (threads & (threads - 1)) != 0) {
+          std::printf("%13s ", "#");
+        } else {
+          std::printf("%13s ", "*");
+        }
+        std::fflush(stdout);
+        ++col;
+      }
+      std::printf("\n");
+    }
+    std::printf("%-8s(avg) ", lock.c_str());
+    for (std::size_t col = 0; col < sums.size(); ++col) {
+      if (counts[col]) {
+        std::printf("%13.2f ", sums[col] / counts[col]);
+      } else {
+        std::printf("%13s ", "*");
+      }
+    }
+    std::printf("\n\n");
+  }
+  std::printf("'#' = app requires power-of-two threads; "
+              "'*' = lock lacks trylock for this app (CLH).\n");
+  return 0;
+}

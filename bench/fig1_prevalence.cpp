@@ -1,0 +1,44 @@
+// Figure 1 reproduction: lock-related code changes in large open-source
+// projects, categorized by misuse type (paper §2.1).
+//
+// The classifier implements the paper's §2.1 keyword methodology; since
+// the repositories cannot be crawled offline, it runs over a synthetic
+// corpus carrying the paper's ground-truth counts (DESIGN.md §2.1,
+// substitution 4) plus noise commits that the methodology must exclude.
+#include <cstdio>
+
+#include "mining/classifier.hpp"
+#include "mining/corpus.hpp"
+
+int main() {
+  using namespace resilock::mining;
+  std::printf("=== Figure 1: lock-misuse commits by category ===\n");
+  std::printf(
+      "(synthetic corpus with the paper's per-project ground truth; the\n"
+      " classifier implements the paper's keyword methodology and must\n"
+      " exclude design/performance commits)\n\n");
+
+  const auto corpus = generate_corpus(/*noise_per_project=*/60);
+  std::printf("corpus: %zu commits across 5 projects (incl. 300 noise)\n\n",
+              corpus.size());
+
+  const auto tallies = tally(corpus);
+  print_figure1(tallies);
+
+  std::printf("\npaper's Figure 1 counts (unlock/lock): Golang 14/20, "
+              "Linux 40/12, LLVM 16/26, MySQL 4/7, memcached 3/9\n");
+
+  // Verify recovery so the binary doubles as a self-check.
+  bool ok = true;
+  for (const auto& gt : figure1_ground_truth()) {
+    const auto& t = tallies.at(gt.project);
+    if (t.unbalanced_unlock != gt.unbalanced_unlock ||
+        t.unbalanced_lock != gt.unbalanced_lock) {
+      ok = false;
+      std::printf("MISMATCH for %s\n", gt.project);
+    }
+  }
+  std::printf("\nclassifier recovered the paper's counts: %s\n",
+              ok ? "YES" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// Acquisition-latency percentiles, original vs resilient.
+//
+// Table 2 reports aggregate time; this harness looks underneath at the
+// per-acquisition latency distribution (p50/p90/p99/max) under a fixed
+// contention level — showing *where* the fix's cost lands (TAS's CAS
+// retry tail vs Ticket's constant release surcharge vs the queue locks'
+// flat profile).
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "core/lock_registry.hpp"
+#include "harness/evaluation.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/thread_team.hpp"
+#include "runtime/timer.hpp"
+
+namespace {
+
+using namespace resilock;
+
+struct Percentiles {
+  double p50, p90, p99, max;
+};
+
+Percentiles percentiles(std::vector<double>& v) {
+  std::sort(v.begin(), v.end());
+  auto at = [&](double q) {
+    return v[static_cast<std::size_t>(q * (v.size() - 1))];
+  };
+  return {at(0.50), at(0.90), at(0.99), v.back()};
+}
+
+Percentiles measure(const std::string& name, Resilience flavor,
+                    std::uint32_t threads, std::uint32_t samples_per_thread) {
+  auto lock = make_lock(name, flavor);
+  runtime::SenseBarrier barrier(threads);
+  std::vector<std::vector<double>> per_thread(threads);
+  runtime::ThreadTeam::run(threads, [&](std::uint32_t tid) {
+    auto& lat = per_thread[tid];
+    lat.reserve(samples_per_thread);
+    barrier.arrive_and_wait();
+    std::uint64_t sink = 0;
+    for (std::uint32_t i = 0; i < samples_per_thread; ++i) {
+      const std::uint64_t t0 = runtime::now_ns();
+      lock->acquire();
+      const std::uint64_t t1 = runtime::now_ns();
+      sink ^= runtime::busy_work(16, sink + i);  // short CS
+      lock->release();
+      lat.push_back(static_cast<double>(t1 - t0));
+    }
+    (void)sink;
+  });
+  std::vector<double> all;
+  for (auto& v : per_thread) all.insert(all.end(), v.begin(), v.end());
+  return percentiles(all);
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t threads =
+      std::min(4u, resilock::harness::env_max_threads());
+  const auto samples = static_cast<std::uint32_t>(
+      20000 * resilock::harness::env_scale());
+  std::printf("=== acquisition latency percentiles, ns "
+              "(threads=%u, %u samples/thread) ===\n\n",
+              threads, samples);
+  std::printf("%-10s %-10s %10s %10s %10s %12s\n", "lock", "flavor", "p50",
+              "p90", "p99", "max");
+  for (const auto& name : table2_lock_names()) {
+    for (auto flavor : {kOriginal, kResilient}) {
+      const auto p = measure(name, flavor, threads, samples);
+      std::printf("%-10s %-10s %10.0f %10.0f %10.0f %12.0f\n", name.c_str(),
+                  to_string(flavor), p.p50, p.p90, p.p99, p.max);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nShape to expect: queue locks (MCS/CLH/HMCS) have flat "
+              "tails (local spinning, FIFO);\nTAS's tail stretches under "
+              "contention; the resilient deltas ride on p50 for "
+              "TAS/Ticket\nand vanish for ABQL/CLH (see "
+              "ablation_protection).\n");
+  return 0;
+}

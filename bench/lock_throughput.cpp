@@ -1,0 +1,49 @@
+// google-benchmark microbenchmarks: raw lock-API throughput of every
+// registered algorithm, original vs resilient, at 1..4 threads — the
+// microscopic view behind Table 2's overheads.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/lock_registry.hpp"
+#include "runtime/timer.hpp"
+
+namespace {
+
+using namespace resilock;
+
+void BM_LockThroughput(benchmark::State& state, const std::string& name,
+                       Resilience flavor) {
+  static std::unique_ptr<AnyLock> lock;
+  if (state.thread_index() == 0) lock = make_lock(name, flavor);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    lock->acquire();
+    sink ^= runtime::busy_work(4, sink);  // tiny CS
+    lock->release();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+
+struct Register {
+  Register() {
+    for (const auto& name : lock_names()) {
+      for (auto flavor : {kOriginal, kResilient}) {
+        const std::string bench_name =
+            "lock/" + name + "/" + to_string(flavor);
+        auto* b = benchmark::RegisterBenchmark(
+            bench_name.c_str(),
+            [name, flavor](benchmark::State& s) {
+              BM_LockThroughput(s, name, flavor);
+            });
+        b->Threads(1)->Threads(2)->Threads(4);
+      }
+    }
+  }
+};
+Register register_all;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// misuse_explorer: interactive CLI over the Table-1 engine.
+//
+// Run a single paper scenario by name and see the observed-vs-paper
+// verdict — useful when studying one lock's misuse behavior without
+// running the whole matrix.
+//
+//   ./misuse_explorer            # list scenarios
+//   ./misuse_explorer mcs        # run the MCS §3.4 scripts
+//   ./misuse_explorer all        # the full Table 1 (same as the bench)
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "verify/misuse_matrix.hpp"
+
+using namespace resilock::verify;
+
+int main(int argc, char** argv) {
+  const std::map<std::string, MisuseReport (*)()> scenarios = {
+      {"tas", misuse_tas},
+      {"ticket", misuse_ticket},
+      {"abql", misuse_abql},
+      {"gt", misuse_graunke_thakkar},
+      {"mcs", misuse_mcs},
+      {"clh", misuse_clh},
+      {"mcs_k42", misuse_mcs_k42},
+      {"hemlock", misuse_hemlock},
+      {"hmcs", misuse_hmcs},
+      {"hclh", misuse_hclh},
+      {"hbo", misuse_hbo},
+      {"cohort", misuse_cohort_tkt_tkt},
+      {"crw", misuse_crw_np},
+      {"peterson", misuse_peterson},
+      {"fischer", misuse_fischer},
+      {"lamport1", misuse_lamport1},
+      {"lamport2", misuse_lamport2},
+      {"bakery", misuse_bakery},
+  };
+
+  if (argc < 2) {
+    std::printf("usage: %s <scenario>|all\n\nscenarios:\n", argv[0]);
+    for (const auto& [name, _] : scenarios) std::printf("  %s\n",
+                                                        name.c_str());
+    return 0;
+  }
+
+  if (std::strcmp(argv[1], "all") == 0) {
+    print_misuse_matrix(run_misuse_matrix());
+    return 0;
+  }
+
+  const auto it = scenarios.find(argv[1]);
+  if (it == scenarios.end()) {
+    std::fprintf(stderr, "unknown scenario: %s\n", argv[1]);
+    return 1;
+  }
+  const MisuseReport r = it->second();
+  print_misuse_matrix({r});
+  std::printf("\nremedy: %s\n", r.remedy.c_str());
+  return 0;
+}

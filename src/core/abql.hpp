@@ -1,0 +1,133 @@
+// Anderson's array-based queuing lock (ABQL). Paper §3.3.1; protocol from
+// Anderson 1990 / Mellor-Crummey & Scott 1991 §2.
+//
+// A bounded array of per-cache-line flags; a thread takes a slot with
+// fetch-and-add and spins on it; release() wakes the next slot. The slot
+// index (`myPlace`) is the per-thread context carried from acquire() to
+// release().
+//
+// Unbalanced-unlock behavior (original): release() with an uninitialized
+// or stale myPlace wakes some slot's waiter while another thread is in the
+// critical section — a mutex violation that cascades (each extra thread's
+// release wakes yet another waiter). The modulus keeps every access in
+// bounds, so there is no memory corruption and no starvation (§3.3.1).
+//
+// Resilient fix (paper Figure 4): wrap myPlace in an object (`Place`)
+// whose constructor initializes it to INVALID and whose raw index is
+// private to the lock. acquire() sets it; release() checks it and resets
+// it to INVALID, refusing to wake anybody on a mismatch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "core/resilience.hpp"
+#include "core/verify_access.hpp"
+#include "platform/cacheline.hpp"
+#include "platform/spin.hpp"
+
+namespace resilock {
+
+template <Resilience R>
+class BasicAndersonLock {
+  static constexpr std::uint64_t kInvalidPlace = ~std::uint64_t{0};
+  static constexpr std::uint32_t kMustWait = 0;
+  static constexpr std::uint32_t kHasLock = 1;
+
+ public:
+  // Per-thread context. In the original flavor the index default-
+  // initializes to 0, modeling the paper's "uninitialized myPlace" that
+  // an unbalanced unlock hands to release(). The resilient flavor starts
+  // INVALID and is reset to INVALID by every successful release.
+  class Place {
+   public:
+    Place() = default;
+
+   private:
+    friend class BasicAndersonLock;
+    friend struct VerifyAccess;
+    std::uint64_t index_ = (R == kResilient) ? kInvalidPlace : 0;
+  };
+  using Context = Place;
+
+  // `max_procs` bounds the number of threads that may contend at once;
+  // rounded up to a power of two so that the fetch-and-add counter can
+  // wrap without misaligning the modulus.
+  explicit BasicAndersonLock(std::uint32_t max_procs = 64)
+      : size_(round_up_pow2(max_procs)),
+        slots_(std::make_unique<
+               platform::CacheLineAligned<std::atomic<std::uint32_t>>[]>(
+            size_)) {
+    for (std::uint32_t i = 0; i < size_; ++i)
+      slots_[i].value.store(kMustWait, std::memory_order_relaxed);
+    slots_[0].value.store(kHasLock, std::memory_order_relaxed);
+  }
+
+  BasicAndersonLock(const BasicAndersonLock&) = delete;
+  BasicAndersonLock& operator=(const BasicAndersonLock&) = delete;
+
+  void acquire(Place& place) {
+    const std::uint64_t my_place =
+        queue_last_.fetch_add(1, std::memory_order_relaxed);
+    auto& slot = slots_[my_place & (size_ - 1)].value;
+    platform::SpinWait w;
+    while (slot.load(std::memory_order_acquire) == kMustWait) w.pause();
+    // Consume the token so the slot is reusable `size_` acquisitions later.
+    slot.store(kMustWait, std::memory_order_relaxed);
+    place.index_ = my_place;
+  }
+
+  // Take the lock only if it is immediately available: claim ticket t via
+  // CAS only after observing slot t's token, so we never commit to
+  // waiting. (LiTL equips ABQL with a trylock the same way; the paper's
+  // trylock-using applications run ABQL but skip CLH, §6.)
+  bool try_acquire(Place& place) {
+    std::uint64_t t = queue_last_.load(std::memory_order_relaxed);
+    auto& slot = slots_[t & (size_ - 1)].value;
+    if (slot.load(std::memory_order_acquire) == kMustWait) return false;
+    if (!queue_last_.compare_exchange_strong(t, t + 1,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+      return false;
+    }
+    slot.store(kMustWait, std::memory_order_relaxed);
+    place.index_ = t;
+    return true;
+  }
+
+  bool release(Place& place) {
+    if constexpr (R == kResilient) {
+      if (misuse_checks_enabled() && place.index_ == kInvalidPlace) {
+        return false;  // unbalanced
+      }
+    }
+    const std::uint64_t idx = place.index_;
+    if constexpr (R == kResilient) place.index_ = kInvalidPlace;
+    slots_[(idx + 1) & (size_ - 1)].value.store(kHasLock,
+                                                std::memory_order_release);
+    return true;
+  }
+
+  std::uint32_t capacity() const noexcept { return size_; }
+  static constexpr Resilience resilience() { return R; }
+
+ private:
+  friend struct VerifyAccess;
+
+  static std::uint32_t round_up_pow2(std::uint32_t v) {
+    std::uint32_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  const std::uint32_t size_;
+  std::unique_ptr<platform::CacheLineAligned<std::atomic<std::uint32_t>>[]>
+      slots_;
+  alignas(platform::kCacheLineSize) std::atomic<std::uint64_t> queue_last_{0};
+};
+
+using AndersonLock = BasicAndersonLock<kOriginal>;
+using AndersonLockResilient = BasicAndersonLock<kResilient>;
+
+}  // namespace resilock

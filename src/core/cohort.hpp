@@ -1,0 +1,185 @@
+// Lock cohorting (Dice, Marathe & Shavit, PPoPP 2012). Paper §3.8.4.
+//
+// Combines a global lock G with one local lock S per NUMA domain.
+// Requirements (Dice et al.): (a) G tolerates release by a thread other
+// than the acquirer; (b) S has the *cohort detection* property — the
+// holder can tell whether other local threads are waiting.
+//
+// Protocol: acquire the local lock; if the previous local holder left the
+// global lock with the cohort (top_granted), the global lock is inherited
+// for free; otherwise acquire it. On release, if local waiters exist and
+// the passing budget is not exhausted, leave the global lock with the
+// cohort and just release the local lock; otherwise release the global
+// lock first and then the local lock.
+//
+// Unbalanced-unlock behavior (original): exactly the local lock's
+// behavior (§3.8.4 — "these locks suffer from the issues of the
+// corresponding locks used at the local level").
+//
+// Resilient fix (paper §3.8.4): reuse the local lock's remedy. The
+// cohort release consults the local lock's ownership check *before*
+// touching the global lock, so a misuse leaves both levels untouched.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/generic.hpp"
+#include "core/mcs.hpp"
+#include "core/partitioned_ticket.hpp"
+#include "core/resilience.hpp"
+#include "core/tas.hpp"
+#include "core/ticket.hpp"
+#include "core/verify_access.hpp"
+#include "platform/cacheline.hpp"
+#include "platform/thread_registry.hpp"
+#include "platform/topology.hpp"
+
+namespace resilock {
+
+// TATAS+backoff local lock augmented with a waiter count, giving the BO
+// lock the cohort detection property it natively lacks (Dice et al. use a
+// successor-exists flag; a counter is the same signal without the reset
+// subtleties).
+template <Resilience R>
+class BoCohortLocal {
+ public:
+  void acquire() {
+    if (!base_.try_acquire()) {
+      waiters_.fetch_add(1, std::memory_order_relaxed);
+      base_.acquire();
+      waiters_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  bool release() { return base_.release(); }
+
+  bool has_waiters() const {
+    return waiters_.load(std::memory_order_relaxed) > 0;
+  }
+
+  bool owned_by_caller() const {
+    if constexpr (R == kResilient) {
+      return base_.is_locked_by_self();
+    } else {
+      return true;
+    }
+  }
+
+ private:
+  friend struct VerifyAccess;
+  BasicTasLock<R, TasVariant::kBackoff> base_;
+  std::atomic<std::int32_t> waiters_{0};
+};
+
+template <Resilience R, typename GlobalLock, typename LocalLock>
+class CohortLock {
+ public:
+  class Context {
+   public:
+    Context() = default;
+    Context(const Context&) = delete;
+    Context& operator=(const Context&) = delete;
+
+   private:
+    friend class CohortLock;
+    friend struct VerifyAccess;
+    context_of_t<LocalLock> local_;
+  };
+
+  explicit CohortLock(
+      const platform::Topology& topo = platform::Topology::host_default(),
+      std::uint32_t max_passes = 64)
+      : topo_(topo), max_passes_(max_passes) {
+    domains_.reserve(topo.num_domains());
+    for (std::uint32_t d = 0; d < topo.num_domains(); ++d)
+      domains_.push_back(std::make_unique<Domain>());
+  }
+
+  CohortLock(const CohortLock&) = delete;
+  CohortLock& operator=(const CohortLock&) = delete;
+
+  void acquire(Context& ctx) {
+    Domain& d = *domains_[topo_.domain_of(platform::self_pid())];
+    generic_acquire(d.local, ctx.local_);
+    // Did the previous local holder leave the global lock with us?
+    if (d.top_granted.load(std::memory_order_acquire)) {
+      d.top_granted.store(false, std::memory_order_relaxed);
+      return;  // global lock inherited
+    }
+    generic_acquire(global_, d.global_ctx);
+  }
+
+  bool release(Context& ctx) {
+    Domain& d = *domains_[topo_.domain_of(platform::self_pid())];
+    if constexpr (R == kResilient) {
+      // The paper's remedy: reuse the local lock's detection — and do it
+      // before the global lock can be corrupted.
+      if (misuse_checks_enabled() &&
+          !generic_owned_by_caller(d.local, ctx.local_)) {
+        return false;
+      }
+    }
+    if (generic_has_waiters(d.local, ctx.local_) &&
+        d.pass_count < max_passes_) {
+      ++d.pass_count;  // guarded by the local lock
+      d.top_granted.store(true, std::memory_order_release);
+      return generic_release(d.local, ctx.local_);
+    }
+    d.pass_count = 0;
+    release_global(d);
+    return generic_release(d.local, ctx.local_);
+  }
+
+  static constexpr Resilience resilience() { return R; }
+
+ private:
+  friend struct VerifyAccess;
+
+  struct alignas(platform::kCacheLineSize) Domain {
+    LocalLock local;
+    std::atomic<bool> top_granted{false};
+    std::uint32_t pass_count{0};  // written only while holding `local`
+    [[no_unique_address]] context_of_t<GlobalLock> global_ctx{};
+  };
+
+  void release_global(Domain& d) {
+    // The global release may legitimately run on a different thread than
+    // the global acquire (cohort property (a)); use the thread-oblivious
+    // entry point where the lock distinguishes one.
+    if constexpr (requires(GlobalLock& g) { g.release_thread_oblivious(); }) {
+      global_.release_thread_oblivious();
+    } else {
+      generic_release(global_, d.global_ctx);
+    }
+  }
+
+  platform::Topology topo_;  // by value: 8 bytes, no lifetime coupling
+  const std::uint32_t max_passes_;
+  GlobalLock global_;
+  std::vector<std::unique_ptr<Domain>> domains_;
+};
+
+// The cohort-lock menagerie of §3.8.4. The global lock is always the
+// original flavor: its release is executed by cohort handoff and must
+// stay thread-oblivious; the paper's fix targets the local lock, where
+// every cohort release begins.
+template <Resilience R>
+using CBoBoLock =
+    CohortLock<R, BasicTasLock<kOriginal, TasVariant::kBackoff>,
+               BoCohortLocal<R>>;
+template <Resilience R>
+using CTktTktLock = CohortLock<R, TicketLock, BasicTicketLock<R>>;
+template <Resilience R>
+using CMcsMcsLock = CohortLock<R, McsLock, BasicMcsLock<R>>;
+template <Resilience R>
+using CTktMcsLock = CohortLock<R, TicketLock, BasicMcsLock<R>>;
+// The C-RW-NP building block: global partitioned ticket over local
+// ticket locks (Calciu et al. 2013, §4).
+template <Resilience R>
+using CPtktTktLock =
+    CohortLock<R, PartitionedTicketLock, BasicTicketLock<R>>;
+
+}  // namespace resilock

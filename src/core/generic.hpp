@@ -1,0 +1,87 @@
+// Uniform calling helpers over the two lock families.
+//
+// Harness, cohort, and type-erasure code all want to treat PlainLock and
+// ContextLock uniformly: a PlainLock gets an empty NoContext so the same
+// template can drive both.
+#pragma once
+
+#include "core/lock_concepts.hpp"
+
+namespace resilock {
+
+struct NoContext {};
+
+template <typename L>
+struct ContextOf {
+  using type = NoContext;
+};
+
+template <ContextLock L>
+struct ContextOf<L> {
+  using type = typename L::Context;
+};
+
+template <typename L>
+using context_of_t = typename ContextOf<L>::type;
+
+template <typename L>
+void generic_acquire(L& lock, context_of_t<L>& ctx) {
+  if constexpr (ContextLock<L>) {
+    lock.acquire(ctx);
+  } else {
+    (void)ctx;
+    lock.acquire();
+  }
+}
+
+template <typename L>
+bool generic_release(L& lock, context_of_t<L>& ctx) {
+  if constexpr (ContextLock<L>) {
+    return lock.release(ctx);
+  } else {
+    (void)ctx;
+    return lock.release();
+  }
+}
+
+template <typename L>
+constexpr bool generic_has_trylock() {
+  return TryLockable<L> || TryContextLockable<L>;
+}
+
+// Returns false if the lock was not acquired. Locks without a trylock
+// (e.g. CLH, paper §6) do not satisfy generic_has_trylock() and must not
+// be called through here.
+template <typename L>
+bool generic_try_acquire(L& lock, context_of_t<L>& ctx) {
+  if constexpr (TryContextLockable<L>) {
+    return lock.try_acquire(ctx);
+  } else {
+    (void)ctx;
+    return lock.try_acquire();
+  }
+}
+
+// Cohort hooks: locks that can serve as the local lock of a cohort lock
+// expose has_waiters / owned_by_caller either with or without a context.
+template <typename L>
+bool generic_has_waiters(L& lock, context_of_t<L>& ctx) {
+  if constexpr (requires { lock.has_waiters(ctx); }) {
+    return lock.has_waiters(ctx);
+  } else {
+    (void)ctx;
+    return lock.has_waiters();
+  }
+}
+
+template <typename L>
+bool generic_owned_by_caller(L& lock, context_of_t<L>& ctx) {
+  if constexpr (requires { lock.owned_by_caller(ctx); }) {
+    return lock.owned_by_caller(ctx);
+  } else {
+    (void)ctx;
+    return lock.owned_by_caller();
+  }
+}
+
+}  // namespace resilock

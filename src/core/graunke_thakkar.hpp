@@ -1,0 +1,122 @@
+// Graunke & Thakkar's array-based queue lock. Paper §3.3.2; protocol from
+// Graunke & Thakkar 1990 / Mellor-Crummey & Scott 1991 §2.
+//
+// Each thread owns one uint16 slot (on its own cache line, even address).
+// The lock's tail word packs (pointer to predecessor's slot | predecessor's
+// slot value at enqueue time). acquire() SWAPs its own (slot address |
+// current slot value) into tail and spins while *pred still equals the
+// packed value; release() toggles the caller's own slot with an atomic
+// XOR, which releases the successor spinning on it.
+//
+// Unbalanced-unlock behavior (original): mutual exclusion is never
+// violated (§3.3.2 gives the case analysis), but a second toggle can flip
+// the bit back before the spinning successor observes the first flip; the
+// successor then waits forever, and FIFO ordering starves every thread
+// behind it.
+//
+// Resilient fix (paper §3.3.2): a per-thread `holder` flag set after
+// acquisition and checked + cleared by release(). (The paper notes the
+// slots array itself could be re-purposed; we keep the separate array the
+// paper describes.)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "core/resilience.hpp"
+#include "core/verify_access.hpp"
+#include "platform/cacheline.hpp"
+#include "platform/spin.hpp"
+#include "platform/thread_registry.hpp"
+
+namespace resilock {
+
+template <Resilience R>
+class BasicGraunkeThakkarLock {
+  using Word = std::uintptr_t;
+
+ public:
+  explicit BasicGraunkeThakkarLock(
+      std::uint32_t max_procs = platform::ThreadRegistry::kCapacity)
+      : size_(max_procs),
+        slots_(std::make_unique<
+               platform::CacheLineAligned<std::atomic<std::uint16_t>>[]>(
+            size_)),
+        holder_(R == kResilient
+                    ? std::make_unique<
+                          platform::CacheLineAligned<std::atomic<bool>>[]>(
+                          size_)
+                    : nullptr) {
+    for (std::uint32_t i = 0; i < size_; ++i)
+      slots_[i].value.store(0, std::memory_order_relaxed);
+    if constexpr (R == kResilient) {
+      for (std::uint32_t i = 0; i < size_; ++i)
+        holder_[i].value.store(false, std::memory_order_relaxed);
+    }
+    // Bootstrap: tail points at slot 0 with the *negation* of its value,
+    // so the first acquirer's spin condition is immediately false.
+    tail_.store(pack(&slots_[0].value, 1 ^ slots_[0].value.load(
+                                               std::memory_order_relaxed)),
+                std::memory_order_relaxed);
+  }
+
+  BasicGraunkeThakkarLock(const BasicGraunkeThakkarLock&) = delete;
+  BasicGraunkeThakkarLock& operator=(const BasicGraunkeThakkarLock&) = delete;
+
+  void acquire() {
+    const platform::pid_t pid = platform::self_pid() % size_;
+    auto& my_slot = slots_[pid].value;
+    const Word packed =
+        pack(&my_slot, my_slot.load(std::memory_order_relaxed));
+    const Word prev = tail_.exchange(packed, std::memory_order_acq_rel);
+    const auto* pred = unpack_ptr(prev);
+    const std::uint16_t locked_value = unpack_bit(prev);
+    platform::SpinWait w;
+    while (pred->load(std::memory_order_acquire) == locked_value) w.pause();
+    if constexpr (R == kResilient) {
+      holder_[pid].value.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  bool release() {
+    const platform::pid_t pid = platform::self_pid() % size_;
+    if constexpr (R == kResilient) {
+      if (misuse_checks_enabled() &&
+          !holder_[pid].value.load(std::memory_order_relaxed)) {
+        return false;  // unbalanced: this thread does not hold the lock
+      }
+      holder_[pid].value.store(false, std::memory_order_relaxed);
+    }
+    // Toggle our slot; the successor spins until it differs from the value
+    // packed in tail at its enqueue time.
+    slots_[pid].value.fetch_xor(1, std::memory_order_release);
+    return true;
+  }
+
+  static constexpr Resilience resilience() { return R; }
+
+ private:
+  friend struct VerifyAccess;
+
+  static Word pack(const std::atomic<std::uint16_t>* p, std::uint16_t bit) {
+    return reinterpret_cast<Word>(p) | (bit & 1u);
+  }
+  static const std::atomic<std::uint16_t>* unpack_ptr(Word w) {
+    return reinterpret_cast<const std::atomic<std::uint16_t>*>(w & ~Word{1});
+  }
+  static std::uint16_t unpack_bit(Word w) {
+    return static_cast<std::uint16_t>(w & 1u);
+  }
+
+  const std::uint32_t size_;
+  std::unique_ptr<platform::CacheLineAligned<std::atomic<std::uint16_t>>[]>
+      slots_;
+  std::unique_ptr<platform::CacheLineAligned<std::atomic<bool>>[]> holder_;
+  alignas(platform::kCacheLineSize) std::atomic<Word> tail_{0};
+};
+
+using GraunkeThakkarLock = BasicGraunkeThakkarLock<kOriginal>;
+using GraunkeThakkarLockResilient = BasicGraunkeThakkarLock<kResilient>;
+
+}  // namespace resilock

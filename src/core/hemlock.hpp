@@ -1,0 +1,157 @@
+// Hemlock (Dice & Kogan, SPAA 2021). Paper §3.7.
+//
+// The "K42 counterpart of CLH": context-free and allocation-free. Every
+// thread owns a single Grant cell (shared across all Hemlock instances);
+// the lock itself is one tail word pointing at the last waiter's Grant
+// cell. A waiter spins on its *predecessor's* Grant cell until it holds
+// this lock's address, then consumes it (CTR — consume-then-reset — by
+// storing null back). release() either CASes the tail back to null
+// (no successor) or publishes the lock address in its own Grant cell and
+// waits for the successor to consume it.
+//
+// Unbalanced-unlock behavior (original), per §3.7: the misbehaving
+// thread either trips the release-time assertion (debug builds) or — the
+// tail does not point at its Grant cell — publishes the lock address in
+// its own Grant cell and spins forever waiting for a successor that will
+// never consume it: Tm starves itself. The lock state proper is never
+// touched, so there is no mutex violation and no starvation of others.
+//
+// Resilient fix (paper Figure 9): acquire() stores a sentinel ACQ in the
+// caller's Grant cell; release() requires ACQ — a null Grant cell means
+// the caller holds nothing and the release is unbalanced. A successful
+// release resets Grant to null. Because one Grant cell serves all locks,
+// the plain sentinel would misfire when a thread holds several Hemlocks
+// at once; we keep a per-thread hold counter alongside so the sentinel is
+// restored while other Hemlocks are still held (a strict superset of the
+// paper's fix, documented here because the paper does not discuss nested
+// holds).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "core/resilience.hpp"
+#include "core/verify_access.hpp"
+#include "platform/cacheline.hpp"
+#include "platform/spin.hpp"
+
+namespace resilock {
+
+namespace detail {
+
+struct HemlockThreadState {
+  // Values held: nullptr (idle), a lock address (handoff in progress),
+  // or the ACQ sentinel (resilient flavor: "this thread holds >=1 lock").
+  platform::CacheLineAligned<std::atomic<void*>> grant;
+  std::uint32_t holds = 0;  // resilient bookkeeping, owner-thread only
+};
+
+inline HemlockThreadState& hemlock_self() {
+  thread_local HemlockThreadState state;
+  return state;
+}
+
+}  // namespace detail
+
+template <Resilience R>
+class BasicHemlock {
+  using Cell = std::atomic<void*>;
+
+  // Distinguished non-null, non-lock-address sentinel.
+  static void* acq_sentinel() {
+    static int tag;
+    return &tag;
+  }
+
+ public:
+  BasicHemlock() = default;
+  BasicHemlock(const BasicHemlock&) = delete;
+  BasicHemlock& operator=(const BasicHemlock&) = delete;
+
+  void acquire() {
+    auto& self = detail::hemlock_self();
+    Cell* const my_cell = &self.grant.value;
+    Cell* const pred =
+        tail_.exchange(my_cell, std::memory_order_acq_rel);
+    if (pred != nullptr) {
+      // Wait until the predecessor passes *this* lock, then consume.
+      platform::SpinWait w;
+      while (pred->load(std::memory_order_acquire) != this) w.pause();
+      pred->store(nullptr, std::memory_order_release);  // CTR
+    }
+    if constexpr (R == kResilient) {
+      self.holds += 1;
+      self.grant.value.store(acq_sentinel(), std::memory_order_relaxed);
+    }
+  }
+
+  bool try_acquire() {
+    auto& self = detail::hemlock_self();
+    Cell* expected = nullptr;
+    if (!tail_.compare_exchange_strong(expected, &self.grant.value,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+      return false;
+    }
+    if constexpr (R == kResilient) {
+      self.holds += 1;
+      self.grant.value.store(acq_sentinel(), std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  bool release() {
+    auto& self = detail::hemlock_self();
+    Cell* const my_cell = &self.grant.value;
+    if constexpr (R == kResilient) {
+      // Figure 9: Grant must hold the ACQ sentinel; null means this
+      // thread acquired nothing — unbalanced unlock.
+      if (misuse_checks_enabled() &&
+          (self.holds == 0 ||
+           my_cell->load(std::memory_order_relaxed) != acq_sentinel())) {
+        return false;
+      }
+      if (self.holds > 0) self.holds -= 1;
+      my_cell->store(nullptr, std::memory_order_relaxed);
+    }
+    Cell* expected = my_cell;
+    if (tail_.load(std::memory_order_acquire) == my_cell &&
+        tail_.compare_exchange_strong(expected, nullptr,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      restore_sentinel(self);
+      return true;
+    }
+    // A successor exists: publish this lock's address in our Grant cell
+    // and wait for the successor to consume it. (The original protocol
+    // asserts the cell is empty here — the paper's "line 18".)
+    assert(my_cell->load(std::memory_order_relaxed) == nullptr ||
+           R == kOriginal);
+    my_cell->store(this, std::memory_order_release);
+    platform::SpinWait w;
+    while (my_cell->load(std::memory_order_acquire) != nullptr) w.pause();
+    restore_sentinel(self);
+    return true;
+  }
+
+  static constexpr Resilience resilience() { return R; }
+
+ private:
+  friend struct VerifyAccess;
+
+  static void restore_sentinel(detail::HemlockThreadState& self) {
+    if constexpr (R == kResilient) {
+      if (self.holds > 0) {
+        self.grant.value.store(acq_sentinel(), std::memory_order_relaxed);
+      }
+    }
+  }
+
+  alignas(platform::kCacheLineSize) std::atomic<Cell*> tail_{nullptr};
+};
+
+using Hemlock = BasicHemlock<kOriginal>;
+using HemlockResilient = BasicHemlock<kResilient>;
+
+}  // namespace resilock

@@ -1,0 +1,229 @@
+// HMCS: hierarchical MCS lock (Chabbi, Fagan & Mellor-Crummey, PPoPP'15).
+// Paper §3.8.1.
+//
+// A tree of MCS-style locks mirrors the machine's memory hierarchy (one
+// leaf per NUMA domain here, one root). A thread competes at its leaf; a
+// leaf queue head competes at the parent with the leaf's embedded qnode.
+// The holder's release passes the lock within its leaf cohort up to
+// `threshold` consecutive times (the qnode status doubles as the passing
+// count); after that — or when no cohort successor exists — it releases
+// the parent level first and grants its leaf successor kAcquireParent,
+// telling it to go compete at the parent itself.
+//
+// Unbalanced-unlock behavior (original): all of MCS's §3.4 issues, at
+// every level — a misused release walks up the tree and can release the
+// parent-level lock out from under the legitimate cohort leader (mutex
+// violation), and the misbehaving thread ends up spinning for a successor
+// that never links itself (Tm starvation).
+//
+// Resilient fix (paper §3.8.1): only the leaf needs the MCS remedy,
+// because every release starts at the leaf: mark the context "acquired"
+// when the acquisition protocol completes, check and clear it in
+// release(). The AHMCS refinement keeps per-thread qnodes too, so the
+// same remedy applies (§3.8.1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/resilience.hpp"
+#include "core/verify_access.hpp"
+#include "platform/cacheline.hpp"
+#include "platform/spin.hpp"
+#include "platform/thread_registry.hpp"
+#include "platform/topology.hpp"
+
+namespace resilock {
+
+template <Resilience R>
+class BasicAhmcsLock;
+
+template <Resilience R>
+class BasicHmcsLock {
+ public:
+  // Grant-status protocol values (Chabbi et al. 2015).
+  static constexpr std::uint64_t kWait = ~std::uint64_t{0};
+  static constexpr std::uint64_t kAcquireParent = ~std::uint64_t{0} - 1;
+  static constexpr std::uint64_t kCohortStart = 1;
+
+  struct alignas(platform::kCacheLineSize) QNode {
+    std::atomic<QNode*> next{nullptr};
+    std::atomic<std::uint64_t> status{0};
+  };
+
+  class Context {
+   public:
+    Context() = default;
+    Context(const Context&) = delete;
+    Context& operator=(const Context&) = delete;
+
+   private:
+    friend class BasicHmcsLock;
+    friend struct VerifyAccess;
+    QNode node_;
+    bool acquired_ = false;  // the resilient "I.locked" marker
+  };
+
+  // Two-level tree mirroring the topology: one leaf per NUMA domain
+  // under a single root (the paper's evaluation shape).
+  explicit BasicHmcsLock(
+      const platform::Topology& topo = platform::Topology::host_default(),
+      std::uint64_t passing_threshold = 64)
+      : topo_(topo), map_by_domain_(true) {
+    HNode* root = new_node(nullptr, passing_threshold);
+    for (std::uint32_t d = 0; d < topo.num_domains(); ++d) {
+      leaves_.push_back(new_node(root, passing_threshold));
+    }
+  }
+
+  // Arbitrary-depth tree: `fanouts` gives the child count per level from
+  // the root down (e.g. {2, 3} = root -> 2 mid nodes -> 6 leaves),
+  // modeling deeper memory hierarchies (socket / die / core cluster).
+  // Threads map to leaves by pid modulo leaf count.
+  explicit BasicHmcsLock(const std::vector<std::uint32_t>& fanouts,
+                         std::uint64_t passing_threshold = 64)
+      : topo_(platform::Topology::uniform(1, 1)), map_by_domain_(false) {
+    std::vector<HNode*> frontier = {new_node(nullptr, passing_threshold)};
+    for (const std::uint32_t fanout : fanouts) {
+      std::vector<HNode*> next;
+      next.reserve(frontier.size() * (fanout ? fanout : 1));
+      for (HNode* parent : frontier) {
+        for (std::uint32_t c = 0; c < (fanout ? fanout : 1); ++c) {
+          next.push_back(new_node(parent, passing_threshold));
+        }
+      }
+      frontier = std::move(next);
+    }
+    leaves_ = std::move(frontier);  // deepest level (== root if empty)
+  }
+
+  BasicHmcsLock(const BasicHmcsLock&) = delete;
+  BasicHmcsLock& operator=(const BasicHmcsLock&) = delete;
+
+  void acquire(Context& ctx) {
+    acquire_at(leaf_of_self(), &ctx.node_);
+    if constexpr (R == kResilient) ctx.acquired_ = true;
+  }
+
+  bool release(Context& ctx) {
+    if constexpr (R == kResilient) {
+      if (misuse_checks_enabled() && !ctx.acquired_) return false;
+      ctx.acquired_ = false;
+    }
+    release_at(leaf_of_self(), &ctx.node_);
+    return true;
+  }
+
+  std::uint32_t num_leaves() const {
+    return static_cast<std::uint32_t>(leaves_.size());
+  }
+  static constexpr Resilience resilience() { return R; }
+
+ private:
+  friend struct VerifyAccess;
+  template <Resilience>
+  friend class BasicAhmcsLock;  // adaptive entry at chosen levels
+
+  struct alignas(platform::kCacheLineSize) HNode {
+    std::atomic<QNode*> tail{nullptr};
+    QNode node;  // used by this level's queue head to compete at parent
+    HNode* parent{nullptr};
+    std::uint64_t threshold{64};
+  };
+
+  HNode* new_node(HNode* parent, std::uint64_t threshold) {
+    nodes_.push_back(std::make_unique<HNode>());
+    HNode* n = nodes_.back().get();
+    n->parent = parent;
+    n->threshold = threshold;
+    return n;
+  }
+
+  HNode* leaf_of_self() const {
+    const platform::pid_t pid = platform::self_pid();
+    return map_by_domain_
+               ? leaves_[topo_.domain_of(pid)]
+               : leaves_[pid % leaves_.size()];
+  }
+
+  // Returns true iff the acquisition was uncontended at this level and
+  // every ancestor (the signal the adaptive AHMCS refinement feeds on).
+  bool acquire_at(HNode* level, QNode* I) {
+    I->next.store(nullptr, std::memory_order_relaxed);
+    I->status.store(kWait, std::memory_order_relaxed);
+    QNode* const pred = level->tail.exchange(I, std::memory_order_acq_rel);
+    if (pred == nullptr) {
+      // Head of this level's queue: compete at the parent (or, at the
+      // root, the lock is ours).
+      I->status.store(kCohortStart, std::memory_order_relaxed);
+      if (level->parent != nullptr) {
+        return acquire_at(level->parent, &level->node);
+      }
+      return true;
+    }
+    pred->next.store(I, std::memory_order_release);
+    platform::SpinWait w;
+    std::uint64_t st;
+    while ((st = I->status.load(std::memory_order_acquire)) == kWait)
+      w.pause();
+    if (st == kAcquireParent) {
+      // Predecessor exhausted the cohort-passing budget: we own this
+      // level but must compete at the parent ourselves.
+      I->status.store(kCohortStart, std::memory_order_relaxed);
+      acquire_at(level->parent, &level->node);
+    }
+    // else: st is a passing count — the lock and all ancestors were
+    // handed to us implicitly.
+    return false;  // we waited: contended
+  }
+
+  void release_at(HNode* level, QNode* I) {
+    if (level->parent == nullptr) {
+      // Root: plain MCS release; the grant value just has to differ from
+      // kWait and kAcquireParent.
+      release_mcs_style(level, I, kCohortStart);
+      return;
+    }
+    const std::uint64_t cur = I->status.load(std::memory_order_relaxed);
+    if (cur < level->threshold) {
+      QNode* const succ = I->next.load(std::memory_order_acquire);
+      if (succ != nullptr) {
+        // Pass within the cohort; the successor inherits all ancestors.
+        succ->status.store(cur + 1, std::memory_order_release);
+        return;
+      }
+    }
+    // Threshold reached or no cohort successor: give the ancestors back,
+    // then tell any successor at this level to re-compete upward.
+    release_at(level->parent, &level->node);
+    release_mcs_style(level, I, kAcquireParent);
+  }
+
+  void release_mcs_style(HNode* level, QNode* I, std::uint64_t grant) {
+    QNode* succ = I->next.load(std::memory_order_acquire);
+    if (succ == nullptr) {
+      QNode* expected = I;
+      if (level->tail.compare_exchange_strong(expected, nullptr,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed)) {
+        return;
+      }
+      platform::SpinWait w;
+      while ((succ = I->next.load(std::memory_order_acquire)) == nullptr)
+        w.pause();
+    }
+    succ->status.store(grant, std::memory_order_release);
+  }
+
+  platform::Topology topo_;  // by value: 8 bytes, no lifetime coupling
+  const bool map_by_domain_;
+  std::vector<std::unique_ptr<HNode>> nodes_;  // whole tree, root first
+  std::vector<HNode*> leaves_;
+};
+
+using HmcsLock = BasicHmcsLock<kOriginal>;
+using HmcsLockResilient = BasicHmcsLock<kResilient>;
+
+}  // namespace resilock

@@ -1,0 +1,74 @@
+// Lock API concepts and RAII guards.
+//
+// Two families of locks exist in this library, mirroring the paper:
+//
+//  * PlainLock    — acquire()/release() with no per-thread state
+//                   (TAS, Ticket, Hemlock, MCS-K42, HBO, ...).
+//  * ContextLock  — acquire(Context&)/release(Context&); the context is
+//                   the per-thread state carried from acquire to release
+//                   (MCS qnode, CLH node, ABQL place, HMCS qnode, ...).
+//
+// Per the paper (§3), contexts are passed by lvalue reference — never by
+// pointer — so a rogue or null context cannot be handed to release().
+// Every release() returns bool: false iff the call was detected as an
+// unbalanced unlock and suppressed (only resilient flavors detect).
+#pragma once
+
+#include <concepts>
+#include <utility>
+
+namespace resilock {
+
+template <typename L>
+concept PlainLock = requires(L l) {
+  l.acquire();
+  { l.release() } -> std::same_as<bool>;
+};
+
+template <typename L>
+concept ContextLock = requires(L l, typename L::Context& c) {
+  typename L::Context;
+  l.acquire(c);
+  { l.release(c) } -> std::same_as<bool>;
+};
+
+template <typename L>
+concept TryLockable = requires(L l) {
+  { l.try_acquire() } -> std::same_as<bool>;
+};
+
+template <typename L>
+concept TryContextLockable = requires(L l, typename L::Context& c) {
+  { l.try_acquire(c) } -> std::same_as<bool>;
+};
+
+// RAII guard for PlainLock.
+template <PlainLock L>
+class LockGuard {
+ public:
+  explicit LockGuard(L& lock) : lock_(lock) { lock_.acquire(); }
+  ~LockGuard() { lock_.release(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  L& lock_;
+};
+
+// RAII guard for ContextLock; the caller owns the context.
+template <ContextLock L>
+class CtxGuard {
+ public:
+  CtxGuard(L& lock, typename L::Context& ctx) : lock_(lock), ctx_(ctx) {
+    lock_.acquire(ctx_);
+  }
+  ~CtxGuard() { lock_.release(ctx_); }
+  CtxGuard(const CtxGuard&) = delete;
+  CtxGuard& operator=(const CtxGuard&) = delete;
+
+ private:
+  L& lock_;
+  typename L::Context& ctx_;
+};
+
+}  // namespace resilock

@@ -1,0 +1,120 @@
+#include "core/lock_registry.hpp"
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "core/abql.hpp"
+#include "core/ahmcs.hpp"
+#include "core/clh.hpp"
+#include "core/cohort.hpp"
+#include "core/graunke_thakkar.hpp"
+#include "core/hbo.hpp"
+#include "core/hclh.hpp"
+#include "core/hemlock.hpp"
+#include "core/hmcs.hpp"
+#include "core/mcs.hpp"
+#include "core/mcs_k42.hpp"
+#include "core/partitioned_ticket.hpp"
+#include "core/tas.hpp"
+#include "core/ticket.hpp"
+
+namespace resilock {
+namespace {
+
+using Factory = std::function<std::unique_ptr<AnyLock>(
+    Resilience, const platform::Topology&)>;
+
+// One factory per algorithm; the flavor decides which template
+// instantiation backs it.
+template <template <Resilience> class LockT>
+Factory simple_factory(const char* name) {
+  return [name](Resilience r, const platform::Topology&) {
+    std::unique_ptr<AnyLock> p;
+    if (r == kOriginal) {
+      p = std::make_unique<AnyLockAdapter<LockT<kOriginal>>>(name);
+    } else {
+      p = std::make_unique<AnyLockAdapter<LockT<kResilient>>>(name);
+    }
+    return p;
+  };
+}
+
+template <template <Resilience> class LockT>
+Factory topo_factory(const char* name) {
+  return [name](Resilience r, const platform::Topology& topo) {
+    std::unique_ptr<AnyLock> p;
+    if (r == kOriginal) {
+      p = std::make_unique<AnyLockAdapter<LockT<kOriginal>>>(name, topo);
+    } else {
+      p = std::make_unique<AnyLockAdapter<LockT<kResilient>>>(name, topo);
+    }
+    return p;
+  };
+}
+
+template <Resilience R>
+using TasSwap = BasicTasLock<R, TasVariant::kTas>;
+template <Resilience R>
+using TasTatas = BasicTasLock<R, TasVariant::kTatas>;
+template <Resilience R>
+using TasBackoff = BasicTasLock<R, TasVariant::kBackoff>;
+
+const std::map<std::string, Factory, std::less<>>& registry() {
+  static const std::map<std::string, Factory, std::less<>> r = {
+      {"TAS", simple_factory<TasTatas>("TAS")},
+      {"TAS_SWAP", simple_factory<TasSwap>("TAS_SWAP")},
+      {"TAS_BO", simple_factory<TasBackoff>("TAS_BO")},
+      {"Ticket", simple_factory<BasicTicketLock>("Ticket")},
+      {"PTKT", simple_factory<BasicPartitionedTicketLock>("PTKT")},
+      {"ABQL", simple_factory<BasicAndersonLock>("ABQL")},
+      {"GT", simple_factory<BasicGraunkeThakkarLock>("GT")},
+      {"MCS", simple_factory<BasicMcsLock>("MCS")},
+      {"CLH", simple_factory<BasicClhLock>("CLH")},
+      {"MCS_K42", simple_factory<BasicMcsK42Lock>("MCS_K42")},
+      {"Hemlock", simple_factory<BasicHemlock>("Hemlock")},
+      {"HMCS", topo_factory<BasicHmcsLock>("HMCS")},
+      {"AHMCS", topo_factory<BasicAhmcsLock>("AHMCS")},
+      {"HCLH", topo_factory<BasicHclhLock>("HCLH")},
+      {"HBO", topo_factory<BasicHboLock>("HBO")},
+      {"C-BO-BO", topo_factory<CBoBoLock>("C-BO-BO")},
+      {"C-TKT-TKT", topo_factory<CTktTktLock>("C-TKT-TKT")},
+      {"C-MCS-MCS", topo_factory<CMcsMcsLock>("C-MCS-MCS")},
+      {"C-TKT-MCS", topo_factory<CTktMcsLock>("C-TKT-MCS")},
+      {"C-PTKT-TKT", topo_factory<CPtktTktLock>("C-PTKT-TKT")},
+  };
+  return r;
+}
+
+}  // namespace
+
+const std::vector<std::string>& lock_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const auto& [name, _] : registry()) v.push_back(name);
+    return v;
+  }();
+  return names;
+}
+
+const std::vector<std::string>& table2_lock_names() {
+  static const std::vector<std::string> names = {"TAS",  "Ticket", "ABQL",
+                                                 "MCS",  "CLH",    "HMCS"};
+  return names;
+}
+
+bool is_lock_name(std::string_view name) {
+  return registry().find(name) != registry().end();
+}
+
+std::unique_ptr<AnyLock> make_lock(std::string_view name, Resilience r,
+                                   const platform::Topology& topo) {
+  auto it = registry().find(name);
+  if (it == registry().end()) {
+    throw std::out_of_range("resilock: unknown lock algorithm: " +
+                            std::string(name));
+  }
+  return it->second(r, topo);
+}
+
+}  // namespace resilock

@@ -1,0 +1,36 @@
+// Runtime registry of every lock algorithm, by name.
+//
+// The evaluation harness, the interposition layer, and the benchmark
+// binaries all select algorithms by string — mirroring how LiTL selects
+// the interposed lock via an environment variable (paper §6).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/any_lock.hpp"
+#include "core/resilience.hpp"
+#include "platform/topology.hpp"
+
+namespace resilock {
+
+// All registered algorithm names (stable order).
+const std::vector<std::string>& lock_names();
+
+// The six locks of the paper's Table 2 / Figure 14, in table order:
+// TAS, Ticket, ABQL, MCS, CLH, HMCS.
+const std::vector<std::string>& table2_lock_names();
+
+// True iff `name` is a registered algorithm.
+bool is_lock_name(std::string_view name);
+
+// Instantiate `name` in the requested flavor. Topology-aware locks
+// (HMCS, HCLH, HBO, cohort family) use `topo`. Throws std::out_of_range
+// for unknown names.
+std::unique_ptr<AnyLock> make_lock(
+    std::string_view name, Resilience r,
+    const platform::Topology& topo = platform::Topology::host_default());
+
+}  // namespace resilock

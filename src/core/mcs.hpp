@@ -1,0 +1,139 @@
+// MCS list-based queue lock. Paper §3.4; protocol from Mellor-Crummey &
+// Scott 1991 §2.
+//
+// Waiters form a singly-linked list; each spins on the `locked` flag of
+// its own qnode (the per-thread context). acquire() SWAPs its qnode into
+// the tail; release() hands the lock to I.next, or CASes the tail back to
+// null when there is no successor.
+//
+// Unbalanced-unlock behavior (original), by the state of the misused
+// qnode I (§3.4):
+//   1. I.next == null  -> the misbehaving thread fails the tail CAS and
+//      spins forever waiting for a successor that will never link itself:
+//      Tm starves. No other thread starves.
+//   2. I.next is a rogue pointer -> memory corruption (excluded here: the
+//      C++ API takes the context by lvalue reference).
+//   3. I.next points at a legal qnode that happens to be enqueued again
+//      (stale next from a previous episode) -> that waiter is released
+//      into the critical section: mutex violation.
+//
+// Resilient fix (paper Figure 6): acquire() always sets I.locked = true
+// after the lock is acquired; release() treats I.locked == false as an
+// unbalanced unlock and otherwise resets both I.locked and I.next, so a
+// stale next can never be dereferenced by a later misuse.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/resilience.hpp"
+#include "core/verify_access.hpp"
+#include "platform/cacheline.hpp"
+#include "platform/spin.hpp"
+
+namespace resilock {
+
+template <Resilience R>
+class BasicMcsLock {
+ public:
+  struct alignas(platform::kCacheLineSize) QNode {
+    std::atomic<QNode*> next{nullptr};
+    std::atomic<bool> locked{false};
+  };
+  using Context = QNode;
+
+  BasicMcsLock() = default;
+  BasicMcsLock(const BasicMcsLock&) = delete;
+  BasicMcsLock& operator=(const BasicMcsLock&) = delete;
+
+  void acquire(QNode& I) {
+    I.next.store(nullptr, std::memory_order_relaxed);
+    QNode* const pred = tail_.exchange(&I, std::memory_order_acq_rel);
+    if (pred != nullptr) {
+      I.locked.store(true, std::memory_order_relaxed);
+      pred->next.store(&I, std::memory_order_release);
+      platform::SpinWait w;
+      while (I.locked.load(std::memory_order_acquire)) w.pause();
+    }
+    if constexpr (R == kResilient) {
+      // Uniform "I hold the lock" marker, on both the contended and the
+      // uncontended path (the original leaves `locked` inconsistent).
+      I.locked.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  bool try_acquire(QNode& I) {
+    I.next.store(nullptr, std::memory_order_relaxed);
+    QNode* expected = nullptr;
+    if (!tail_.compare_exchange_strong(expected, &I,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+      return false;
+    }
+    if constexpr (R == kResilient) {
+      I.locked.store(true, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  bool release(QNode& I) {
+    if constexpr (R == kResilient) {
+      if (misuse_checks_enabled() &&
+          !I.locked.load(std::memory_order_relaxed)) {
+        return false;
+      }
+    }
+    QNode* succ = I.next.load(std::memory_order_acquire);
+    if (succ == nullptr) {
+      QNode* expected = &I;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        if constexpr (R == kResilient) {
+          I.locked.store(false, std::memory_order_relaxed);
+        }
+        return true;
+      }
+      // A successor is mid-enqueue: wait for it to link itself.
+      platform::SpinWait w;
+      while ((succ = I.next.load(std::memory_order_acquire)) == nullptr)
+        w.pause();
+    }
+    if constexpr (R == kResilient) {
+      // Scrub our node before the handoff so a later misuse of this
+      // context cannot follow a stale next pointer (misuse case 3).
+      I.next.store(nullptr, std::memory_order_relaxed);
+      I.locked.store(false, std::memory_order_relaxed);
+    }
+    succ->locked.store(false, std::memory_order_release);
+    return true;
+  }
+
+  // Cohort detection property (Dice et al. 2012, §3.8.4): a linked
+  // successor means another local thread is waiting. Conservative — a
+  // waiter mid-enqueue is not counted, which only causes an unnecessary
+  // global release, never a correctness issue.
+  bool has_waiters(const QNode& I) const {
+    return I.next.load(std::memory_order_relaxed) != nullptr;
+  }
+
+  bool owned_by_caller(const QNode& I) const {
+    if constexpr (R == kResilient) {
+      return I.locked.load(std::memory_order_relaxed);
+    } else {
+      (void)I;
+      return true;
+    }
+  }
+
+  static constexpr Resilience resilience() { return R; }
+
+ private:
+  friend struct VerifyAccess;
+  alignas(platform::kCacheLineSize) std::atomic<QNode*> tail_{nullptr};
+};
+
+using McsLock = BasicMcsLock<kOriginal>;
+using McsLockResilient = BasicMcsLock<kResilient>;
+
+}  // namespace resilock

@@ -1,0 +1,52 @@
+// The two build flavors of every lock in this library.
+//
+// `kOriginal` is the textbook protocol exactly as published; it is the
+// baseline in every experiment and exhibits the misuse behavior the paper
+// catalogs in Table 1. `kResilient` applies the paper's minimal fix so
+// that an unbalanced unlock() is detected and suppressed.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+
+namespace resilock {
+
+enum class Resilience {
+  kOriginal,
+  kResilient,
+};
+
+inline constexpr Resilience kOriginal = Resilience::kOriginal;
+inline constexpr Resilience kResilient = Resilience::kResilient;
+
+constexpr const char* to_string(Resilience r) noexcept {
+  return r == kOriginal ? "original" : "resilient";
+}
+
+namespace detail {
+inline std::atomic<bool>& misuse_check_flag() {
+  // Defaults on; RESILOCK_DISABLE_CHECK=1 turns every resilient check
+  // off at process start.
+  static std::atomic<bool> flag{[] {
+    const char* v = std::getenv("RESILOCK_DISABLE_CHECK");
+    return !(v != nullptr && v[0] == '1' && v[1] == '\0');
+  }()};
+  return flag;
+}
+}  // namespace detail
+
+// The paper's §5 escape hatch: "By design some locks may require one
+// thread to acquire() and another thread to release() the lock. To avoid
+// flagging such a release() as unbalanced-unlock, one can set an
+// environment variable to disable the check in all our proposed
+// remedies." With checks disabled a resilient lock releases exactly like
+// the original protocol — including the original's misuse consequences.
+inline bool misuse_checks_enabled() noexcept {
+  return detail::misuse_check_flag().load(std::memory_order_relaxed);
+}
+
+inline void set_misuse_checks(bool enabled) noexcept {
+  detail::misuse_check_flag().store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace resilock

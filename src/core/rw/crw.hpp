@@ -1,0 +1,179 @@
+// NUMA-aware reader-writer locks: C-RW-NP / C-RW-RP / C-RW-WP
+// (Calciu, Dice, Lev, Luchangco, Marathe & Shavit, PPoPP 2013). Paper §4.
+//
+// Building blocks: a cohort lock (C-PTK-TKT: global partitioned ticket
+// over per-domain ticket locks) and a ReadIndicator.
+//
+// Neutral preference (Figure 10 of the paper):
+//   reader: CohortLock.acquire; ReadIndr.arrive; CohortLock.release;
+//           <read CS>; ReadIndr.depart
+//   writer: CohortLock.acquire; while (!ReadIndr.isEmpty()) pause;
+//           <write CS>; CohortLock.release
+//
+// Reader preference: readers skip the cohort lock entirely and only back
+// out while a writer is *active*; writers may starve. Writer preference:
+// readers defer to *pending* writers; readers may starve. Both reuse the
+// same misuse analysis (§4).
+//
+// Unbalanced-unlock behavior (§4):
+//   * RUnlock without RLock corrupts the ReadIndicator: with one reader
+//     and one waiting writer it empties the indicator — reader and writer
+//     end up in the CS together (mutex violation) — and the reader's own
+//     later depart drives the count negative, so every future writer
+//     spins on isEmpty forever (starvation of others).
+//   * WUnlock without WLock behaves like the underlying cohort lock.
+//
+// Resilience (§4): the W side reuses the ticket-lock remedy through the
+// cohort lock. The R side is *unsolved in the paper* for the compact
+// indicators; instantiating with CheckedReadIndicator (our extension)
+// makes RUnlock misuse detectable at the cost of per-thread state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/cohort.hpp"
+#include "core/resilience.hpp"
+#include "core/rw/read_indicator.hpp"
+#include "core/verify_access.hpp"
+#include "platform/spin.hpp"
+#include "platform/thread_registry.hpp"
+#include "platform/topology.hpp"
+
+namespace resilock {
+
+enum class RwPreference {
+  kNeutral,  // C-RW-NP
+  kReader,   // C-RW-RP
+  kWriter,   // C-RW-WP
+};
+
+template <Resilience R, typename ReadIndicator = SplitReadIndicator,
+          RwPreference P = RwPreference::kNeutral>
+class CrwLock {
+  using Cohort = CPtktTktLock<R>;
+
+ public:
+  using Context = typename Cohort::Context;
+
+  explicit CrwLock(
+      const platform::Topology& topo = platform::Topology::host_default())
+      : cohort_(topo), indicator_(make_indicator(topo)) {}
+
+  CrwLock(const CrwLock&) = delete;
+  CrwLock& operator=(const CrwLock&) = delete;
+
+  void rlock(Context& ctx) {
+    if constexpr (P == RwPreference::kNeutral) {
+      // Figure 10: readers serialize briefly on the cohort lock, arrive,
+      // and release it before entering the CS so readers can overlap.
+      cohort_.acquire(ctx);
+      indicator_.arrive(platform::self_pid());
+      cohort_.release(ctx);
+    } else if constexpr (P == RwPreference::kReader) {
+      platform::SpinWait w;
+      for (;;) {
+        indicator_.arrive(platform::self_pid());
+        if (!writer_active_.load(std::memory_order_seq_cst)) return;
+        indicator_.depart(platform::self_pid());
+        while (writer_active_.load(std::memory_order_acquire)) w.pause();
+      }
+    } else {  // writer preference
+      platform::SpinWait w;
+      for (;;) {
+        while (writers_pending_.load(std::memory_order_acquire) != 0)
+          w.pause();
+        indicator_.arrive(platform::self_pid());
+        if (writers_pending_.load(std::memory_order_seq_cst) == 0) return;
+        indicator_.depart(platform::self_pid());
+      }
+    }
+  }
+
+  // Returns false iff the indicator detected a misuse (checked indicator
+  // only; the compact indicators silently corrupt, as the paper states).
+  bool runlock(Context&) { return indicator_.depart(platform::self_pid()); }
+
+  void wlock(Context& ctx) {
+    if constexpr (P == RwPreference::kWriter) {
+      writers_pending_.fetch_add(1, std::memory_order_seq_cst);
+    }
+    cohort_.acquire(ctx);
+    if constexpr (R == kResilient) {
+      writer_pid_.store(platform::self_pid() + 1,
+                        std::memory_order_relaxed);
+    }
+    if constexpr (P == RwPreference::kReader) {
+      writer_active_.store(true, std::memory_order_seq_cst);
+    }
+    platform::SpinWait w;
+    while (!indicator_.is_empty()) w.pause();
+  }
+
+  bool wunlock(Context& ctx) {
+    if constexpr (R == kResilient) {
+      // Ticket-style PID remedy applied at the RW level, so the check
+      // happens before any flag (RP barrier, WP pending count) or the
+      // cohort lock itself can be corrupted.
+      if (misuse_checks_enabled() &&
+          writer_pid_.load(std::memory_order_relaxed) !=
+              platform::self_pid() + 1) {
+        return false;
+      }
+      writer_pid_.store(0, std::memory_order_relaxed);
+    }
+    if constexpr (P == RwPreference::kReader) {
+      writer_active_.store(false, std::memory_order_seq_cst);
+    }
+    const bool ok = cohort_.release(ctx);
+    if constexpr (P == RwPreference::kWriter) {
+      writers_pending_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+    return ok;
+  }
+
+  ReadIndicator& indicator() { return indicator_; }
+  static constexpr Resilience resilience() { return R; }
+  static constexpr RwPreference preference() { return P; }
+
+ private:
+  friend struct VerifyAccess;
+
+  static ReadIndicator make_indicator(const platform::Topology& topo) {
+    if constexpr (std::is_constructible_v<ReadIndicator,
+                                          const platform::Topology&>) {
+      return ReadIndicator(topo);
+    } else {
+      (void)topo;
+      return ReadIndicator();
+    }
+  }
+
+  Cohort cohort_;
+  ReadIndicator indicator_;
+  alignas(platform::kCacheLineSize) std::atomic<bool> writer_active_{false};
+  alignas(platform::kCacheLineSize) std::atomic<std::int32_t>
+      writers_pending_{0};
+  alignas(platform::kCacheLineSize) std::atomic<std::uint32_t>
+      writer_pid_{0};
+};
+
+// Aliases for the three variants over the default (split) indicator.
+using CrwNpLock = CrwLock<kOriginal, SplitReadIndicator,
+                          RwPreference::kNeutral>;
+using CrwNpLockResilient =
+    CrwLock<kResilient, SplitReadIndicator, RwPreference::kNeutral>;
+using CrwRpLock = CrwLock<kOriginal, SplitReadIndicator,
+                          RwPreference::kReader>;
+using CrwRpLockResilient =
+    CrwLock<kResilient, SplitReadIndicator, RwPreference::kReader>;
+using CrwWpLock = CrwLock<kOriginal, SplitReadIndicator,
+                          RwPreference::kWriter>;
+using CrwWpLockResilient =
+    CrwLock<kResilient, SplitReadIndicator, RwPreference::kWriter>;
+// Fully checked variant: W side by the ticket PID remedy, R side by the
+// per-thread presence bits (our extension of §4's open problem).
+using CrwNpLockChecked =
+    CrwLock<kResilient, CheckedReadIndicator, RwPreference::kNeutral>;
+
+}  // namespace resilock

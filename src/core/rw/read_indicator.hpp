@@ -1,0 +1,246 @@
+// ReadIndicator abstractions for the C-RW family (Calciu et al. 2013).
+// Paper §4.
+//
+// A ReadIndicator lets readers announce arrival/departure and lets
+// writers ask "any readers present?". The paper names three realizations
+// — SNZI (Lev et al.), per-NUMA-domain counters, and split ingress/egress
+// counters — plus notes that an unbalanced RUnlock() is *undetectable*
+// with all of them because they count without identity. We implement all
+// three, and additionally a CheckedReadIndicator that spends one bit per
+// thread to make departure-without-arrival detectable — the "future
+// research" direction §4 leaves open, shipped here as an explicit
+// extension (its cost appears in bench/ablation_readindr).
+//
+// API: arrive(pid) / depart(pid) -> bool (false iff the call was detected
+// as a misuse; only the checked indicator ever detects), is_empty().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "platform/cacheline.hpp"
+#include "platform/thread_registry.hpp"
+#include "platform/topology.hpp"
+
+namespace resilock {
+
+// Single shared counter: correct but contended — every arrival/departure
+// bounces one cache line across all readers.
+class CentralReadIndicator {
+ public:
+  bool arrive(platform::pid_t) {
+    count_.fetch_add(1, std::memory_order_acq_rel);
+    return true;
+  }
+  bool depart(platform::pid_t) {
+    count_.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+  }
+  bool is_empty() const {
+    return count_.load(std::memory_order_acquire) == 0;
+  }
+
+ private:
+  alignas(platform::kCacheLineSize) std::atomic<std::int64_t> count_{0};
+};
+
+// Split ingress/egress counters, one pair per NUMA domain (Calciu et al.
+// §3.2): readers increment their domain's ingress on arrive and its
+// egress on depart; writers subtract. A misused depart makes ingress and
+// egress diverge forever — the §4 starvation scenario.
+class SplitReadIndicator {
+ public:
+  explicit SplitReadIndicator(
+      const platform::Topology& topo = platform::Topology::host_default())
+      : topo_(topo),
+        cells_(std::make_unique<Cell[]>(topo.num_domains())) {}
+
+  bool arrive(platform::pid_t pid) {
+    cells_[topo_.domain_of(pid)].ingress.value.fetch_add(
+        1, std::memory_order_acq_rel);
+    return true;
+  }
+  bool depart(platform::pid_t pid) {
+    cells_[topo_.domain_of(pid)].egress.value.fetch_add(
+        1, std::memory_order_acq_rel);
+    return true;
+  }
+  bool is_empty() const {
+    // Sum egress before ingress: a concurrent arrive can only make the
+    // indicator look non-empty (safe direction for writers).
+    std::int64_t egress = 0, ingress = 0;
+    for (std::uint32_t d = 0; d < topo_.num_domains(); ++d)
+      egress += cells_[d].egress.value.load(std::memory_order_acquire);
+    for (std::uint32_t d = 0; d < topo_.num_domains(); ++d)
+      ingress += cells_[d].ingress.value.load(std::memory_order_acquire);
+    return ingress == egress;
+  }
+
+ private:
+  struct Cell {
+    platform::CacheLineAligned<std::atomic<std::int64_t>> ingress;
+    platform::CacheLineAligned<std::atomic<std::int64_t>> egress;
+  };
+  platform::Topology topo_;  // by value: 8 bytes, no lifetime coupling
+  std::unique_ptr<Cell[]> cells_;
+};
+
+// SNZI — Scalable NonZero Indicator (Ellen, Lev, Luchangco & Moir, PODC
+// 2007). A tree of counters: a reader arrives at its domain's leaf and
+// climbs only on 0 -> nonzero transitions, so the root (which the writer
+// polls) changes state once per *episode* of readers, not once per
+// reader. The intermediate "one-half" value and version tag implement
+// the paper's hand-off between racing arrivers. The root here is a plain
+// counter read directly by is_empty() — we drop the announce-bit
+// optimization of the original paper, which only accelerates Query.
+class SnziReadIndicator {
+  // Leaf/intermediate node state: count is doubled so that the special
+  // "one-half" value is representable (half == 1, whole k == 2k);
+  // a version tag in the high bits disambiguates racing 0->half setters.
+  static constexpr std::uint64_t kHalf = 1;
+  static constexpr std::uint64_t kOne = 2;
+  static constexpr std::uint64_t kCountMask = 0xFFFFFFFFull;
+
+  static std::uint64_t make(std::uint64_t count2, std::uint64_t version) {
+    return (version << 32) | count2;
+  }
+  static std::uint64_t count2_of(std::uint64_t x) { return x & kCountMask; }
+  static std::uint64_t version_of(std::uint64_t x) { return x >> 32; }
+
+ public:
+  explicit SnziReadIndicator(
+      const platform::Topology& topo = platform::Topology::host_default())
+      : topo_(topo),
+        leaves_(std::make_unique<
+                platform::CacheLineAligned<std::atomic<std::uint64_t>>[]>(
+            topo.num_domains())) {
+    for (std::uint32_t d = 0; d < topo.num_domains(); ++d)
+      leaves_[d].value.store(0, std::memory_order_relaxed);
+  }
+
+  bool arrive(platform::pid_t pid) {
+    leaf_arrive(leaves_[topo_.domain_of(pid)].value);
+    return true;
+  }
+
+  bool depart(platform::pid_t pid) {
+    leaf_depart(leaves_[topo_.domain_of(pid)].value);
+    return true;
+  }
+
+  bool is_empty() const {
+    return root_.load(std::memory_order_acquire) == 0;
+  }
+
+ private:
+  void leaf_arrive(std::atomic<std::uint64_t>& X) {
+    bool succeeded = false;
+    int undo_arrivals = 0;
+    while (!succeeded) {
+      std::uint64_t x = X.load(std::memory_order_acquire);
+      const std::uint64_t c2 = count2_of(x);
+      if (c2 >= kOne) {
+        if (X.compare_exchange_weak(x, make(c2 + kOne, version_of(x)),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+          succeeded = true;
+        }
+        continue;
+      }
+      if (c2 == 0) {
+        // Claim the 0 -> half transition; whoever wins must arrive at
+        // the parent before promoting half -> one.
+        if (X.compare_exchange_weak(x, make(kHalf, version_of(x) + 1),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+          succeeded = true;
+          x = make(kHalf, version_of(x) + 1);
+        } else {
+          continue;
+        }
+      }
+      if (count2_of(x) == kHalf) {
+        root_arrive();
+        std::uint64_t expected = x;
+        if (!X.compare_exchange_strong(expected,
+                                       make(kOne, version_of(x)),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+          // Another helper promoted it first; our parent arrival is
+          // surplus and must be undone after we finish.
+          ++undo_arrivals;
+        }
+      }
+    }
+    for (; undo_arrivals > 0; --undo_arrivals) root_depart();
+  }
+
+  void leaf_depart(std::atomic<std::uint64_t>& X) {
+    for (;;) {
+      std::uint64_t x = X.load(std::memory_order_acquire);
+      const std::uint64_t c2 = count2_of(x);
+      // A well-formed depart always sees a whole count. (A *misused*
+      // depart on an empty leaf would underflow — exactly the §4
+      // corruption; we saturate at zero-count to keep the experiment
+      // repeatable rather than wrap.)
+      const std::uint64_t next = c2 >= kOne ? c2 - kOne : 0;
+      if (X.compare_exchange_weak(x, make(next, version_of(x)),
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_relaxed)) {
+        if (c2 == kOne) root_depart();  // leaf became empty
+        return;
+      }
+    }
+  }
+
+  void root_arrive() { root_.fetch_add(1, std::memory_order_acq_rel); }
+  void root_depart() { root_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  platform::Topology topo_;  // by value: 8 bytes, no lifetime coupling
+  alignas(platform::kCacheLineSize) std::atomic<std::int64_t> root_{0};
+  std::unique_ptr<platform::CacheLineAligned<std::atomic<std::uint64_t>>[]>
+      leaves_;
+};
+
+// One presence bit per thread: costs memory and an O(threads) writer
+// scan, but makes an unbalanced RUnlock *detectable* — the extension the
+// paper leaves to future research (§4 "detection and solution").
+class CheckedReadIndicator {
+ public:
+  explicit CheckedReadIndicator(
+      std::uint32_t capacity = platform::ThreadRegistry::kCapacity)
+      : capacity_(capacity),
+        present_(std::make_unique<
+                 platform::CacheLineAligned<std::atomic<bool>>[]>(capacity)) {
+    for (std::uint32_t i = 0; i < capacity_; ++i)
+      present_[i].value.store(false, std::memory_order_relaxed);
+  }
+
+  bool arrive(platform::pid_t pid) {
+    auto& bit = present_[pid % capacity_].value;
+    if (bit.load(std::memory_order_relaxed)) return false;  // double arrive
+    bit.store(true, std::memory_order_seq_cst);
+    return true;
+  }
+
+  bool depart(platform::pid_t pid) {
+    auto& bit = present_[pid % capacity_].value;
+    if (!bit.load(std::memory_order_relaxed)) return false;  // misuse!
+    bit.store(false, std::memory_order_release);
+    return true;
+  }
+
+  bool is_empty() const {
+    for (std::uint32_t i = 0; i < capacity_; ++i) {
+      if (present_[i].value.load(std::memory_order_acquire)) return false;
+    }
+    return true;
+  }
+
+ private:
+  const std::uint32_t capacity_;
+  std::unique_ptr<platform::CacheLineAligned<std::atomic<bool>>[]> present_;
+};
+
+}  // namespace resilock

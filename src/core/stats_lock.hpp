@@ -1,0 +1,146 @@
+// StatsLock<L>: transparent instrumentation around any lock.
+//
+// Production deployments of resilient locks want to know *whether*
+// misuse is happening, not just to survive it (the paper's §7 discusses
+// feedback-to-programmer designs: errorcheck mutexes, Go panics). This
+// wrapper counts, per lock instance:
+//   * acquisitions / releases,
+//   * trylock attempts and failures,
+//   * contended acquisitions (a trylock probe failed first), and
+//   * detected unbalanced unlocks (resilient base locks only).
+// Counters are relaxed atomics on their own cache lines: the wrapper
+// adds one uncontended RMW per operation and never perturbs the base
+// protocol.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/generic.hpp"
+#include "core/lock_concepts.hpp"
+#include "platform/cacheline.hpp"
+
+namespace resilock {
+
+struct LockStatsSnapshot {
+  std::uint64_t acquisitions = 0;
+  std::uint64_t contended_acquisitions = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t detected_misuses = 0;
+  std::uint64_t trylock_attempts = 0;
+  std::uint64_t trylock_failures = 0;
+
+  double contention_ratio() const {
+    return acquisitions == 0 ? 0.0
+                             : static_cast<double>(contended_acquisitions) /
+                                   static_cast<double>(acquisitions);
+  }
+};
+
+template <typename Base>
+class StatsLock {
+ public:
+  using Context = context_of_t<Base>;
+
+  StatsLock() = default;
+  template <typename... Args>
+  explicit StatsLock(Args&&... args) : base_(std::forward<Args>(args)...) {}
+
+  StatsLock(const StatsLock&) = delete;
+  StatsLock& operator=(const StatsLock&) = delete;
+
+  void acquire(Context& ctx) {
+    // Contention probe: only where the base lock has a native trylock
+    // (probing by other means would perturb the protocol).
+    if constexpr (generic_has_trylock<Base>()) {
+      if (generic_try_acquire(base_, ctx)) {
+        bump(acquisitions_);
+        return;
+      }
+      bump(contended_);
+    }
+    generic_acquire(base_, ctx);
+    bump(acquisitions_);
+  }
+
+  bool try_acquire(Context& ctx)
+    requires(generic_has_trylock<Base>())
+  {
+    bump(try_attempts_);
+    if (generic_try_acquire(base_, ctx)) {
+      bump(acquisitions_);
+      return true;
+    }
+    bump(try_failures_);
+    return false;
+  }
+
+  bool release(Context& ctx) {
+    if (!generic_release(base_, ctx)) {
+      bump(misuses_);
+      return false;
+    }
+    bump(releases_);
+    return true;
+  }
+
+  // PlainLock convenience overloads (the context is stateless).
+  void acquire()
+    requires(std::is_same_v<Context, NoContext>)
+  {
+    NoContext c;
+    acquire(c);
+  }
+  bool release()
+    requires(std::is_same_v<Context, NoContext>)
+  {
+    NoContext c;
+    return release(c);
+  }
+  bool try_acquire()
+    requires(std::is_same_v<Context, NoContext> &&
+             generic_has_trylock<Base>())
+  {
+    NoContext c;
+    return try_acquire(c);
+  }
+
+  LockStatsSnapshot snapshot() const {
+    LockStatsSnapshot s;
+    s.acquisitions = acquisitions_.value.load(std::memory_order_relaxed);
+    s.contended_acquisitions =
+        contended_.value.load(std::memory_order_relaxed);
+    s.releases = releases_.value.load(std::memory_order_relaxed);
+    s.detected_misuses = misuses_.value.load(std::memory_order_relaxed);
+    s.trylock_attempts =
+        try_attempts_.value.load(std::memory_order_relaxed);
+    s.trylock_failures =
+        try_failures_.value.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset_stats() {
+    for (auto* c : {&acquisitions_, &contended_, &releases_, &misuses_,
+                    &try_attempts_, &try_failures_}) {
+      c->value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  Base& base() { return base_; }
+
+ private:
+  using Counter = platform::CacheLineAligned<std::atomic<std::uint64_t>>;
+  static void bump(Counter& c) {
+    c.value.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Base base_;
+  Counter acquisitions_;
+  Counter contended_;
+  Counter releases_;
+  Counter misuses_;
+  Counter try_attempts_;
+  Counter try_failures_;
+};
+
+}  // namespace resilock

@@ -1,0 +1,75 @@
+// Fischer's N-process mutual exclusion (as presented in Lamport 1987).
+// Paper §5 and Appendix Figure 11.
+//
+//   start: while <x != 0> ;
+//          <x := i> ; <delay> ;
+//          if <x != i> goto start ;
+//          critical section ;
+//          x := 0
+//
+// Correctness relies on a timing assumption: `delay` must exceed the
+// maximum time between a competitor's read of x == 0 and the visibility
+// of its subsequent write (a real-time property; under arbitrary OS
+// preemption it can be violated — tests bound thread counts accordingly).
+//
+// Unbalanced-unlock behavior (§5): a misused release sets x := 0 while
+// T_i is in the CS; a waiter T_j then passes the gate — one misuse admits
+// at most one extra thread. Nobody starves.
+//
+// Resilient fix (Figure 11): the exit path compares x with the caller's
+// id and skips the reset on mismatch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/resilience.hpp"
+#include "platform/spin.hpp"
+#include "platform/thread_registry.hpp"
+
+namespace resilock {
+
+template <Resilience R>
+class BasicFischerLock {
+ public:
+  // `delay_spins` implements the <delay>; generous by default.
+  explicit BasicFischerLock(std::uint32_t delay_spins = 2048)
+      : delay_spins_(delay_spins) {}
+
+  void acquire() {
+    const std::uint32_t me = platform::self_pid() + 1;
+    platform::SpinWait w;
+    for (;;) {
+      while (x_.load(std::memory_order_seq_cst) != 0) w.pause();
+      x_.store(me, std::memory_order_seq_cst);
+      for (std::uint32_t i = 0; i < delay_spins_; ++i)
+        platform::cpu_relax();
+      if (x_.load(std::memory_order_seq_cst) == me) return;
+    }
+  }
+
+  bool release() {
+    const std::uint32_t me = platform::self_pid() + 1;
+    if constexpr (R == kResilient) {
+      // Figure 11's fix: "if <x != i> goto exit".
+      if (misuse_checks_enabled() &&
+          x_.load(std::memory_order_seq_cst) != me) {
+        return false;
+      }
+    }
+    (void)me;
+    x_.store(0, std::memory_order_seq_cst);
+    return true;
+  }
+
+  static constexpr Resilience resilience() { return R; }
+
+ private:
+  std::atomic<std::uint32_t> x_{0};
+  const std::uint32_t delay_spins_;
+};
+
+using FischerLock = BasicFischerLock<kOriginal>;
+using FischerLockResilient = BasicFischerLock<kResilient>;
+
+}  // namespace resilock

@@ -1,0 +1,45 @@
+// Peterson's two-process mutual exclusion algorithm (Peterson 1981).
+// Paper §5 and Appendix Listing 2.
+//
+// Software-only (no atomic RMW); two fixed slots. seq_cst accesses stand
+// in for the algorithm's assumed sequential consistency.
+//
+// Unbalanced-unlock behavior: immune (paper Table 1). release(i) resets
+// flag[i] — "undoes the intent to enter". If the caller is not in the
+// critical section its flag is already 0 (or it is waiting, in which case
+// it simply stops wanting the CS); neither starvation nor mutex violation
+// can result with only two participants, whether one or both misbehave.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "platform/spin.hpp"
+
+namespace resilock {
+
+class PetersonLock {
+ public:
+  // `self` must be 0 or 1 and unique per participating thread.
+  void acquire(unsigned self) {
+    const unsigned other = 1u - self;
+    flag_[self].store(1, std::memory_order_seq_cst);
+    turn_.store(other, std::memory_order_seq_cst);
+    platform::SpinWait w;
+    while (flag_[other].load(std::memory_order_seq_cst) == 1 &&
+           turn_.load(std::memory_order_seq_cst) == other) {
+      w.pause();
+    }
+  }
+
+  bool release(unsigned self) {
+    flag_[self].store(0, std::memory_order_seq_cst);
+    return true;  // misuse is side-effect free; nothing to detect
+  }
+
+ private:
+  std::atomic<std::uint32_t> flag_[2] = {0, 0};
+  std::atomic<std::uint32_t> turn_{0};
+};
+
+}  // namespace resilock

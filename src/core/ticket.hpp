@@ -1,0 +1,117 @@
+// Ticket lock. Paper §3.2; protocol from Mellor-Crummey & Scott 1991 §2.
+//
+// FIFO: a thread takes a ticket by atomically incrementing nextTicket and
+// spins until nowServing equals its ticket; release() increments
+// nowServing.
+//
+// Unbalanced-unlock behavior (original): an extra increment of nowServing
+// admits the successor while the holder is still inside — one misuse lets
+// at most 2 threads in simultaneously, N misuses at most N+1. Worse,
+// nowServing can move past nextTicket, after which issued tickets are
+// skipped forever: in almost all cases all other threads starve (§3.2).
+// The misbehaving thread itself does not starve unless it re-acquires.
+//
+// Resilient fix (paper Figure 3): introduce a PID field (this is the one
+// lock where the paper accepts a new field). It is set after acquisition;
+// release() refuses to bump nowServing unless the caller's PID matches.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/resilience.hpp"
+#include "core/verify_access.hpp"
+#include "platform/spin.hpp"
+#include "platform/thread_registry.hpp"
+
+namespace resilock {
+
+template <Resilience R>
+class BasicTicketLock {
+  static constexpr std::uint32_t kNoOwner = 0;
+
+ public:
+  BasicTicketLock() = default;
+  BasicTicketLock(const BasicTicketLock&) = delete;
+  BasicTicketLock& operator=(const BasicTicketLock&) = delete;
+
+  void acquire() {
+    const std::uint64_t my_ticket =
+        next_ticket_.fetch_add(1, std::memory_order_relaxed);
+    platform::SpinWait w;
+    while (now_serving_.load(std::memory_order_acquire) != my_ticket)
+      w.pause();
+    if constexpr (R == kResilient) {
+      // Relaxed is enough: the owning thread reads it back in program
+      // order; other threads only ever need to see a value != their pid.
+      owner_.store(platform::self_pid() + 1, std::memory_order_relaxed);
+    }
+  }
+
+  // Succeeds only when the lock is free and no ticket is pending.
+  bool try_acquire() {
+    std::uint64_t serving = now_serving_.load(std::memory_order_acquire);
+    std::uint64_t expected = serving;
+    if (!next_ticket_.compare_exchange_strong(expected, serving + 1,
+                                              std::memory_order_acquire,
+                                              std::memory_order_relaxed)) {
+      return false;
+    }
+    if constexpr (R == kResilient) {
+      owner_.store(platform::self_pid() + 1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  bool release() {
+    if constexpr (R == kResilient) {
+      // The extra load the paper charges to the fix (§6: the modified
+      // release has a load where the original had only a store).
+      if (misuse_checks_enabled() &&
+          owner_.load(std::memory_order_relaxed) !=
+              platform::self_pid() + 1) {
+        return false;
+      }
+      owner_.store(kNoOwner, std::memory_order_relaxed);
+    }
+    now_serving_.store(now_serving_.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_release);
+    return true;
+  }
+
+  // Cohort detection property (Dice et al. 2012, required of the local
+  // lock in a cohort lock, §3.8.4): are other threads waiting right now?
+  bool has_waiters() const {
+    return next_ticket_.load(std::memory_order_relaxed) >
+           now_serving_.load(std::memory_order_relaxed) + 1;
+  }
+
+  // Ownership query used by the cohort combinator's resilient release
+  // path; the original flavor cannot check and reports true.
+  bool owned_by_caller() const {
+    if constexpr (R == kResilient) {
+      return owner_.load(std::memory_order_relaxed) ==
+             platform::self_pid() + 1;
+    } else {
+      return true;
+    }
+  }
+
+  static constexpr Resilience resilience() { return R; }
+
+ private:
+  friend struct VerifyAccess;
+
+  struct Empty {};
+  alignas(64) std::atomic<std::uint64_t> next_ticket_{0};
+  alignas(64) std::atomic<std::uint64_t> now_serving_{0};
+  // Present only in the resilient flavor: the PID field of Figure 3.
+  [[no_unique_address]] std::conditional_t<R == kResilient,
+                                           std::atomic<std::uint32_t>, Empty>
+      owner_{};
+};
+
+using TicketLock = BasicTicketLock<kOriginal>;
+using TicketLockResilient = BasicTicketLock<kResilient>;
+
+}  // namespace resilock

@@ -1,0 +1,12 @@
+// Back door used exclusively by the misuse-injection framework
+// (src/verify) to observe and repair lock internals around scripted
+// unbalanced-unlock scenarios — e.g. rescuing a thread that the *original*
+// MCS protocol leaves spinning forever after a misuse (paper §3.4 case 1),
+// so that experiments remain joinable. Not part of the public API.
+#pragma once
+
+namespace resilock {
+
+struct VerifyAccess;  // each lock befriends this; defined in src/verify
+
+}  // namespace resilock

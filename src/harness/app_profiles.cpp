@@ -1,0 +1,58 @@
+#include "harness/app_profiles.hpp"
+
+#include <stdexcept>
+
+namespace resilock::harness {
+
+// Traits are scaled so a full original-vs-resilient comparison of all
+// profiles completes in minutes on a laptop; RESILOCK_SCALE (see
+// evaluation.cpp) multiplies ops_per_thread for larger runs. Rationale
+// per profile (sources: SPLASH-2 characterization [Woo et al. 1995],
+// PARSEC characterization [Bienia 2011], and the paper's §6 remarks):
+//
+//   Barnes        n-body; per-cell tree locks: many locks, short CS,
+//                 substantial compute between acquisitions.
+//   Dedup         pipeline with queue locks: moderate lock count,
+//                 medium CS (queue ops), medium outside work.
+//   Ferret        similarity-search pipeline: like dedup with fewer
+//                 locks and more outside work per stage.
+//   Fluidanimate  fine-grained per-grid-cell locks, TRYLOCK-based,
+//                 power-of-two threads required; tiny CS.
+//   FMM           fast multipole: tree + list locks, low contention.
+//   Ocean         few global locks, mostly barriers; power-of-two
+//                 threads; long compute phases.
+//   Radiosity     task queues with heavy sharing; the paper singles it
+//                 out as >25% of time at synchronization: small CS,
+//                 very little work outside — high contention.
+//   Raytrace      work-stealing off a few queues: lock-intensive, the
+//                 paper reports large TAS/Ticket overheads here.
+//   Streamcluster tiny CSs around shared counters + trylock; the other
+//                 lock-intensive app of §6.
+//   Synthetic     empty CS, back-to-back lock()/unlock() on one lock —
+//                 the paper's omp_set_lock microbenchmark; throughput
+//                 in Mops.
+const std::vector<AppProfile>& app_profiles() {
+  static const std::vector<AppProfile> profiles = {
+      // name          locks  cs   out   ops/thr  trylock pow2  metric
+      {"Barnes",        2048,  40,  600,  60'000, false, false, Metric::kSeconds},
+      {"Dedup",          256,  80,  400,  50'000, false, false, Metric::kSeconds},
+      {"Ferret",          64,  60,  500,  50'000, false, false, Metric::kSeconds},
+      {"Fluidanimate",  4096,  10,   80, 150'000, true,  true,  Metric::kSeconds},
+      {"FMM",           1024,  50,  700,  50'000, false, false, Metric::kSeconds},
+      {"Ocean",           16,  30,  900,  40'000, false, true,  Metric::kSeconds},
+      {"Radiosity",       64,  25,   60, 150'000, false, false, Metric::kSeconds},
+      {"Raytrace",         8,  15,   40, 200'000, false, false, Metric::kSeconds},
+      {"Streamcluster",    4,  10,   30, 200'000, true,  false, Metric::kSeconds},
+      {"Synthetic",        1,   0,    0, 400'000, false, false, Metric::kMopsPerSec},
+  };
+  return profiles;
+}
+
+const AppProfile& app_profile(const std::string& name) {
+  for (const auto& p : app_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("resilock: unknown app profile: " + name);
+}
+
+}  // namespace resilock::harness

@@ -1,0 +1,63 @@
+// Evaluation engine for Table 2 and Figure 14.
+//
+// run_app() drives one (profile, lock, flavor, threads) configuration:
+// every thread performs ops_per_thread acquisitions of pseudo-randomly
+// chosen lock instances, doing cs_work inside and out_work outside each
+// critical section, all behind a start barrier. The paper's methodology
+// (§6) is followed: each configuration runs `repetitions` times and the
+// best run of the original is compared with the best run of the
+// resilient flavor.
+//
+// Environment knobs (mirroring LiTL's env-var driven workflow):
+//   RESILOCK_SCALE        multiplies ops_per_thread (default 1.0; use
+//                         >1 for lab machines, <1 for quick smokes)
+//   RESILOCK_MAX_THREADS  caps the Figure 14 thread axis (default: the
+//                         hardware thread count, capped at 48 — the
+//                         paper's own policy; set 48 to reproduce the
+//                         paper's axis exactly)
+//   RESILOCK_REPS         repetitions per configuration (default 3;
+//                         paper uses 5)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/resilience.hpp"
+#include "harness/app_profiles.hpp"
+
+namespace resilock::harness {
+
+struct RunResult {
+  double seconds = 0.0;  // wall time of the timed region (best run)
+  double mops = 0.0;     // million lock-API calls per second (best run)
+  // The profile's preferred metric value (seconds or mops).
+  double metric_value = 0.0;
+};
+
+// Runs one configuration; returns nullopt when the configuration is
+// inapplicable, matching the paper's gaps: CLH with a trylock profile
+// ('*' in Figure 14) or a non-power-of-two thread count for a pow2-only
+// app ('#').
+std::optional<RunResult> run_app(const AppProfile& profile,
+                                 const std::string& lock_name, Resilience r,
+                                 std::uint32_t threads,
+                                 std::uint32_t repetitions = 0);
+
+// Percentage overhead of the resilient flavor vs the original for one
+// cell of Table 2 / Figure 14 (nullopt when inapplicable).
+std::optional<double> overhead_cell(const AppProfile& profile,
+                                    const std::string& lock_name,
+                                    std::uint32_t threads,
+                                    std::uint32_t repetitions = 0);
+
+// Environment-derived defaults (exposed for the bench binaries).
+double env_scale();
+std::uint32_t env_max_threads();
+std::uint32_t env_reps();
+
+// The Figure 14 thread axis: 1,2,4,...,max (paper: 1..48).
+std::vector<std::uint32_t> thread_axis(std::uint32_t max_threads);
+
+}  // namespace resilock::harness

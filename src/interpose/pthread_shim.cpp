@@ -1,0 +1,51 @@
+#include "interpose/pthread_shim.hpp"
+
+#include <cerrno>
+
+#include "core/any_lock.hpp"
+#include "core/lock_registry.hpp"
+#include "interpose/transparent_mutex.hpp"
+
+namespace resilock::interpose {
+
+namespace {
+AnyLock* impl_of(rl_mutex_t* m) {
+  return static_cast<AnyLock*>(m->impl);
+}
+}  // namespace
+
+int rl_mutex_init(rl_mutex_t* m, const char* algorithm, int resilient) {
+  if (m == nullptr) return EINVAL;
+  const std::string_view name =
+      algorithm != nullptr ? std::string_view(algorithm)
+                           : std::string_view(default_algorithm());
+  if (!is_lock_name(name)) return EINVAL;
+  m->impl =
+      make_lock(name, resilient ? kResilient : kOriginal).release();
+  return 0;
+}
+
+int rl_mutex_lock(rl_mutex_t* m) {
+  if (m == nullptr || m->impl == nullptr) return EINVAL;
+  impl_of(m)->acquire();
+  return 0;
+}
+
+int rl_mutex_trylock(rl_mutex_t* m) {
+  if (m == nullptr || m->impl == nullptr) return EINVAL;
+  return impl_of(m)->try_acquire() ? 0 : EBUSY;
+}
+
+int rl_mutex_unlock(rl_mutex_t* m) {
+  if (m == nullptr || m->impl == nullptr) return EINVAL;
+  return impl_of(m)->release() ? 0 : EPERM;  // errorcheck semantics
+}
+
+int rl_mutex_destroy(rl_mutex_t* m) {
+  if (m == nullptr || m->impl == nullptr) return EBUSY;
+  delete impl_of(m);
+  m->impl = nullptr;
+  return 0;
+}
+
+}  // namespace resilock::interpose

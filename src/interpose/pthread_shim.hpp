@@ -1,0 +1,45 @@
+// C-style pthread_mutex-compatible shim.
+//
+// The paper's §7 compares the in-protocol remedies against API-level
+// error reporting (PTHREAD_MUTEX_ERRORCHECK returns EPERM on an unlock
+// by a non-owner; Golang panics). This shim provides exactly that
+// contract over any resilock algorithm, completing the LiTL analogy: C
+// code written against the pthread shapes links against these functions
+// and gets both the chosen algorithm and errorcheck semantics.
+//
+//   rl_mutex_t m;
+//   rl_mutex_init(&m, "MCS", 1);   // algorithm + resilient flag
+//   rl_mutex_lock(&m);             // 0 on success
+//   rl_mutex_unlock(&m);           // 0, or EPERM on unbalanced unlock
+//   rl_mutex_destroy(&m);
+//
+// NULL algorithm selects the environment default (RESILOCK_ALGO), as
+// LiTL does.
+#pragma once
+
+#include <cstdint>
+
+namespace resilock::interpose {
+
+struct rl_mutex_t {
+  void* impl;  // owned; opaque to C callers
+};
+
+// Returns 0 on success, EINVAL for an unknown algorithm name.
+int rl_mutex_init(rl_mutex_t* m, const char* algorithm, int resilient);
+
+// Returns 0. Blocks until the lock is held.
+int rl_mutex_lock(rl_mutex_t* m);
+
+// Returns 0 if the lock was taken, EBUSY otherwise.
+int rl_mutex_trylock(rl_mutex_t* m);
+
+// Returns 0 on a balanced unlock, EPERM when the algorithm detected an
+// unbalanced unlock (errorcheck semantics; only resilient algorithms
+// detect — originals return 0 and corrupt, faithfully).
+int rl_mutex_unlock(rl_mutex_t* m);
+
+// Returns 0; EBUSY if the mutex pointer is null or already destroyed.
+int rl_mutex_destroy(rl_mutex_t* m);
+
+}  // namespace resilock::interpose

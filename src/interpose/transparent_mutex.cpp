@@ -1,0 +1,31 @@
+#include "interpose/transparent_mutex.hpp"
+
+#include <cstdlib>
+
+namespace resilock::interpose {
+
+const std::string& default_algorithm() {
+  static const std::string algo = [] {
+    const char* v = std::getenv("RESILOCK_ALGO");
+    if (v && *v && is_lock_name(v)) return std::string(v);
+    return std::string("MCS");
+  }();
+  return algo;
+}
+
+Resilience default_resilience() {
+  static const Resilience r = [] {
+    const char* v = std::getenv("RESILOCK_RESILIENT");
+    if (v && v[0] == '0' && v[1] == '\0') return kOriginal;
+    return kResilient;
+  }();
+  return r;
+}
+
+TransparentMutex::TransparentMutex()
+    : impl_(make_lock(default_algorithm(), default_resilience())) {}
+
+TransparentMutex::TransparentMutex(std::string_view algorithm, Resilience r)
+    : impl_(make_lock(algorithm, r)) {}
+
+}  // namespace resilock::interpose

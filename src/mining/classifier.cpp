@@ -1,0 +1,125 @@
+#include "mining/classifier.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace resilock::mining {
+namespace {
+
+std::string to_lower(const std::string& s) {
+  std::string out(s.size(), '\0');
+  std::transform(s.begin(), s.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+bool contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+bool contains_any(const std::string& haystack,
+                  std::initializer_list<const char*> needles) {
+  for (const char* n : needles) {
+    if (contains(haystack, n)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<std::string>& search_strings() {
+  // Verbatim from §2.1.
+  static const std::vector<std::string> strings = {
+      "unlock", "mutex", "double unlock", "unlock without lock",
+      "lock placement", "deadlock", "starvation", "improper",
+      "release lock", "lock misuse", "missing lock", "missing unlock",
+      "stray unlock", "forget to unlock", "holding lock",
+      "without acquiring", "without unlocking", "acquiring the lock",
+      "forgetting to release a lock"};
+  return strings;
+}
+
+MisuseClass classify(const std::string& message) {
+  const std::string m = to_lower(message);
+
+  // Must be lock-related at all (one §2.1 search string).
+  bool related = false;
+  for (const auto& s : search_strings()) {
+    if (contains(m, s.c_str())) {
+      related = true;
+      break;
+    }
+  }
+  if (!related) return MisuseClass::kUnrelated;
+
+  // Unbalanced-unlock markers (§2.1: releasing when not acquired,
+  // double unlock, unbalanced reader-writer pairs).
+  if (contains_any(m, {"double unlock", "double-unlock", "unlock twice",
+                       "unlock without lock", "unlock without holding",
+                       "without holding it", "unlock mutex without",
+                       "stray unlock", "unlock of unlocked",
+                       "unlock when not locked", "extra unlock",
+                       "spurious unlock", "unbalanced unlock",
+                       "release without acquir", "released twice",
+                       "without acquiring it", "releasing an unheld",
+                       "read unlock on write",
+                       "write unlock on read", "runlock without rlock",
+                       "unlock an unlocked", "unlock not locked",
+                       "unlock before lock", "unlock a mutex that"})) {
+    return MisuseClass::kUnbalancedUnlock;
+  }
+
+  // Unbalanced-lock markers (§2: forgetting to release, failing to
+  // release, re-acquiring a held lock, misplaced acquire/release).
+  if (contains_any(m, {"missing unlock", "forget to unlock",
+                       "forgot to unlock", "forgetting to release",
+                       "forget to release", "fail to unlock",
+                       "failed to release", "never released",
+                       "leaked lock", "lock leak", "missing release",
+                       "without unlocking", "leave the lock held",
+                       "left locked", "recursive lock", "self deadlock",
+                       "self-deadlock", "double lock", "deadlock on the same",
+                       "lock placement", "misplaced lock", "lock ordering",
+                       "hold the lock too", "acquiring the same lock",
+                       "destroyed mutex", "missing lock"})) {
+    return MisuseClass::kUnbalancedLock;
+  }
+
+  return MisuseClass::kUnrelated;
+}
+
+std::map<std::string, ProjectTally> tally(const std::vector<Commit>& corpus) {
+  std::map<std::string, ProjectTally> out;
+  for (const auto& c : corpus) {
+    ProjectTally& t = out[c.project];
+    switch (classify(c.message)) {
+      case MisuseClass::kUnbalancedLock:
+        ++t.unbalanced_lock;
+        break;
+      case MisuseClass::kUnbalancedUnlock:
+        ++t.unbalanced_unlock;
+        break;
+      case MisuseClass::kUnrelated:
+        ++t.unrelated;
+        break;
+    }
+  }
+  return out;
+}
+
+void print_figure1(const std::map<std::string, ProjectTally>& tallies) {
+  std::printf("%-18s %10s %10s %8s   %s\n", "Project", "unb-unlock",
+              "unb-lock", "%unlock", "stacked histogram (U=unlock/L=lock)");
+  for (const auto& [project, t] : tallies) {
+    const double frac = t.unlock_fraction();
+    const int bar_u = static_cast<int>(frac * 40.0 + 0.5);
+    std::string bar(static_cast<std::size_t>(bar_u), 'U');
+    bar.append(static_cast<std::size_t>(40 - bar_u), 'L');
+    std::printf("%-18s %10u %10u %7.1f%%   |%s|\n", project.c_str(),
+                t.unbalanced_unlock, t.unbalanced_lock, 100.0 * frac,
+                bar.c_str());
+  }
+}
+
+}  // namespace resilock::mining

@@ -1,0 +1,63 @@
+// Commit-message classifier for the Figure 1 study (paper §2.1).
+//
+// The paper mined the full commit histories of Golang, the Linux kernel,
+// LLVM, MySQL, and memcached for lock-misuse fixes, searching for a list
+// of strings ("double unlock", "missing unlock", ...) and then binning
+// the hits into two categories:
+//   * unbalanced-LOCK  — forgetting to release, re-acquiring a held
+//     lock, destroyed-mutex release failures, wrong lock placement;
+//   * unbalanced-UNLOCK — releasing a lock that is not held, double
+//     unlock, unbalanced reader-writer pairs.
+// This module implements that classifier. The corpus itself cannot be
+// crawled offline; corpus.hpp generates a synthetic one with the paper's
+// ground-truth per-project counts (see DESIGN.md §2.1, substitution 4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace resilock::mining {
+
+enum class MisuseClass {
+  kUnrelated,         // lock-mentioning commit that is not a misuse fix
+  kUnbalancedLock,    // missing/forgotten unlock, self-deadlock, placement
+  kUnbalancedUnlock,  // unlock without lock, double unlock, RW mismatch
+};
+
+struct Commit {
+  std::string project;
+  std::string sha;
+  std::string message;
+};
+
+// The paper's §2.1 search strings; a commit must match at least one to
+// be considered lock-related.
+const std::vector<std::string>& search_strings();
+
+// Classify one commit message (case-insensitive matching).
+MisuseClass classify(const std::string& message);
+
+struct ProjectTally {
+  std::uint32_t unbalanced_lock = 0;
+  std::uint32_t unbalanced_unlock = 0;
+  std::uint32_t unrelated = 0;
+
+  std::uint32_t misuse_total() const {
+    return unbalanced_lock + unbalanced_unlock;
+  }
+  double unlock_fraction() const {
+    return misuse_total() == 0
+               ? 0.0
+               : static_cast<double>(unbalanced_unlock) / misuse_total();
+  }
+};
+
+// Classify a corpus and aggregate per project.
+std::map<std::string, ProjectTally> tally(const std::vector<Commit>& corpus);
+
+// Print the Figure 1 stacked-percentage histogram with counts.
+void print_figure1(const std::map<std::string, ProjectTally>& tallies);
+
+}  // namespace resilock::mining

@@ -1,0 +1,108 @@
+#include "mining/corpus.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "runtime/rng.hpp"
+
+namespace resilock::mining {
+namespace {
+
+// Message templates phrased after real commit logs in the studied
+// repositories; %s is a subsystem name.
+constexpr std::array kUnlockTemplates = {
+    "%s: fix double unlock in error path",
+    "%s: don't unlock mutex without holding it",
+    "%s: remove stray unlock left after refactor",
+    "%s: avoid unlock of unlocked mutex when init fails",
+    "%s: fix unbalanced unlock in retry loop",
+    "%s: fix double unlock when the goto out path is taken early",
+    "%s: fix read unlock on write-locked rwlock",
+    "%s: releases the lock without acquiring it in shutdown path",
+};
+
+constexpr std::array kLockTemplates = {
+    "%s: fix missing unlock on error return",
+    "%s: don't forget to unlock before returning early",
+    "%s: fix mutex lock leak when allocation fails",
+    "%s: release lock in all exit paths (was never released)",
+    "%s: fix recursive lock self-deadlock in reconnect",
+    "%s: fix double lock of state mutex",
+    "%s: correct lock placement around cache update",
+    "%s: forgetting to release a lock in the slow path",
+};
+
+constexpr std::array kNoiseTemplates = {
+    "%s: reduce mutex hold time in hot path",
+    "%s: replace spinlock with mutex for long sections",
+    "%s: document locking rules for the queue",
+    "%s: lockless fast path for stat counters",
+    "%s: shard the global mutex to reduce contention",
+    "%s: rename lock fields for clarity",
+    "%s: add lockdep annotations",
+    "%s: convert rwlock to RCU",
+};
+
+constexpr std::array kSubsystems = {
+    "net",    "sched",  "driver",  "fs",     "mm",     "runtime",
+    "server", "cache",  "storage", "proto",  "crypto", "io",
+};
+
+std::string format_one(const char* tmpl, const char* subsystem) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, tmpl, subsystem);
+  return std::string(buf);
+}
+
+std::string fake_sha(runtime::Xoshiro256ss& rng) {
+  static const char hex[] = "0123456789abcdef";
+  std::string s(10, '0');
+  for (auto& c : s) c = hex[rng.bounded(16)];
+  return s;
+}
+
+}  // namespace
+
+const std::vector<ProjectGroundTruth>& figure1_ground_truth() {
+  static const std::vector<ProjectGroundTruth> gt = {
+      {"Golang", 14, 20},  {"Linux kernel", 40, 12}, {"LLVM", 16, 26},
+      {"MySQL", 4, 7},     {"memcached", 3, 9},
+  };
+  return gt;
+}
+
+std::vector<Commit> generate_corpus(std::uint32_t noise_per_project,
+                                    std::uint64_t seed) {
+  std::vector<Commit> corpus;
+  runtime::Xoshiro256ss rng(seed);
+  for (const auto& p : figure1_ground_truth()) {
+    for (std::uint32_t i = 0; i < p.unbalanced_unlock; ++i) {
+      corpus.push_back({p.project, fake_sha(rng),
+                        format_one(kUnlockTemplates[rng.bounded(
+                                       kUnlockTemplates.size())],
+                                   kSubsystems[rng.bounded(
+                                       kSubsystems.size())])});
+    }
+    for (std::uint32_t i = 0; i < p.unbalanced_lock; ++i) {
+      corpus.push_back({p.project, fake_sha(rng),
+                        format_one(kLockTemplates[rng.bounded(
+                                       kLockTemplates.size())],
+                                   kSubsystems[rng.bounded(
+                                       kSubsystems.size())])});
+    }
+    for (std::uint32_t i = 0; i < noise_per_project; ++i) {
+      corpus.push_back({p.project, fake_sha(rng),
+                        format_one(kNoiseTemplates[rng.bounded(
+                                       kNoiseTemplates.size())],
+                                   kSubsystems[rng.bounded(
+                                       kSubsystems.size())])});
+    }
+  }
+  // Deterministic shuffle so the planted commits are not grouped.
+  for (std::size_t i = corpus.size(); i > 1; --i) {
+    std::swap(corpus[i - 1], corpus[rng.bounded(i)]);
+  }
+  return corpus;
+}
+
+}  // namespace resilock::mining

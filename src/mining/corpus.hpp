@@ -1,0 +1,36 @@
+// Synthetic commit corpus for the Figure 1 pipeline.
+//
+// DESIGN.md §2.1, substitution 4: the real repositories cannot be
+// crawled offline, so generate_corpus() emits realistic commit messages
+// with the paper's ground-truth misuse counts per project —
+//   Golang 14/20, Linux 40/12, LLVM 16/26, MySQL 4/7, memcached 3/9
+// (unbalanced-unlock / unbalanced-lock, read off Figure 1) — plus a
+// configurable volume of lock-mentioning noise commits (design and
+// performance changes, which the paper's methodology excludes). The
+// classifier must recover the planted counts; that is the end-to-end
+// test of the mining pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mining/classifier.hpp"
+
+namespace resilock::mining {
+
+struct ProjectGroundTruth {
+  const char* project;
+  std::uint32_t unbalanced_unlock;
+  std::uint32_t unbalanced_lock;
+};
+
+// The paper's Figure 1 counts.
+const std::vector<ProjectGroundTruth>& figure1_ground_truth();
+
+// Deterministic corpus: planted misuse commits per the ground truth,
+// interleaved with `noise_per_project` lock-related-but-not-misuse
+// commits. Same seed -> same corpus.
+std::vector<Commit> generate_corpus(std::uint32_t noise_per_project = 50,
+                                    std::uint64_t seed = 0xF16uLL);
+
+}  // namespace resilock::mining

@@ -1,0 +1,56 @@
+// Bounded exponential backoff with multiplicative jitter.
+//
+// Used by TATAS-with-backoff (Mellor-Crummey & Scott 1991, §2) and by the
+// HBO lock (Radovic & Hagersten 2003), where threads local to the lock
+// holder's NUMA domain back off for a shorter period than remote threads.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/spin.hpp"
+
+namespace resilock::platform {
+
+class ExponentialBackoff {
+ public:
+  // `min_spins`/`max_spins` bound the pause count per backoff episode.
+  explicit ExponentialBackoff(std::uint32_t min_spins = 4,
+                              std::uint32_t max_spins = 1024,
+                              std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : min_(min_spins ? min_spins : 1),
+        max_(max_spins > min_ ? max_spins : min_),
+        limit_(min_),
+        state_(seed | 1) {}
+
+  // Spin for a jittered count in [limit/2, limit], then double the limit.
+  void pause() noexcept {
+    const std::uint32_t half = limit_ / 2;
+    const std::uint32_t span = limit_ - half;
+    const std::uint32_t spins = half + (span ? next_rand() % span : 0) + 1;
+    for (std::uint32_t i = 0; i < spins; ++i) cpu_relax();
+    if (limit_ < max_) {
+      limit_ *= 2;
+      if (limit_ > max_) limit_ = max_;
+    }
+  }
+
+  void reset() noexcept { limit_ = min_; }
+
+  std::uint32_t current_limit() const noexcept { return limit_; }
+
+ private:
+  // xorshift64*; cheap thread-private jitter, not for statistics.
+  std::uint32_t next_rand() noexcept {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return static_cast<std::uint32_t>((state_ * 0x2545F4914F6CDD1Dull) >> 32);
+  }
+
+  std::uint32_t min_;
+  std::uint32_t max_;
+  std::uint32_t limit_;
+  std::uint64_t state_;
+};
+
+}  // namespace resilock::platform

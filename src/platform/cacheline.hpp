@@ -1,0 +1,51 @@
+// Cache-line geometry and padding helpers.
+//
+// Queue locks place each spin flag on its own cache line (Anderson 1990;
+// Graunke & Thakkar 1990; Mellor-Crummey & Scott 1991) so that a waiter
+// spins only on processor-local state. Everything here exists to make
+// that property explicit in the type system.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace resilock::platform {
+
+// std::hardware_destructive_interference_size is 64 on the x86-64 targets
+// we care about, but using the constant directly avoids GCC's ABI warning
+// and keeps layouts identical across compilers.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// A T alone on its own cache line. Used for per-thread spin flags in
+// array-based queue locks, ReadIndicator slots, and statistics counters.
+template <typename T>
+struct alignas(kCacheLineSize) CacheLineAligned {
+  static_assert(sizeof(T) <= kCacheLineSize,
+                "value does not fit in a single cache line");
+
+  T value{};
+
+  CacheLineAligned() = default;
+  template <typename... Args>
+    requires(!(sizeof...(Args) == 1 &&
+               (std::is_same_v<std::remove_cvref_t<Args>, CacheLineAligned> &&
+                ...)))
+  explicit CacheLineAligned(Args&&... args)
+      : value(std::forward<Args>(args)...) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+
+ private:
+  char pad_[kCacheLineSize - sizeof(T) > 0 ? kCacheLineSize - sizeof(T)
+                                           : 1] = {};
+};
+
+static_assert(sizeof(CacheLineAligned<int>) == kCacheLineSize);
+static_assert(alignof(CacheLineAligned<int>) == kCacheLineSize);
+
+}  // namespace resilock::platform

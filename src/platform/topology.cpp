@@ -1,0 +1,26 @@
+#include "platform/topology.hpp"
+
+#include <thread>
+
+namespace resilock::platform {
+
+Topology Topology::uniform(std::uint32_t domains,
+                           std::uint32_t threads_per_domain) {
+  return Topology(domains, threads_per_domain);
+}
+
+const Topology& Topology::host_default() {
+  static const Topology topo = [] {
+    const unsigned hw = hardware_threads();
+    const std::uint32_t per_domain = hw > 1 ? (hw + 1) / 2 : 1;
+    return Topology(2, per_domain);
+  }();
+  return topo;
+}
+
+unsigned hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n ? n : 1;
+}
+
+}  // namespace resilock::platform

@@ -1,0 +1,48 @@
+// Machine topology model for NUMA-aware locks.
+//
+// The paper evaluates on a dual-socket 24-core x 2-SMT Xeon (48 hardware
+// threads, 2 NUMA domains). Reproduction hosts differ, so hierarchical
+// locks (HMCS §3.8.1, HCLH §3.8.2, HBO §3.8.3, cohort locks §3.8.4) take
+// an explicit Topology that maps a thread pid to its NUMA domain. The
+// default models the paper's machine shape scaled to the host; tests use
+// small fixed topologies for determinism.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/thread_registry.hpp"
+
+namespace resilock::platform {
+
+class Topology {
+ public:
+  // `domains` NUMA domains, `threads_per_domain` pids per domain,
+  // assigned round-robin in blocks: pid / threads_per_domain, wrapped.
+  static Topology uniform(std::uint32_t domains,
+                          std::uint32_t threads_per_domain);
+
+  // Two domains sized for the host: models the paper's dual-socket box.
+  static const Topology& host_default();
+
+  std::uint32_t num_domains() const noexcept { return domains_; }
+  std::uint32_t threads_per_domain() const noexcept { return per_domain_; }
+  std::uint32_t total_slots() const noexcept { return domains_ * per_domain_; }
+
+  std::uint32_t domain_of(pid_t pid) const noexcept {
+    return (pid / per_domain_) % domains_;
+  }
+
+ private:
+  Topology(std::uint32_t domains, std::uint32_t per_domain)
+      : domains_(domains ? domains : 1),
+        per_domain_(per_domain ? per_domain : 1) {}
+
+  std::uint32_t domains_;
+  std::uint32_t per_domain_;
+};
+
+// Number of hardware threads on this host (>= 1).
+unsigned hardware_threads();
+
+}  // namespace resilock::platform

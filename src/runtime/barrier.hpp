@@ -1,0 +1,43 @@
+// Sense-reversing centralized barrier (Mellor-Crummey & Scott 1991, §3.1).
+//
+// Used by the evaluation harness to line threads up at measurement start
+// so that ramp-up does not pollute timed regions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "platform/spin.hpp"
+
+namespace resilock::runtime {
+
+class SenseBarrier {
+ public:
+  explicit SenseBarrier(std::uint32_t participants) noexcept
+      : participants_(participants), count_(participants) {}
+
+  SenseBarrier(const SenseBarrier&) = delete;
+  SenseBarrier& operator=(const SenseBarrier&) = delete;
+
+  // Blocks until all participants arrive. Each thread keeps its sense in
+  // thread-local storage keyed by this barrier instance's epoch.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      count_.store(participants_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);  // releases waiters
+    } else {
+      platform::SpinWait w;
+      while (sense_.load(std::memory_order_acquire) != my_sense) w.pause();
+    }
+  }
+
+  std::uint32_t participants() const noexcept { return participants_; }
+
+ private:
+  const std::uint32_t participants_;
+  std::atomic<std::uint32_t> count_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace resilock::runtime

@@ -1,0 +1,67 @@
+// Deterministic per-thread random number generation.
+//
+// xoshiro256** (Blackman & Vigna) seeded through SplitMix64. Workload
+// generators need independent, reproducible streams per thread; seeding
+// each stream as f(global_seed, thread_index) gives run-to-run stability
+// regardless of scheduling.
+#pragma once
+
+#include <cstdint>
+
+namespace resilock::runtime {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : x_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (x_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t x_;
+};
+
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256ss(std::uint64_t seed = 1) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound) without modulo bias for small bounds
+  // (Lemire's multiply-shift reduction).
+  constexpr std::uint64_t bounded(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace resilock::runtime

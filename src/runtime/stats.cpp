@@ -1,0 +1,50 @@
+#include "runtime/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace resilock::runtime {
+
+void RunStats::add(double sample) { samples_.push_back(sample); }
+
+double RunStats::min() const {
+  if (samples_.empty()) throw std::logic_error("RunStats::min on empty set");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double RunStats::max() const {
+  if (samples_.empty()) throw std::logic_error("RunStats::max on empty set");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double RunStats::mean() const {
+  if (samples_.empty()) throw std::logic_error("RunStats::mean on empty set");
+  double sum = 0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double RunStats::median() const {
+  if (samples_.empty())
+    throw std::logic_error("RunStats::median on empty set");
+  std::vector<double> copy = samples_;
+  std::sort(copy.begin(), copy.end());
+  const std::size_t n = copy.size();
+  return n % 2 ? copy[n / 2] : 0.5 * (copy[n / 2 - 1] + copy[n / 2]);
+}
+
+double RunStats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double overhead_percent(double baseline, double modified) {
+  if (baseline <= 0.0) return 0.0;
+  return (modified - baseline) / baseline * 100.0;
+}
+
+}  // namespace resilock::runtime

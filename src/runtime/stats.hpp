@@ -1,0 +1,36 @@
+// Small-sample run statistics for the evaluation harness.
+//
+// The paper (§6) runs every configuration 5 times and compares the *best*
+// run of the original lock against the *best* run of the modified lock;
+// RunStats keeps enough to do that and to report dispersion.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace resilock::runtime {
+
+class RunStats {
+ public:
+  void add(double sample);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  double min() const;   // the paper's "best run" for time metrics
+  double max() const;   // the paper's "best run" for throughput metrics
+  double mean() const;
+  double median() const;
+  double stddev() const;  // sample standard deviation (n-1)
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+// Percentage overhead of `modified` relative to `baseline`
+// ((modified - baseline) / baseline * 100). Table 2 / Figure 14 metric.
+double overhead_percent(double baseline, double modified);
+
+}  // namespace resilock::runtime

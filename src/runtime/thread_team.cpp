@@ -1,0 +1,37 @@
+#include "runtime/thread_team.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace resilock::runtime {
+
+void ThreadTeam::run(std::uint32_t threads,
+                     const std::function<void(std::uint32_t)>& body) {
+  if (threads == 0) return;
+  if (threads == 1) {  // run inline: keeps single-thread baselines cheap
+    body(0);
+    return;
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  for (std::uint32_t i = 0; i < threads; ++i) {
+    workers.emplace_back([&, i] {
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> g(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace resilock::runtime

@@ -1,0 +1,38 @@
+// Monotonic timing helpers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace resilock::runtime {
+
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Measures wall time of a callable in seconds.
+template <typename Fn>
+double timed_seconds(Fn&& fn) {
+  const std::uint64_t t0 = now_ns();
+  fn();
+  const std::uint64_t t1 = now_ns();
+  return static_cast<double>(t1 - t0) * 1e-9;
+}
+
+// Calibrated busy work: spins for roughly `units` dependent multiplies.
+// Workload generators express critical-section lengths in these units so
+// they are stable across optimization levels (the value dependency chain
+// cannot be elided).
+inline std::uint64_t busy_work(std::uint64_t units,
+                               std::uint64_t seed = 0x243F6A8885A308D3ull) {
+  std::uint64_t x = seed | 1;
+  for (std::uint64_t i = 0; i < units; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+  }
+  return x;
+}
+
+}  // namespace resilock::runtime

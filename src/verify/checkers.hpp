@@ -1,0 +1,94 @@
+// Invariant checkers for misuse-injection experiments.
+//
+// The paper's Table 1 asks, per lock: does a single unbalanced unlock
+// violate mutual exclusion? starve the misbehaving thread? starve
+// others? These checkers operationalize the questions:
+//   * MutexChecker counts threads simultaneously inside a critical
+//     section and records the high-water mark (>1 == violation).
+//   * Probe runs a potentially-starving operation on its own thread and
+//     answers "did it finish within a generous window?" — the bounded
+//     stand-in for "spins forever". Scenarios that induce real protocol
+//     starvation rescue the probe through VerifyAccess afterwards so the
+//     thread always joins.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <utility>
+
+namespace resilock::verify {
+
+using std::chrono::milliseconds;
+
+// Generous on oversubscribed CI hosts; a starved spinner never finishes
+// regardless of the window.
+inline constexpr milliseconds kWatchWindow{400};
+
+class MutexChecker {
+ public:
+  void enter() {
+    const std::int32_t v = in_cs_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    std::int32_t m = max_in_cs_.load(std::memory_order_relaxed);
+    while (m < v && !max_in_cs_.compare_exchange_weak(
+                        m, v, std::memory_order_acq_rel,
+                        std::memory_order_relaxed)) {
+    }
+  }
+  void exit() { in_cs_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  std::int32_t current() const {
+    return in_cs_.load(std::memory_order_acquire);
+  }
+  std::int32_t max_simultaneous() const {
+    return max_in_cs_.load(std::memory_order_acquire);
+  }
+  bool violated() const { return max_simultaneous() > 1; }
+
+ private:
+  std::atomic<std::int32_t> in_cs_{0};
+  std::atomic<std::int32_t> max_in_cs_{0};
+};
+
+// Polls `pred` until true or timeout; returns whether it became true.
+inline bool wait_for(const std::function<bool()>& pred,
+                     milliseconds timeout = kWatchWindow) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+// A thread running one operation, with bounded completion observation.
+class Probe {
+ public:
+  explicit Probe(std::function<void()> fn)
+      : thread_([this, f = std::move(fn)] {
+          f();
+          done_.store(true, std::memory_order_release);
+        }) {}
+
+  ~Probe() {
+    if (thread_.joinable()) thread_.join();
+  }
+  Probe(const Probe&) = delete;
+  Probe& operator=(const Probe&) = delete;
+
+  bool done() const { return done_.load(std::memory_order_acquire); }
+
+  bool finished_within(milliseconds t = kWatchWindow) {
+    return wait_for([this] { return done(); }, t);
+  }
+
+  void join() { thread_.join(); }
+
+ private:
+  std::atomic<bool> done_{false};
+  std::thread thread_;
+};
+
+}  // namespace resilock::verify

@@ -1,0 +1,45 @@
+// Shared helpers for lock unit tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/generic.hpp"
+#include "runtime/thread_team.hpp"
+#include "verify/checkers.hpp"
+
+namespace resilock::test {
+
+// The canonical mutual-exclusion check: N threads increment a plain
+// (non-atomic) counter under the lock; any lost update or checker
+// violation fails. Works for PlainLock and ContextLock via generic
+// dispatch; every thread gets its own context.
+template <typename Lock>
+void mutex_stress(Lock& lock, std::uint32_t threads, std::uint64_t iters) {
+  std::uint64_t counter = 0;  // intentionally non-atomic
+  verify::MutexChecker chk;
+  runtime::ThreadTeam::run(threads, [&](std::uint32_t) {
+    context_of_t<Lock> ctx;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      generic_acquire(lock, ctx);
+      chk.enter();
+      counter += 1;
+      chk.exit();
+      ASSERT_TRUE(generic_release(lock, ctx));
+    }
+  });
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(threads) * iters);
+  EXPECT_EQ(chk.max_simultaneous(), 1);
+}
+
+// Same, with one context reused across iterations per thread (contexts
+// are designed for reuse).
+template <typename Lock>
+void reuse_context_stress(Lock& lock, std::uint32_t threads,
+                          std::uint64_t iters) {
+  mutex_stress(lock, threads, iters);
+}
+
+}  // namespace resilock::test

@@ -1,0 +1,182 @@
+// Unit tests for the array-based queue locks: Anderson's ABQL (§3.3.1)
+// and Graunke–Thakkar (§3.3.2).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/abql.hpp"
+#include "core/graunke_thakkar.hpp"
+#include "lock_test_util.hpp"
+#include "verify/access.hpp"
+#include "verify/checkers.hpp"
+
+using namespace resilock;
+namespace rt = resilock::test;
+namespace rv = resilock::verify;
+
+// ----------------------------- ABQL -----------------------------------
+
+template <typename L>
+class AbqlTest : public ::testing::Test {};
+using AbqlTypes = ::testing::Types<AndersonLock, AndersonLockResilient>;
+TYPED_TEST_SUITE(AbqlTest, AbqlTypes);
+
+TYPED_TEST(AbqlTest, SingleThreadRoundTrips) {
+  TypeParam lock(8);
+  typename TypeParam::Place p;
+  for (int i = 0; i < 20; ++i) {  // cycles through the slot array twice
+    lock.acquire(p);
+    EXPECT_TRUE(lock.release(p));
+  }
+}
+
+TYPED_TEST(AbqlTest, MutualExclusionUnderContention) {
+  TypeParam lock(16);
+  rt::mutex_stress(lock, 4, 2000);
+}
+
+TYPED_TEST(AbqlTest, CapacityRoundsUpToPowerOfTwo) {
+  TypeParam lock(5);
+  EXPECT_EQ(lock.capacity(), 8u);
+  TypeParam lock2(16);
+  EXPECT_EQ(lock2.capacity(), 16u);
+}
+
+TYPED_TEST(AbqlTest, TryAcquireSemantics) {
+  TypeParam lock(8);
+  typename TypeParam::Place p1, p2;
+  EXPECT_TRUE(lock.try_acquire(p1));
+  EXPECT_FALSE(lock.try_acquire(p2));  // held
+  EXPECT_TRUE(lock.release(p1));
+  EXPECT_TRUE(lock.try_acquire(p2));
+  EXPECT_TRUE(lock.release(p2));
+}
+
+TYPED_TEST(AbqlTest, TryAcquireFailsWhileWaiterQueued) {
+  TypeParam lock(8);
+  typename TypeParam::Place holder;
+  lock.acquire(holder);
+  std::atomic<bool> waiter_done{false};
+  std::thread waiter([&] {
+    typename TypeParam::Place p;
+    lock.acquire(p);
+    lock.release(p);
+    waiter_done.store(true);
+  });
+  // Whatever the waiter's progress, trylock must not jump the queue.
+  typename TypeParam::Place p;
+  EXPECT_FALSE(lock.try_acquire(p));
+  lock.release(holder);
+  while (!waiter_done.load()) std::this_thread::yield();
+  waiter.join();
+}
+
+TEST(AbqlResilient, FreshPlaceRefused) {
+  AndersonLockResilient lock(8);
+  AndersonLockResilient::Place rogue;
+  EXPECT_FALSE(lock.release(rogue));
+}
+
+TEST(AbqlResilient, PlaceConsumedByRelease) {
+  AndersonLockResilient lock(8);
+  AndersonLockResilient::Place p;
+  lock.acquire(p);
+  EXPECT_TRUE(lock.release(p));
+  EXPECT_FALSE(lock.release(p));  // reset to INVALID by the first release
+}
+
+TEST(AbqlOriginal, RogueReleaseAdmitsWaiter) {
+  // The §3.3.1 violation, deterministically: T1 holds slot 0; a rogue
+  // release with a default (0) place hands slot 1 its token.
+  AndersonLock lock(8);
+  rv::MutexChecker chk;
+  AndersonLock::Place p1;
+  std::atomic<bool> t1_out{false};
+  rv::Probe t1([&] {
+    lock.acquire(p1);
+    chk.enter();
+    rv::wait_for([&] { return t1_out.load(); }, rv::milliseconds{3000});
+    chk.exit();
+    lock.release(p1);
+  });
+  rv::wait_for([&] { return chk.current() == 1; });
+  AndersonLock::Place rogue;
+  EXPECT_TRUE(lock.release(rogue));  // misuse goes unnoticed
+  rv::Probe t2([&] {
+    AndersonLock::Place p2;
+    lock.acquire(p2);
+    chk.enter();
+    chk.exit();
+    lock.release(p2);
+  });
+  EXPECT_TRUE(rv::wait_for([&] { return chk.max_simultaneous() >= 2; }));
+  t1_out.store(true);
+  t1.join();
+  t2.join();
+}
+
+// ------------------------- Graunke–Thakkar -----------------------------
+
+template <typename L>
+class GtTest : public ::testing::Test {};
+using GtTypes =
+    ::testing::Types<GraunkeThakkarLock, GraunkeThakkarLockResilient>;
+TYPED_TEST_SUITE(GtTest, GtTypes);
+
+TYPED_TEST(GtTest, SingleThreadRoundTrips) {
+  TypeParam lock(16);
+  for (int i = 0; i < 10; ++i) {
+    lock.acquire();
+    EXPECT_TRUE(lock.release());
+  }
+}
+
+TYPED_TEST(GtTest, MutualExclusionUnderContention) {
+  TypeParam lock;
+  rt::mutex_stress(lock, 4, 2000);
+}
+
+TYPED_TEST(GtTest, HandoffBetweenTwoThreads) {
+  TypeParam lock(16);
+  std::uint64_t counter = 0;
+  runtime::ThreadTeam::run(2, [&](std::uint32_t) {
+    for (int i = 0; i < 1000; ++i) {
+      lock.acquire();
+      ++counter;
+      lock.release();
+    }
+  });
+  EXPECT_EQ(counter, 2000u);
+}
+
+TEST(GtResilient, MisuseDetectedWithoutToggling) {
+  GraunkeThakkarLockResilient lock(16);
+  EXPECT_FALSE(lock.release());  // never held
+  lock.acquire();
+  EXPECT_TRUE(lock.release());
+  EXPECT_FALSE(lock.release());  // double release refused
+  // Lock still functional for a successor.
+  std::thread t([&] {
+    lock.acquire();
+    EXPECT_TRUE(lock.release());
+  });
+  t.join();
+}
+
+TEST(GtOriginal, DoubleToggleStrandsSuccessor) {
+  // §3.3.2 starvation: the double toggle restores the slot value a
+  // successor snapshotted in the tail word.
+  GraunkeThakkarLock lock(64);
+  const auto pid = platform::self_pid();
+  lock.acquire();
+  EXPECT_TRUE(lock.release());
+  EXPECT_TRUE(lock.release());  // misuse, undetected
+  rv::Probe t2([&] {
+    lock.acquire();
+    lock.release();
+  });
+  EXPECT_FALSE(t2.finished_within());  // stranded
+  VerifyAccess::gt_toggle_slot(lock, pid);  // rescue
+  t2.join();
+}

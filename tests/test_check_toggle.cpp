@@ -1,0 +1,90 @@
+// Tests for the §5 escape hatch: disabling the unbalanced-unlock check
+// so that designs where one thread acquires and another releases are not
+// flagged. With checks disabled a resilient lock releases exactly like
+// the original protocol.
+//
+// NOTE: set_misuse_checks() is process-global; every test here restores
+// the default before finishing (and a fixture guards against early
+// exits).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/hbo.hpp"
+#include "core/lock_registry.hpp"
+#include "core/tas.hpp"
+#include "core/ticket.hpp"
+#include "runtime/thread_team.hpp"
+
+using namespace resilock;
+
+class CheckToggle : public ::testing::Test {
+ protected:
+  void TearDown() override { set_misuse_checks(true); }
+};
+
+TEST_F(CheckToggle, DefaultIsEnabled) {
+  EXPECT_TRUE(misuse_checks_enabled());
+}
+
+TEST_F(CheckToggle, DisabledTasAllowsCrossThreadRelease) {
+  // The §5 use case: acquire on one thread, release on another.
+  TatasLockResilient lock;
+  lock.acquire();
+  set_misuse_checks(false);
+  std::thread t([&] { EXPECT_TRUE(lock.release()); });
+  t.join();
+  EXPECT_FALSE(lock.is_locked());  // release really happened
+  set_misuse_checks(true);
+  // Back to errorcheck behavior.
+  EXPECT_FALSE(lock.release());
+}
+
+TEST_F(CheckToggle, DisabledTicketAllowsCrossThreadRelease) {
+  TicketLockResilient lock;
+  lock.acquire();
+  set_misuse_checks(false);
+  std::thread t([&] { EXPECT_TRUE(lock.release()); });
+  t.join();
+  set_misuse_checks(true);
+  lock.acquire();  // the cross-thread release kept the queue consistent
+  EXPECT_TRUE(lock.release());
+}
+
+TEST_F(CheckToggle, DisabledHboAllowsCrossThreadRelease) {
+  HboLockResilient lock(platform::Topology::uniform(2, 2));
+  lock.acquire();
+  set_misuse_checks(false);
+  std::thread t([&] { EXPECT_TRUE(lock.release()); });
+  t.join();
+  set_misuse_checks(true);
+  EXPECT_TRUE(lock.try_acquire());
+  EXPECT_TRUE(lock.release());
+}
+
+TEST_F(CheckToggle, ReenablingRestoresDetectionEverywhere) {
+  set_misuse_checks(false);
+  set_misuse_checks(true);
+  for (const auto& name : lock_names()) {
+    if (name == "HCLH") continue;  // immune: nothing to detect
+    auto lock = make_lock(name, kResilient);
+    lock->acquire();
+    ASSERT_TRUE(lock->release()) << name;
+    EXPECT_FALSE(lock->release()) << name;
+  }
+}
+
+TEST_F(CheckToggle, DisabledChecksStillMutualExclusive) {
+  // Turning off detection must not affect well-behaved code.
+  set_misuse_checks(false);
+  auto lock = make_lock("MCS", kResilient);
+  std::uint64_t counter = 0;
+  runtime::ThreadTeam::run(4, [&](std::uint32_t) {
+    for (int i = 0; i < 500; ++i) {
+      lock->acquire();
+      ++counter;
+      ASSERT_TRUE(lock->release());
+    }
+  });
+  EXPECT_EQ(counter, 2000u);
+}

@@ -1,0 +1,151 @@
+// Unit tests for the cohort lock family (§3.8.4) and the partitioned
+// ticket lock (its C-RW-NP substrate).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/cohort.hpp"
+#include "lock_test_util.hpp"
+#include "verify/checkers.hpp"
+
+using namespace resilock;
+namespace rt = resilock::test;
+
+namespace {
+const platform::Topology& two_domains() {
+  static const auto topo = platform::Topology::uniform(2, 2);
+  return topo;
+}
+}  // namespace
+
+// ----------------------- Partitioned ticket ----------------------------
+
+template <typename L>
+class PtktTest : public ::testing::Test {};
+using PtktTypes =
+    ::testing::Types<PartitionedTicketLock, PartitionedTicketLockResilient>;
+TYPED_TEST_SUITE(PtktTest, PtktTypes);
+
+TYPED_TEST(PtktTest, SingleThreadRoundTrips) {
+  TypeParam lock(4);
+  for (int i = 0; i < 50; ++i) {  // wraps the grant partitions many times
+    lock.acquire();
+    EXPECT_TRUE(lock.release());
+  }
+}
+
+TYPED_TEST(PtktTest, MutualExclusionUnderContention) {
+  TypeParam lock(8);
+  rt::mutex_stress(lock, 4, 2000);
+}
+
+TYPED_TEST(PtktTest, ThreadObliviousRelease) {
+  // Cohort property (a): a different thread may release.
+  TypeParam lock(4);
+  lock.acquire();
+  std::thread t([&] { EXPECT_TRUE(lock.release_thread_oblivious()); });
+  t.join();
+  lock.acquire();  // works because the release really happened
+  EXPECT_TRUE(lock.release());
+}
+
+TYPED_TEST(PtktTest, HasWaitersReflectsQueue) {
+  TypeParam lock(4);
+  lock.acquire();
+  EXPECT_FALSE(lock.has_waiters());
+  std::thread t([&] {
+    lock.acquire();
+    lock.release_thread_oblivious();
+  });
+  while (!lock.has_waiters()) std::this_thread::yield();
+  EXPECT_TRUE(lock.release_thread_oblivious());
+  t.join();
+}
+
+TEST(PtktResilient, NonOwnerReleaseRefused) {
+  PartitionedTicketLockResilient lock(4);
+  EXPECT_FALSE(lock.release());
+  lock.acquire();
+  std::thread t([&] { EXPECT_FALSE(lock.release()); });
+  t.join();
+  EXPECT_TRUE(lock.release());
+}
+
+// --------------------------- Cohort locks ------------------------------
+
+template <typename L>
+class CohortTest : public ::testing::Test {};
+using CohortTypes = ::testing::Types<
+    CBoBoLock<kOriginal>, CBoBoLock<kResilient>, CTktTktLock<kOriginal>,
+    CTktTktLock<kResilient>, CMcsMcsLock<kOriginal>, CMcsMcsLock<kResilient>,
+    CPtktTktLock<kOriginal>, CPtktTktLock<kResilient>>;
+TYPED_TEST_SUITE(CohortTest, CohortTypes);
+
+TYPED_TEST(CohortTest, SingleThreadRoundTrips) {
+  TypeParam lock(two_domains());
+  typename TypeParam::Context ctx;
+  for (int i = 0; i < 100; ++i) {
+    lock.acquire(ctx);
+    EXPECT_TRUE(lock.release(ctx));
+  }
+}
+
+TYPED_TEST(CohortTest, MutualExclusionTwoDomains) {
+  TypeParam lock(two_domains());
+  rt::mutex_stress(lock, 4, 1000);
+}
+
+TYPED_TEST(CohortTest, MutualExclusionSingleDomain) {
+  TypeParam lock(platform::Topology::uniform(1, 64));
+  rt::mutex_stress(lock, 4, 1000);
+}
+
+TYPED_TEST(CohortTest, MutualExclusionLowPassBudget) {
+  // max_passes=1 forces constant global handoff.
+  TypeParam lock(two_domains(), 1);
+  rt::mutex_stress(lock, 4, 800);
+}
+
+TEST(CohortResilient, MisuseRefusedBeforeGlobalLockIsTouched) {
+  CTktTktLock<kResilient> lock(two_domains());
+  CTktTktLock<kResilient>::Context rogue;
+  EXPECT_FALSE(lock.release(rogue));
+  // Lock remains fully functional (the original corrupts both levels).
+  CTktTktLock<kResilient>::Context ctx;
+  lock.acquire(ctx);
+  EXPECT_TRUE(lock.release(ctx));
+}
+
+TEST(CohortResilient, McsLocalMisuseRefused) {
+  CMcsMcsLock<kResilient> lock(two_domains());
+  CMcsMcsLock<kResilient>::Context rogue;
+  EXPECT_FALSE(lock.release(rogue));  // original would strand the caller
+  CMcsMcsLock<kResilient>::Context ctx;
+  lock.acquire(ctx);
+  EXPECT_TRUE(lock.release(ctx));
+}
+
+TEST(CohortHandoff, GlobalLockInheritedWithinCohort) {
+  // Two same-domain threads alternating: the pass count must allow the
+  // second to enter without re-acquiring the global lock (observable
+  // only as: it works and stays mutual-exclusive under our checker).
+  CTktTktLock<kOriginal> lock(platform::Topology::uniform(1, 64));
+  rt::mutex_stress(lock, 2, 2000);
+}
+
+TEST(BoCohortLocal, WaiterCountTracksContention) {
+  BoCohortLocal<kOriginal> local;
+  local.acquire();
+  EXPECT_FALSE(local.has_waiters());
+  std::atomic<bool> entered{false};
+  std::thread t([&] {
+    local.acquire();
+    entered.store(true);
+    local.release();
+  });
+  while (!local.has_waiters()) std::this_thread::yield();
+  EXPECT_FALSE(entered.load());
+  EXPECT_TRUE(local.release());
+  t.join();
+}

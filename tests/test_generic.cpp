@@ -1,0 +1,152 @@
+// Unit tests for the generic lock machinery: concepts, the uniform
+// dispatch helpers, RAII guards, and the PerPid context table used by
+// type erasure.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/abql.hpp"
+#include "core/any_lock.hpp"
+#include "core/clh.hpp"
+#include "core/generic.hpp"
+#include "core/hemlock.hpp"
+#include "core/lock_concepts.hpp"
+#include "core/mcs.hpp"
+#include "core/tas.hpp"
+#include "core/ticket.hpp"
+#include "runtime/thread_team.hpp"
+
+using namespace resilock;
+
+// ----------------------------- concepts ---------------------------------
+
+static_assert(PlainLock<TatasLock>);
+static_assert(PlainLock<TicketLockResilient>);
+static_assert(PlainLock<Hemlock>);
+static_assert(!PlainLock<McsLock>);  // needs a context
+static_assert(ContextLock<McsLock>);
+static_assert(ContextLock<ClhLockResilient>);
+static_assert(ContextLock<AndersonLock>);
+static_assert(!ContextLock<TatasLock>);
+static_assert(TryLockable<TatasLock>);
+static_assert(TryContextLockable<McsLock>);
+static_assert(!TryLockable<McsLock>);
+
+static_assert(std::is_same_v<context_of_t<TatasLock>, NoContext>);
+static_assert(std::is_same_v<context_of_t<McsLock>, McsLock::QNode>);
+
+static_assert(generic_has_trylock<TatasLock>());
+static_assert(generic_has_trylock<McsLock>());
+static_assert(!generic_has_trylock<ClhLock>());
+
+TEST(Concepts, CompileTimeChecksHold) { SUCCEED(); }
+
+// ------------------------- generic dispatch -----------------------------
+
+TEST(GenericDispatch, PlainLockRoundTrip) {
+  TatasLockResilient lock;
+  context_of_t<TatasLockResilient> ctx;
+  generic_acquire(lock, ctx);
+  EXPECT_TRUE(generic_release(lock, ctx));
+  EXPECT_FALSE(generic_release(lock, ctx));
+}
+
+TEST(GenericDispatch, ContextLockRoundTrip) {
+  McsLockResilient lock;
+  context_of_t<McsLockResilient> ctx;
+  generic_acquire(lock, ctx);
+  EXPECT_TRUE(generic_release(lock, ctx));
+  EXPECT_FALSE(generic_release(lock, ctx));
+}
+
+TEST(GenericDispatch, TryAcquireBothFamilies) {
+  TatasLock plain;
+  context_of_t<TatasLock> pc;
+  EXPECT_TRUE(generic_try_acquire(plain, pc));
+  EXPECT_FALSE(generic_try_acquire(plain, pc));
+  EXPECT_TRUE(generic_release(plain, pc));
+
+  McsLock ctx_lock;
+  context_of_t<McsLock> a, b;
+  EXPECT_TRUE(generic_try_acquire(ctx_lock, a));
+  EXPECT_FALSE(generic_try_acquire(ctx_lock, b));
+  EXPECT_TRUE(generic_release(ctx_lock, a));
+}
+
+TEST(GenericDispatch, CohortHooksBothArities) {
+  TicketLock ticket;  // has_waiters() without context
+  context_of_t<TicketLock> tc;
+  generic_acquire(ticket, tc);
+  EXPECT_FALSE(generic_has_waiters(ticket, tc));
+  EXPECT_TRUE(generic_owned_by_caller(ticket, tc));  // original: true
+  generic_release(ticket, tc);
+
+  McsLockResilient mcs;  // has_waiters(ctx)
+  context_of_t<McsLockResilient> mc;
+  generic_acquire(mcs, mc);
+  EXPECT_FALSE(generic_has_waiters(mcs, mc));
+  EXPECT_TRUE(generic_owned_by_caller(mcs, mc));
+  generic_release(mcs, mc);
+  EXPECT_FALSE(generic_owned_by_caller(mcs, mc));  // resilient: checked
+}
+
+// ------------------------------ guards ----------------------------------
+
+TEST(Guards, LockGuardReleasesOnScopeExit) {
+  TatasLockResilient lock;
+  {
+    LockGuard g(lock);
+    EXPECT_TRUE(lock.is_locked());
+  }
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST(Guards, CtxGuardReleasesOnScopeExit) {
+  McsLockResilient lock;
+  McsLockResilient::QNode node;
+  {
+    CtxGuard g(lock, node);
+    McsLockResilient::QNode probe;
+    EXPECT_FALSE(lock.try_acquire(probe));  // held by the guard
+  }
+  McsLockResilient::QNode probe;
+  EXPECT_TRUE(lock.try_acquire(probe));  // released
+  EXPECT_TRUE(lock.release(probe));
+}
+
+// ------------------------------ PerPid -----------------------------------
+
+TEST(PerPid, SameThreadGetsSameSlot) {
+  PerPid<int> table;
+  int* a = &table.mine();
+  int* b = &table.mine();
+  EXPECT_EQ(a, b);
+}
+
+TEST(PerPid, DistinctConcurrentThreadsGetDistinctSlots) {
+  PerPid<int> table;
+  std::atomic<int*> slots[4] = {};
+  std::atomic<int> arrived{0};
+  runtime::ThreadTeam::run(4, [&](std::uint32_t tid) {
+    slots[tid].store(&table.mine());
+    arrived.fetch_add(1);
+    // Hold the thread (and its pid) alive until everyone registered.
+    while (arrived.load() != 4) std::this_thread::yield();
+  });
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      EXPECT_NE(slots[i].load(), slots[j].load());
+    }
+  }
+}
+
+TEST(PerPid, SlotsAreDefaultInitialized) {
+  struct Tagged {
+    int value = 42;
+  };
+  PerPid<Tagged> table;
+  EXPECT_EQ(table.mine().value, 42);
+  table.mine().value = 7;
+  EXPECT_EQ(table.mine().value, 7);  // persists for this thread
+}

@@ -1,0 +1,178 @@
+// Unit tests for the hierarchical locks: HMCS (§3.8.1), HCLH (§3.8.2),
+// HBO (§3.8.3).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/hbo.hpp"
+#include "core/hclh.hpp"
+#include "core/hmcs.hpp"
+#include "lock_test_util.hpp"
+#include "verify/checkers.hpp"
+
+using namespace resilock;
+namespace rt = resilock::test;
+namespace rv = resilock::verify;
+
+namespace {
+const platform::Topology& two_domains() {
+  static const auto topo = platform::Topology::uniform(2, 2);
+  return topo;
+}
+const platform::Topology& one_domain() {
+  static const auto topo = platform::Topology::uniform(1, 64);
+  return topo;
+}
+}  // namespace
+
+// ------------------------------ HMCS ----------------------------------
+
+template <typename L>
+class HmcsTest : public ::testing::Test {};
+using HmcsTypes = ::testing::Types<HmcsLock, HmcsLockResilient>;
+TYPED_TEST_SUITE(HmcsTest, HmcsTypes);
+
+TYPED_TEST(HmcsTest, SingleThreadRoundTrips) {
+  TypeParam lock(two_domains());
+  typename TypeParam::Context ctx;
+  for (int i = 0; i < 100; ++i) {
+    lock.acquire(ctx);
+    EXPECT_TRUE(lock.release(ctx));
+  }
+}
+
+TYPED_TEST(HmcsTest, MutualExclusionTwoDomains) {
+  TypeParam lock(two_domains());
+  rt::mutex_stress(lock, 4, 1500);
+}
+
+TYPED_TEST(HmcsTest, MutualExclusionSingleDomain) {
+  TypeParam lock(one_domain());
+  rt::mutex_stress(lock, 4, 1500);
+}
+
+TYPED_TEST(HmcsTest, MutualExclusionLowThreshold) {
+  // threshold=1: every release goes through the parent — exercises the
+  // kAcquireParent path constantly.
+  TypeParam lock(two_domains(), 1);
+  rt::mutex_stress(lock, 4, 1000);
+}
+
+TYPED_TEST(HmcsTest, CohortPassingStaysWithinThreshold) {
+  TypeParam lock(one_domain(), 4);
+  rt::mutex_stress(lock, 3, 1500);
+}
+
+TEST(HmcsResilient, MisuseRefusedOnFreshAndReleasedContexts) {
+  HmcsLockResilient lock(two_domains());
+  HmcsLockResilient::Context ctx;
+  EXPECT_FALSE(lock.release(ctx));  // fresh: original would hang
+  lock.acquire(ctx);
+  EXPECT_TRUE(lock.release(ctx));
+  EXPECT_FALSE(lock.release(ctx));  // released: detected again
+  // Still functional.
+  lock.acquire(ctx);
+  EXPECT_TRUE(lock.release(ctx));
+}
+
+TEST(HmcsLeafCount, MatchesTopology) {
+  HmcsLock lock(two_domains());
+  EXPECT_EQ(lock.num_leaves(), 2u);
+  HmcsLock single(one_domain());
+  EXPECT_EQ(single.num_leaves(), 1u);
+}
+
+// ------------------------------ HCLH ----------------------------------
+
+template <typename L>
+class HclhTest : public ::testing::Test {};
+using HclhTypes = ::testing::Types<HclhLock, HclhLockResilient>;
+TYPED_TEST_SUITE(HclhTest, HclhTypes);
+
+TYPED_TEST(HclhTest, SingleThreadRoundTrips) {
+  TypeParam lock(two_domains());
+  typename TypeParam::Context ctx;
+  for (int i = 0; i < 100; ++i) {
+    lock.acquire(ctx);
+    EXPECT_TRUE(lock.release(ctx));
+  }
+}
+
+TYPED_TEST(HclhTest, MutualExclusionTwoDomains) {
+  TypeParam lock(two_domains());
+  rt::mutex_stress(lock, 4, 1000);
+}
+
+TYPED_TEST(HclhTest, MutualExclusionSingleDomain) {
+  TypeParam lock(platform::Topology::uniform(1, 64));
+  rt::mutex_stress(lock, 4, 1000);
+}
+
+TEST(HclhImmunity, MisuseIsSideEffectFree) {
+  // Paper Table 1: HCLH is the queue lock that needs no fix. A misused
+  // release touches an un-enqueued node only.
+  HclhLock lock(two_domains());
+  HclhLock::Context cm;
+  lock.acquire(cm);
+  lock.release(cm);
+  EXPECT_TRUE(lock.release(cm));  // misuse: benign no-op
+  // Lock fully functional afterwards, including cross-thread.
+  std::uint64_t counter = 0;
+  runtime::ThreadTeam::run(2, [&](std::uint32_t) {
+    HclhLock::Context c;
+    for (int i = 0; i < 500; ++i) {
+      lock.acquire(c);
+      ++counter;
+      lock.release(c);
+    }
+  });
+  EXPECT_EQ(counter, 1000u);
+  lock.acquire(cm);
+  EXPECT_TRUE(lock.release(cm));
+}
+
+// ------------------------------- HBO -----------------------------------
+
+template <typename L>
+class HboTest : public ::testing::Test {};
+using HboTypes = ::testing::Types<HboLock, HboLockResilient>;
+TYPED_TEST_SUITE(HboTest, HboTypes);
+
+TYPED_TEST(HboTest, SingleThreadRoundTrips) {
+  TypeParam lock(two_domains());
+  for (int i = 0; i < 100; ++i) {
+    lock.acquire();
+    EXPECT_TRUE(lock.release());
+  }
+}
+
+TYPED_TEST(HboTest, MutualExclusionUnderContention) {
+  TypeParam lock(two_domains());
+  rt::mutex_stress(lock, 4, 2000);
+}
+
+TYPED_TEST(HboTest, TryAcquireSemantics) {
+  TypeParam lock(two_domains());
+  EXPECT_TRUE(lock.try_acquire());
+  EXPECT_FALSE(lock.try_acquire());
+  EXPECT_TRUE(lock.release());
+}
+
+TEST(HboResilient, NonOwnerReleaseRefused) {
+  HboLockResilient lock(two_domains());
+  EXPECT_FALSE(lock.release());
+  lock.acquire();
+  std::thread t([&] { EXPECT_FALSE(lock.release()); });
+  t.join();
+  EXPECT_TRUE(lock.release());
+}
+
+TEST(HboOriginal, NonOwnerReleaseSilentlyFrees) {
+  HboLock lock(two_domains());
+  lock.acquire();
+  std::thread t([&] { EXPECT_TRUE(lock.release()); });
+  t.join();
+  EXPECT_TRUE(lock.try_acquire());  // lock was freed under the holder
+  EXPECT_TRUE(lock.release());
+}

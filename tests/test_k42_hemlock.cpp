@@ -1,0 +1,173 @@
+// Unit tests for the context-free queue locks: MCS-K42 (§3.6) and
+// Hemlock (§3.7).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/hemlock.hpp"
+#include "core/mcs_k42.hpp"
+#include "lock_test_util.hpp"
+#include "verify/access.hpp"
+#include "verify/checkers.hpp"
+
+using namespace resilock;
+namespace rt = resilock::test;
+namespace rv = resilock::verify;
+
+// ---------------------------- MCS-K42 ---------------------------------
+
+template <typename L>
+class K42Test : public ::testing::Test {};
+using K42Types = ::testing::Types<McsK42Lock, McsK42LockResilient>;
+TYPED_TEST_SUITE(K42Test, K42Types);
+
+TYPED_TEST(K42Test, SingleThreadRoundTrips) {
+  TypeParam lock;
+  for (int i = 0; i < 100; ++i) {
+    lock.acquire();
+    EXPECT_TRUE(lock.release());
+  }
+}
+
+TYPED_TEST(K42Test, MutualExclusionUnderContention) {
+  TypeParam lock;
+  rt::mutex_stress(lock, 4, 2000);
+}
+
+TYPED_TEST(K42Test, MutualExclusionHighContention) {
+  // Stack-allocated qnodes + head migration is the delicate part of
+  // K42; stress it harder with more threads than cores.
+  TypeParam lock;
+  rt::mutex_stress(lock, 8, 500);
+}
+
+TYPED_TEST(K42Test, TryAcquireSemantics) {
+  TypeParam lock;
+  EXPECT_TRUE(lock.try_acquire());
+  EXPECT_FALSE(lock.try_acquire());
+  EXPECT_TRUE(lock.release());
+}
+
+TEST(K42Resilient, MisuseOnFreeLockRefused) {
+  McsK42LockResilient lock;
+  EXPECT_FALSE(lock.release());  // original would spin forever
+}
+
+TEST(K42Resilient, MisuseByNonOwnerRefused) {
+  McsK42LockResilient lock;
+  lock.acquire();
+  std::thread t([&] { EXPECT_FALSE(lock.release()); });
+  t.join();
+  EXPECT_TRUE(lock.release());
+}
+
+TEST(K42Original, MisuseOnFreeLockStrandsTm) {
+  McsK42Lock lock;
+  VerifyAccess::K42Node<kOriginal> dummy;
+  rv::Probe tm([&] { lock.release(); });
+  EXPECT_FALSE(tm.finished_within());
+  VerifyAccess::k42_publish_head(lock, dummy);  // rescue
+  tm.join();
+}
+
+TEST(K42Original, MisuseWhileHeldFreesLockUnderHolder) {
+  // §3.6 "mutex violation" + "any thread starvation" preconditions: the
+  // misuse succeeds and the tail no longer claims the lock is held.
+  McsK42Lock lock;
+  std::atomic<bool> t1_out{false};
+  std::atomic<bool> t1_release_done{false};
+  rv::Probe t1([&] {
+    lock.acquire();
+    rv::wait_for([&] { return t1_out.load(); }, rv::milliseconds{3000});
+    lock.release();
+    t1_release_done.store(true);
+  });
+  rv::wait_for([&] { return VerifyAccess::k42_tail(lock) != nullptr; });
+  EXPECT_TRUE(lock.release());  // misuse: CAS(&q_ -> null) succeeds
+  EXPECT_EQ(VerifyAccess::k42_tail(lock), nullptr);  // looks free!
+  t1_out.store(true);
+  // The legitimate holder's release now has no queue to release into.
+  EXPECT_FALSE(rv::wait_for([&] { return t1_release_done.load(); }));
+  VerifyAccess::K42Node<kOriginal> dummy;
+  VerifyAccess::k42_publish_head(lock, dummy);  // rescue
+  t1.join();
+}
+
+// ---------------------------- Hemlock ----------------------------------
+
+template <typename L>
+class HemlockTest : public ::testing::Test {};
+using HemlockTypes = ::testing::Types<Hemlock, HemlockResilient>;
+TYPED_TEST_SUITE(HemlockTest, HemlockTypes);
+
+TYPED_TEST(HemlockTest, SingleThreadRoundTrips) {
+  TypeParam lock;
+  for (int i = 0; i < 100; ++i) {
+    lock.acquire();
+    EXPECT_TRUE(lock.release());
+  }
+}
+
+TYPED_TEST(HemlockTest, MutualExclusionUnderContention) {
+  TypeParam lock;
+  rt::mutex_stress(lock, 4, 2000);
+}
+
+TYPED_TEST(HemlockTest, TryAcquireSemantics) {
+  TypeParam lock;
+  EXPECT_TRUE(lock.try_acquire());
+  EXPECT_FALSE(lock.try_acquire());
+  EXPECT_TRUE(lock.release());
+}
+
+TYPED_TEST(HemlockTest, TwoLocksShareOneGrantCellSafely) {
+  // Hemlock's signature property: one thread-local Grant cell serves
+  // every lock instance. Nested hold of two locks must work.
+  TypeParam lock_a, lock_b;
+  std::uint64_t counter = 0;
+  runtime::ThreadTeam::run(4, [&](std::uint32_t) {
+    for (int i = 0; i < 500; ++i) {
+      lock_a.acquire();
+      lock_b.acquire();
+      ++counter;
+      EXPECT_TRUE(lock_b.release());
+      EXPECT_TRUE(lock_a.release());
+    }
+  });
+  EXPECT_EQ(counter, 2000u);
+}
+
+TEST(HemlockResilient, MisuseDetectedImmediately) {
+  HemlockResilient lock;
+  EXPECT_FALSE(lock.release());  // original would self-starve here
+  lock.acquire();
+  EXPECT_TRUE(lock.release());
+  EXPECT_FALSE(lock.release());
+}
+
+TEST(HemlockResilient, NestedHoldsSurviveInnerRelease) {
+  // The ACQ sentinel is restored while other Hemlocks are still held
+  // (the nesting case the paper's Figure 9 does not discuss).
+  HemlockResilient a, b;
+  a.acquire();
+  b.acquire();
+  EXPECT_TRUE(b.release());
+  EXPECT_TRUE(a.release());   // must not be flagged as unbalanced
+  EXPECT_FALSE(a.release());  // but a third release is
+}
+
+TEST(HemlockOriginal, MisuseSelfStarves) {
+  Hemlock lock;
+  std::atomic<std::atomic<void*>*> cell{nullptr};
+  rv::Probe tm([&] {
+    cell.store(VerifyAccess::hemlock_cell_of_current_thread());
+    lock.release();
+  });
+  EXPECT_FALSE(tm.finished_within());
+  cell.load()->store(nullptr, std::memory_order_release);  // rescue
+  tm.join();
+  // Lock state untouched by the whole episode: still acquirable.
+  lock.acquire();
+  EXPECT_TRUE(lock.release());
+}

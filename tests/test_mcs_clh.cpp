@@ -1,0 +1,199 @@
+// Unit tests for the MCS (§3.4) and CLH (§3.5) queue locks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/clh.hpp"
+#include "core/mcs.hpp"
+#include "lock_test_util.hpp"
+#include "verify/access.hpp"
+#include "verify/checkers.hpp"
+
+using namespace resilock;
+namespace rt = resilock::test;
+namespace rv = resilock::verify;
+
+// ------------------------------ MCS -----------------------------------
+
+template <typename L>
+class McsTest : public ::testing::Test {};
+using McsTypes = ::testing::Types<McsLock, McsLockResilient>;
+TYPED_TEST_SUITE(McsTest, McsTypes);
+
+TYPED_TEST(McsTest, SingleThreadRoundTripsWithReusedNode) {
+  TypeParam lock;
+  typename TypeParam::QNode node;
+  for (int i = 0; i < 100; ++i) {
+    lock.acquire(node);
+    EXPECT_TRUE(lock.release(node));
+  }
+}
+
+TYPED_TEST(McsTest, MutualExclusionUnderContention) {
+  TypeParam lock;
+  rt::mutex_stress(lock, 4, 2000);
+}
+
+TYPED_TEST(McsTest, TryAcquireSemantics) {
+  TypeParam lock;
+  typename TypeParam::QNode a, b;
+  EXPECT_TRUE(lock.try_acquire(a));
+  EXPECT_FALSE(lock.try_acquire(b));
+  EXPECT_TRUE(lock.release(a));
+  EXPECT_TRUE(lock.try_acquire(b));
+  EXPECT_TRUE(lock.release(b));
+}
+
+TYPED_TEST(McsTest, HandoffThroughExplicitQueue) {
+  // T1 holds; T2 enqueues; T1's release must hand off to T2 (not to the
+  // world at large).
+  TypeParam lock;
+  typename TypeParam::QNode a;
+  lock.acquire(a);
+  std::atomic<bool> t2_entered{false};
+  std::thread t2([&] {
+    typename TypeParam::QNode b;
+    lock.acquire(b);
+    t2_entered.store(true);
+    lock.release(b);
+  });
+  while (VerifyAccess::mcs_tail(lock) == &a) std::this_thread::yield();
+  EXPECT_FALSE(t2_entered.load());
+  EXPECT_TRUE(lock.release(a));
+  t2.join();
+  EXPECT_TRUE(t2_entered.load());
+}
+
+TYPED_TEST(McsTest, CohortHooks) {
+  TypeParam lock;
+  typename TypeParam::QNode a;
+  lock.acquire(a);
+  EXPECT_FALSE(lock.has_waiters(a));
+  std::thread t2([&] {
+    typename TypeParam::QNode b;
+    lock.acquire(b);
+    lock.release(b);
+  });
+  while (!lock.has_waiters(a)) std::this_thread::yield();
+  EXPECT_TRUE(lock.release(a));
+  t2.join();
+}
+
+TEST(McsResilient, FreshNodeReleaseRefusedInstantly) {
+  McsLockResilient lock;
+  McsLockResilient::QNode fresh;
+  EXPECT_FALSE(lock.release(fresh));  // original would spin forever here
+}
+
+TEST(McsResilient, StaleNextIsScrubbedByRelease) {
+  // After a normal contended episode the resilient release nulls I.next,
+  // so the §3.4 case-3 misuse cannot reach a re-enqueued node.
+  McsLockResilient lock;
+  McsLockResilient::QNode a;
+  lock.acquire(a);
+  std::thread t2([&] {
+    McsLockResilient::QNode b;
+    lock.acquire(b);
+    lock.release(b);
+  });
+  while (VerifyAccess::mcs_tail(lock) == &a) std::this_thread::yield();
+  EXPECT_TRUE(lock.release(a));
+  t2.join();
+  EXPECT_EQ(a.next.load(), nullptr);
+  EXPECT_FALSE(a.locked.load());
+  EXPECT_FALSE(lock.release(a));  // and the misuse is detected
+}
+
+TEST(McsOriginal, DoubleReleaseAfterUncontendedEpisodeSpins) {
+  // §3.4 case 1: I.next is null and the tail CAS fails -> Tm spins.
+  McsLock lock;
+  McsLock::QNode a, rescue;
+  lock.acquire(a);
+  EXPECT_TRUE(lock.release(a));
+  rv::Probe tm([&] { lock.release(a); });
+  EXPECT_FALSE(tm.finished_within());
+  VerifyAccess::mcs_link_successor<kOriginal>(a, rescue);
+  tm.join();
+}
+
+// ------------------------------ CLH -----------------------------------
+
+template <typename L>
+class ClhTest : public ::testing::Test {};
+using ClhTypes = ::testing::Types<ClhLock, ClhLockResilient>;
+TYPED_TEST_SUITE(ClhTest, ClhTypes);
+
+TYPED_TEST(ClhTest, SingleThreadRoundTripsRecyclingNodes) {
+  TypeParam lock;
+  typename TypeParam::Context ctx;
+  for (int i = 0; i < 100; ++i) {
+    lock.acquire(ctx);
+    EXPECT_TRUE(lock.release(ctx));
+  }
+}
+
+TYPED_TEST(ClhTest, MutualExclusionUnderContention) {
+  TypeParam lock;
+  rt::mutex_stress(lock, 4, 2000);
+}
+
+TYPED_TEST(ClhTest, FifoHandoffBetweenTwoThreads) {
+  TypeParam lock;
+  typename TypeParam::Context c1;
+  lock.acquire(c1);
+  std::atomic<bool> entered{false};
+  std::thread t([&] {
+    typename TypeParam::Context c2;
+    lock.acquire(c2);
+    entered.store(true);
+    lock.release(c2);
+  });
+  // Give the waiter time to enqueue; it must not enter while we hold.
+  rv::wait_for([&] { return false; }, rv::milliseconds{50});
+  EXPECT_FALSE(entered.load());
+  EXPECT_TRUE(lock.release(c1));
+  t.join();
+  EXPECT_TRUE(entered.load());
+}
+
+TEST(ClhResilient, FreshContextReleaseRefused) {
+  ClhLockResilient lock;
+  ClhLockResilient::Context ctx;
+  EXPECT_FALSE(lock.release(ctx));  // prev is null: unbalanced
+  lock.acquire(ctx);
+  EXPECT_TRUE(lock.release(ctx));
+  EXPECT_FALSE(lock.release(ctx));  // prev reset by the release
+}
+
+TEST(ClhResilient, NoAliasingAfterMisuse) {
+  // The Figure 8 root cause is the misuse adopting the predecessor's
+  // node; the resilient release must leave the context's node unchanged.
+  ClhLockResilient lock;
+  ClhLockResilient::Context c;
+  lock.acquire(c);
+  lock.release(c);
+  auto* node_before = VerifyAccess::clh_node<kResilient>(c);
+  EXPECT_FALSE(lock.release(c));
+  EXPECT_EQ(VerifyAccess::clh_node<kResilient>(c), node_before);
+}
+
+TEST(ClhOriginal, MisuseAliasesPredecessorNode) {
+  // Figure 8a -> 8b precondition: after the misuse, Tm's context owns
+  // the same node as the earlier thread's context.
+  ClhLock lock;
+  auto c1 = std::make_unique<ClhLock::Context>();
+  auto cm = std::make_unique<ClhLock::Context>();
+  rv::Probe t1([&] {
+    lock.acquire(*c1);
+    lock.release(*c1);
+  });
+  t1.join();
+  lock.acquire(*cm);
+  lock.release(*cm);
+  EXPECT_TRUE(lock.release(*cm));  // misuse, undetected
+  EXPECT_EQ(VerifyAccess::clh_node<kOriginal>(*c1),
+            VerifyAccess::clh_node<kOriginal>(*cm));
+  // De-alias before destruction (each context deletes its node).
+  VerifyAccess::clh_node<kOriginal>(*cm) = new ClhLock::QNode;
+}

@@ -1,0 +1,119 @@
+// Unit tests for the Figure 1 mining pipeline: classifier rules and
+// end-to-end recovery of the paper's per-project counts from the
+// synthetic corpus.
+#include <gtest/gtest.h>
+
+#include "mining/classifier.hpp"
+#include "mining/corpus.hpp"
+
+namespace rm = resilock::mining;
+
+TEST(Classifier, UnbalancedUnlockPhrases) {
+  using C = rm::MisuseClass;
+  EXPECT_EQ(rm::classify("net: fix double unlock in error path"),
+            C::kUnbalancedUnlock);
+  EXPECT_EQ(rm::classify("don't unlock mutex without holding it"),
+            C::kUnbalancedUnlock);
+  EXPECT_EQ(rm::classify("remove stray unlock left after refactor"),
+            C::kUnbalancedUnlock);
+  EXPECT_EQ(rm::classify("fix READ UNLOCK on write-locked rwlock"),
+            C::kUnbalancedUnlock);  // case-insensitive
+}
+
+TEST(Classifier, UnbalancedLockPhrases) {
+  using C = rm::MisuseClass;
+  EXPECT_EQ(rm::classify("fs: fix missing unlock on error return"),
+            C::kUnbalancedLock);
+  EXPECT_EQ(rm::classify("don't forget to unlock before returning early"),
+            C::kUnbalancedLock);
+  EXPECT_EQ(rm::classify("mm: fix recursive lock self-deadlock"),
+            C::kUnbalancedLock);
+  EXPECT_EQ(rm::classify("correct lock placement around cache update"),
+            C::kUnbalancedLock);
+}
+
+TEST(Classifier, DesignAndPerformanceChangesExcluded) {
+  // §2.1: "we excluded the ones that indicated code changes pertaining
+  // to lock design and performance".
+  using C = rm::MisuseClass;
+  EXPECT_EQ(rm::classify("reduce mutex hold time in hot path"),
+            C::kUnrelated);
+  EXPECT_EQ(rm::classify("lockless fast path for stat counters"),
+            C::kUnrelated);
+  EXPECT_EQ(rm::classify("shard the global mutex to reduce contention"),
+            C::kUnrelated);
+}
+
+TEST(Classifier, NonLockCommitsUnrelated) {
+  EXPECT_EQ(rm::classify("bump version to 1.2.3"),
+            rm::MisuseClass::kUnrelated);
+  EXPECT_EQ(rm::classify("fix typo in README"),
+            rm::MisuseClass::kUnrelated);
+}
+
+TEST(Classifier, SearchStringListMatchesPaper) {
+  const auto& strings = rm::search_strings();
+  EXPECT_EQ(strings.size(), 19u);  // the §2.1 list
+  EXPECT_EQ(strings.front(), "unlock");
+  EXPECT_EQ(strings.back(), "forgetting to release a lock");
+}
+
+TEST(Corpus, GroundTruthMatchesFigure1) {
+  const auto& gt = rm::figure1_ground_truth();
+  ASSERT_EQ(gt.size(), 5u);
+  EXPECT_STREQ(gt[0].project, "Golang");
+  EXPECT_EQ(gt[0].unbalanced_unlock, 14u);
+  EXPECT_EQ(gt[0].unbalanced_lock, 20u);
+  EXPECT_STREQ(gt[1].project, "Linux kernel");
+  EXPECT_EQ(gt[1].unbalanced_unlock, 40u);
+  EXPECT_EQ(gt[1].unbalanced_lock, 12u);
+  EXPECT_STREQ(gt[4].project, "memcached");
+  EXPECT_EQ(gt[4].unbalanced_unlock, 3u);
+  EXPECT_EQ(gt[4].unbalanced_lock, 9u);
+}
+
+TEST(Corpus, DeterministicForSameSeed) {
+  const auto a = rm::generate_corpus(10, 1);
+  const auto b = rm::generate_corpus(10, 1);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].message, b[i].message);
+    EXPECT_EQ(a[i].project, b[i].project);
+  }
+  const auto c = rm::generate_corpus(10, 2);
+  bool differs = false;
+  for (std::size_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+    if (a[i].message != c[i].message) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(EndToEnd, ClassifierRecoversPlantedCountsExactly) {
+  // The Figure 1 reproduction: mine the corpus, classify, and compare
+  // against the paper's counts.
+  const auto corpus = rm::generate_corpus(/*noise_per_project=*/60);
+  const auto tallies = rm::tally(corpus);
+  ASSERT_EQ(tallies.size(), 5u);
+  for (const auto& gt : rm::figure1_ground_truth()) {
+    const auto it = tallies.find(gt.project);
+    ASSERT_NE(it, tallies.end()) << gt.project;
+    EXPECT_EQ(it->second.unbalanced_unlock, gt.unbalanced_unlock)
+        << gt.project;
+    EXPECT_EQ(it->second.unbalanced_lock, gt.unbalanced_lock) << gt.project;
+    EXPECT_EQ(it->second.unrelated, 60u) << gt.project;  // noise excluded
+  }
+}
+
+TEST(EndToEnd, UnlockFractionsMatchFigure1Shape) {
+  // Figure 1's headline: unbalanced-unlock is a significant fraction —
+  // dominant in Linux, minority elsewhere.
+  const auto tallies = rm::tally(rm::generate_corpus());
+  EXPECT_GT(tallies.at("Linux kernel").unlock_fraction(), 0.5);
+  EXPECT_LT(tallies.at("MySQL").unlock_fraction(), 0.5);
+  EXPECT_LT(tallies.at("memcached").unlock_fraction(), 0.5);
+  EXPECT_NEAR(tallies.at("Golang").unlock_fraction(), 14.0 / 34.0, 1e-9);
+}
+
+TEST(Tally, EmptyCorpus) {
+  EXPECT_TRUE(rm::tally({}).empty());
+}

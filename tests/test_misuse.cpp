@@ -1,0 +1,140 @@
+// Integration tests over the misuse-matrix engine (the Table 1
+// reproduction): every scripted scenario must match the paper's claims.
+#include <gtest/gtest.h>
+
+#include "verify/misuse_matrix.hpp"
+
+using resilock::verify::MisuseReport;
+
+namespace {
+
+void expect_matches_paper(const MisuseReport& r) {
+  EXPECT_EQ(r.violates_mutex, r.paper_violates)
+      << r.lock << ": mutex-violation column";
+  EXPECT_EQ(r.tm_starves, r.paper_tm) << r.lock << ": Tm-starvation column";
+  EXPECT_TRUE(r.prevented) << r.lock
+                           << ": resilient flavor failed to prevent";
+}
+
+}  // namespace
+
+TEST(MisuseMatrix, Tas) {
+  const auto r = resilock::verify::misuse_tas();
+  expect_matches_paper(r);
+  EXPECT_TRUE(r.detected);
+  EXPECT_FALSE(r.others_starve);
+}
+
+TEST(MisuseMatrix, Ticket) {
+  const auto r = resilock::verify::misuse_ticket();
+  expect_matches_paper(r);
+  EXPECT_TRUE(r.detected);
+  EXPECT_TRUE(r.others_starve);  // the nowServing leap skips tickets
+}
+
+TEST(MisuseMatrix, Abql) {
+  const auto r = resilock::verify::misuse_abql();
+  expect_matches_paper(r);
+  EXPECT_TRUE(r.detected);
+  EXPECT_FALSE(r.others_starve);  // modulus acts as a safety guard
+}
+
+TEST(MisuseMatrix, GraunkeThakkar) {
+  const auto r = resilock::verify::misuse_graunke_thakkar();
+  expect_matches_paper(r);
+  EXPECT_TRUE(r.detected);
+  EXPECT_TRUE(r.others_starve);   // missed toggle strands the queue
+  EXPECT_FALSE(r.violates_mutex); // GT never violates mutual exclusion
+}
+
+TEST(MisuseMatrix, Mcs) {
+  const auto r = resilock::verify::misuse_mcs();
+  expect_matches_paper(r);
+  EXPECT_TRUE(r.detected);
+  EXPECT_TRUE(r.tm_starves);  // case 1: Tm spins for a ghost successor
+}
+
+TEST(MisuseMatrix, Clh) {
+  const auto r = resilock::verify::misuse_clh();
+  expect_matches_paper(r);
+  EXPECT_TRUE(r.detected);
+  EXPECT_TRUE(r.violates_mutex);  // Figure 8 double-enqueue
+}
+
+TEST(MisuseMatrix, McsK42) {
+  const auto r = resilock::verify::misuse_mcs_k42();
+  expect_matches_paper(r);
+  EXPECT_TRUE(r.detected);
+  EXPECT_TRUE(r.others_starve);  // the legitimate holder's release hangs
+}
+
+TEST(MisuseMatrix, Hemlock) {
+  const auto r = resilock::verify::misuse_hemlock();
+  expect_matches_paper(r);
+  EXPECT_TRUE(r.detected);
+  EXPECT_TRUE(r.tm_starves);
+  EXPECT_FALSE(r.violates_mutex);
+}
+
+TEST(MisuseMatrix, Hmcs) {
+  const auto r = resilock::verify::misuse_hmcs();
+  expect_matches_paper(r);
+  EXPECT_TRUE(r.detected);
+}
+
+TEST(MisuseMatrix, Hclh) {
+  const auto r = resilock::verify::misuse_hclh();
+  expect_matches_paper(r);
+  EXPECT_FALSE(r.detected);  // nothing to detect: immune
+  EXPECT_FALSE(r.violates_mutex);
+}
+
+TEST(MisuseMatrix, Hbo) {
+  const auto r = resilock::verify::misuse_hbo();
+  expect_matches_paper(r);
+  EXPECT_TRUE(r.detected);
+}
+
+TEST(MisuseMatrix, CohortTktTkt) {
+  const auto r = resilock::verify::misuse_cohort_tkt_tkt();
+  expect_matches_paper(r);
+  EXPECT_TRUE(r.detected);
+  EXPECT_TRUE(r.others_starve);  // both ticket levels corrupted
+}
+
+TEST(MisuseMatrix, CrwNp) {
+  const auto r = resilock::verify::misuse_crw_np();
+  expect_matches_paper(r);
+  EXPECT_TRUE(r.violates_mutex);  // reader + writer overlap
+  EXPECT_TRUE(r.others_starve);   // skewed indicator blocks all writers
+}
+
+TEST(MisuseMatrix, Peterson) {
+  const auto r = resilock::verify::misuse_peterson();
+  expect_matches_paper(r);
+  EXPECT_FALSE(r.violates_mutex);
+}
+
+TEST(MisuseMatrix, Fischer) {
+  const auto r = resilock::verify::misuse_fischer();
+  expect_matches_paper(r);
+  EXPECT_TRUE(r.detected);
+}
+
+TEST(MisuseMatrix, Lamport1) {
+  const auto r = resilock::verify::misuse_lamport1();
+  expect_matches_paper(r);
+  EXPECT_TRUE(r.detected);
+}
+
+TEST(MisuseMatrix, Lamport2) {
+  const auto r = resilock::verify::misuse_lamport2();
+  expect_matches_paper(r);
+  EXPECT_TRUE(r.detected);
+}
+
+TEST(MisuseMatrix, Bakery) {
+  const auto r = resilock::verify::misuse_bakery();
+  expect_matches_paper(r);
+  EXPECT_FALSE(r.violates_mutex);
+}

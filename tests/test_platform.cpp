@@ -1,0 +1,150 @@
+// Unit tests for the platform substrate: cache-line padding, spin/backoff
+// policies, the dense thread-id registry, and the topology model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "platform/backoff.hpp"
+#include "platform/cacheline.hpp"
+#include "platform/spin.hpp"
+#include "platform/thread_registry.hpp"
+#include "platform/topology.hpp"
+
+namespace rp = resilock::platform;
+
+TEST(Cacheline, PaddedTypeOccupiesExactlyOneLine) {
+  EXPECT_EQ(sizeof(rp::CacheLineAligned<char>), rp::kCacheLineSize);
+  EXPECT_EQ(sizeof(rp::CacheLineAligned<std::atomic<std::uint64_t>>),
+            rp::kCacheLineSize);
+  EXPECT_EQ(alignof(rp::CacheLineAligned<int>), rp::kCacheLineSize);
+}
+
+TEST(Cacheline, ArrayElementsLandOnDistinctLines) {
+  rp::CacheLineAligned<std::atomic<int>> arr[4];
+  for (int i = 0; i < 3; ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&arr[i].value);
+    const auto b = reinterpret_cast<std::uintptr_t>(&arr[i + 1].value);
+    EXPECT_GE(b - a, rp::kCacheLineSize);
+  }
+}
+
+TEST(Cacheline, ValueAccessors) {
+  rp::CacheLineAligned<int> x(42);
+  EXPECT_EQ(*x, 42);
+  *x = 7;
+  EXPECT_EQ(x.value, 7);
+}
+
+TEST(SpinWait, PausesThenYieldsWithoutBlocking) {
+  rp::SpinWait w(8);
+  for (int i = 0; i < 100; ++i) w.pause();  // must terminate promptly
+  EXPECT_EQ(w.spins(), 8u);                 // capped at the threshold
+  w.reset();
+  EXPECT_EQ(w.spins(), 0u);
+}
+
+TEST(SpinWait, SpinUntilObservesFlagFromAnotherThread) {
+  std::atomic<bool> flag{false};
+  std::thread t([&] { flag.store(true, std::memory_order_release); });
+  rp::spin_until([&] { return flag.load(std::memory_order_acquire); });
+  t.join();
+  SUCCEED();
+}
+
+TEST(Backoff, LimitGrowsGeometricallyAndSaturates) {
+  rp::ExponentialBackoff bo(4, 64);
+  EXPECT_EQ(bo.current_limit(), 4u);
+  for (int i = 0; i < 10; ++i) bo.pause();
+  EXPECT_EQ(bo.current_limit(), 64u);  // saturated at max
+  bo.reset();
+  EXPECT_EQ(bo.current_limit(), 4u);
+}
+
+TEST(Backoff, DegenerateBoundsAreRepaired) {
+  rp::ExponentialBackoff bo(0, 0);  // min clamped to 1, max to min
+  bo.pause();                       // must not hang or divide by zero
+  EXPECT_GE(bo.current_limit(), 1u);
+}
+
+TEST(ThreadRegistry, MainThreadGetsStablePid) {
+  const rp::pid_t a = rp::self_pid();
+  const rp::pid_t b = rp::self_pid();
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a, rp::ThreadRegistry::kCapacity);
+}
+
+TEST(ThreadRegistry, ConcurrentThreadsGetDistinctPids) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<rp::pid_t> pids(kThreads, rp::kInvalidPid);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      pids[i] = rp::self_pid();
+      while (go.load()) std::this_thread::yield();  // hold slot
+    });
+  }
+  while (ready.load() != kThreads) std::this_thread::yield();
+  go.store(true);
+  // Wait until all have registered.
+  for (;;) {
+    bool all = true;
+    for (auto p : pids)
+      if (p == rp::kInvalidPid) all = false;
+    if (all) break;
+    std::this_thread::yield();
+  }
+  std::set<rp::pid_t> distinct(pids.begin(), pids.end());
+  EXPECT_EQ(distinct.size(), static_cast<std::size_t>(kThreads));
+  go.store(false);
+  for (auto& t : threads) t.join();
+}
+
+TEST(ThreadRegistry, PidsAreRecycledAfterThreadExit) {
+  rp::pid_t first = rp::kInvalidPid;
+  std::thread t1([&] { first = rp::self_pid(); });
+  t1.join();
+  rp::pid_t second = rp::kInvalidPid;
+  std::thread t2([&] { second = rp::self_pid(); });
+  t2.join();
+  // With no other thread churn, the released slot is the smallest free
+  // one and is handed out again.
+  EXPECT_EQ(first, second);
+}
+
+TEST(Topology, UniformMapsPidsRoundRobinInBlocks) {
+  const auto topo = rp::Topology::uniform(2, 4);
+  EXPECT_EQ(topo.num_domains(), 2u);
+  EXPECT_EQ(topo.domain_of(0), 0u);
+  EXPECT_EQ(topo.domain_of(3), 0u);
+  EXPECT_EQ(topo.domain_of(4), 1u);
+  EXPECT_EQ(topo.domain_of(7), 1u);
+  EXPECT_EQ(topo.domain_of(8), 0u);  // wraps
+}
+
+TEST(Topology, SingleDomainDegenerateCase) {
+  const auto topo = rp::Topology::uniform(1, 1);
+  for (rp::pid_t p = 0; p < 16; ++p) EXPECT_EQ(topo.domain_of(p), 0u);
+}
+
+TEST(Topology, HostDefaultModelsTwoDomains) {
+  const auto& topo = rp::Topology::host_default();
+  EXPECT_EQ(topo.num_domains(), 2u);
+  EXPECT_GE(topo.threads_per_domain(), 1u);
+}
+
+TEST(Topology, ZeroArgumentsAreRepaired) {
+  const auto topo = rp::Topology::uniform(0, 0);
+  EXPECT_EQ(topo.num_domains(), 1u);
+  EXPECT_EQ(topo.domain_of(123), 0u);
+}
+
+TEST(Topology, HardwareThreadsIsPositive) {
+  EXPECT_GE(rp::hardware_threads(), 1u);
+}

@@ -1,0 +1,78 @@
+// Unit tests for the C-style pthread shim: init/lock/trylock/unlock/
+// destroy with errorcheck semantics (EPERM on unbalanced unlock, §7).
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <thread>
+
+#include "interpose/pthread_shim.hpp"
+#include "runtime/thread_team.hpp"
+
+using namespace resilock::interpose;
+
+TEST(PthreadShim, InitLockUnlockDestroy) {
+  rl_mutex_t m{};
+  ASSERT_EQ(rl_mutex_init(&m, "MCS", 1), 0);
+  EXPECT_EQ(rl_mutex_lock(&m), 0);
+  EXPECT_EQ(rl_mutex_unlock(&m), 0);
+  EXPECT_EQ(rl_mutex_destroy(&m), 0);
+}
+
+TEST(PthreadShim, UnknownAlgorithmRejected) {
+  rl_mutex_t m{};
+  EXPECT_EQ(rl_mutex_init(&m, "NoSuchLock", 1), EINVAL);
+  EXPECT_EQ(rl_mutex_init(nullptr, "MCS", 1), EINVAL);
+}
+
+TEST(PthreadShim, NullAlgorithmUsesEnvironmentDefault) {
+  rl_mutex_t m{};
+  ASSERT_EQ(rl_mutex_init(&m, nullptr, 1), 0);
+  EXPECT_EQ(rl_mutex_lock(&m), 0);
+  EXPECT_EQ(rl_mutex_unlock(&m), 0);
+  EXPECT_EQ(rl_mutex_destroy(&m), 0);
+}
+
+TEST(PthreadShim, ErrorcheckSemanticsEPERM) {
+  rl_mutex_t m{};
+  ASSERT_EQ(rl_mutex_init(&m, "Ticket", 1), 0);
+  EXPECT_EQ(rl_mutex_unlock(&m), EPERM);  // unlock without lock
+  EXPECT_EQ(rl_mutex_lock(&m), 0);
+  std::thread t([&] { EXPECT_EQ(rl_mutex_unlock(&m), EPERM); });
+  t.join();
+  EXPECT_EQ(rl_mutex_unlock(&m), 0);
+  EXPECT_EQ(rl_mutex_destroy(&m), 0);
+}
+
+TEST(PthreadShim, TrylockEBUSY) {
+  rl_mutex_t m{};
+  ASSERT_EQ(rl_mutex_init(&m, "TAS", 0), 0);
+  EXPECT_EQ(rl_mutex_trylock(&m), 0);
+  std::thread t([&] { EXPECT_EQ(rl_mutex_trylock(&m), EBUSY); });
+  t.join();
+  EXPECT_EQ(rl_mutex_unlock(&m), 0);
+  EXPECT_EQ(rl_mutex_destroy(&m), 0);
+}
+
+TEST(PthreadShim, UseAfterDestroyRejected) {
+  rl_mutex_t m{};
+  ASSERT_EQ(rl_mutex_init(&m, "MCS", 1), 0);
+  ASSERT_EQ(rl_mutex_destroy(&m), 0);
+  EXPECT_EQ(rl_mutex_lock(&m), EINVAL);
+  EXPECT_EQ(rl_mutex_unlock(&m), EINVAL);
+  EXPECT_EQ(rl_mutex_destroy(&m), EBUSY);
+}
+
+TEST(PthreadShim, MutualExclusionThroughShim) {
+  rl_mutex_t m{};
+  ASSERT_EQ(rl_mutex_init(&m, "CLH", 1), 0);
+  std::uint64_t counter = 0;
+  resilock::runtime::ThreadTeam::run(4, [&](std::uint32_t) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_EQ(rl_mutex_lock(&m), 0);
+      ++counter;
+      ASSERT_EQ(rl_mutex_unlock(&m), 0);
+    }
+  });
+  EXPECT_EQ(counter, 4000u);
+  EXPECT_EQ(rl_mutex_destroy(&m), 0);
+}

@@ -1,0 +1,77 @@
+// Unit tests for the reentrant lock wrapper (§3.9).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/mcs_k42.hpp"
+#include "core/reentrant.hpp"
+#include "core/tas.hpp"
+#include "core/ticket.hpp"
+#include "lock_test_util.hpp"
+
+using namespace resilock;
+namespace rt = resilock::test;
+
+template <typename L>
+class ReentrantTest : public ::testing::Test {};
+using ReentrantTypes =
+    ::testing::Types<ReentrantLock<TatasLockResilient>,
+                     ReentrantLock<TatasLock>,
+                     ReentrantLock<TicketLockResilient>,
+                     ReentrantLock<McsK42LockResilient>>;
+TYPED_TEST_SUITE(ReentrantTest, ReentrantTypes);
+
+TYPED_TEST(ReentrantTest, NestedAcquisitionSucceeds) {
+  TypeParam lock;
+  lock.acquire();
+  lock.acquire();
+  lock.acquire();
+  EXPECT_EQ(lock.depth(), 3u);
+  EXPECT_TRUE(lock.release());
+  EXPECT_TRUE(lock.release());
+  EXPECT_TRUE(lock.held_by_self());
+  EXPECT_TRUE(lock.release());
+  EXPECT_FALSE(lock.held_by_self());
+}
+
+TYPED_TEST(ReentrantTest, MutualExclusionUnderContention) {
+  TypeParam lock;
+  rt::mutex_stress(lock, 4, 1500);
+}
+
+TYPED_TEST(ReentrantTest, UnbalancedUnlockReturnsError) {
+  // §3.9: ownership is checked before decrementing — errorcheck
+  // semantics, immune by construction.
+  TypeParam lock;
+  EXPECT_FALSE(lock.release());  // never acquired
+  lock.acquire();
+  std::thread t([&] { EXPECT_FALSE(lock.release()); });  // non-owner
+  t.join();
+  EXPECT_TRUE(lock.release());
+  EXPECT_FALSE(lock.release());  // more unlocks than locks (§1 case)
+}
+
+TYPED_TEST(ReentrantTest, TryAcquireNestsForOwner) {
+  TypeParam lock;
+  EXPECT_TRUE(lock.try_acquire());
+  EXPECT_TRUE(lock.try_acquire());  // owner re-entry always succeeds
+  std::thread t([&] { EXPECT_FALSE(lock.try_acquire()); });
+  t.join();
+  EXPECT_TRUE(lock.release());
+  EXPECT_TRUE(lock.release());
+}
+
+TEST(Reentrant, NestedMutualExclusionStress) {
+  ReentrantLock<TatasLockResilient> lock;
+  std::uint64_t counter = 0;
+  runtime::ThreadTeam::run(4, [&](std::uint32_t) {
+    for (int i = 0; i < 1000; ++i) {
+      lock.acquire();
+      lock.acquire();  // nested
+      ++counter;
+      ASSERT_TRUE(lock.release());
+      ASSERT_TRUE(lock.release());
+    }
+  });
+  EXPECT_EQ(counter, 4000u);
+}

@@ -1,0 +1,116 @@
+// Unit tests for the lock registry and the type-erased AnyLock layer.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "core/lock_registry.hpp"
+#include "runtime/thread_team.hpp"
+
+using namespace resilock;
+
+TEST(Registry, AllNamesConstructBothFlavors) {
+  for (const auto& name : lock_names()) {
+    for (auto r : {kOriginal, kResilient}) {
+      auto lock = make_lock(name, r);
+      ASSERT_NE(lock, nullptr) << name;
+      EXPECT_EQ(lock->name(), name);
+      EXPECT_EQ(lock->resilience(), r);
+      lock->acquire();
+      EXPECT_TRUE(lock->release()) << name;
+    }
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_lock("NoSuchLock", kOriginal), std::out_of_range);
+  EXPECT_FALSE(is_lock_name("NoSuchLock"));
+  EXPECT_TRUE(is_lock_name("MCS"));
+}
+
+TEST(Registry, Table2NamesAreRegisteredInTableOrder) {
+  const auto& t2 = table2_lock_names();
+  ASSERT_EQ(t2.size(), 6u);
+  EXPECT_EQ(t2[0], "TAS");
+  EXPECT_EQ(t2[1], "Ticket");
+  EXPECT_EQ(t2[2], "ABQL");
+  EXPECT_EQ(t2[3], "MCS");
+  EXPECT_EQ(t2[4], "CLH");
+  EXPECT_EQ(t2[5], "HMCS");
+  for (const auto& n : t2) EXPECT_TRUE(is_lock_name(n));
+}
+
+TEST(Registry, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string> seen;
+  for (const auto& n : lock_names()) {
+    EXPECT_FALSE(n.empty());
+    EXPECT_TRUE(seen.insert(n).second) << "duplicate: " << n;
+  }
+  EXPECT_GE(seen.size(), 15u);
+}
+
+TEST(AnyLock, ResilientFlavorsDetectMisuseThroughTypeErasure) {
+  for (const auto& name : lock_names()) {
+    if (name == "HCLH") continue;  // immune: nothing to detect (§3.8.2)
+    auto lock = make_lock(name, kResilient);
+    lock->acquire();
+    ASSERT_TRUE(lock->release()) << name;
+    EXPECT_FALSE(lock->release()) << name << " failed to detect misuse";
+  }
+}
+
+TEST(AnyLock, TrylockFallsBackToAcquireWhereUnsupported) {
+  for (const auto& name : lock_names()) {
+    auto lock = make_lock(name, kResilient);
+    EXPECT_TRUE(lock->try_acquire()) << name;  // free lock: must succeed
+    EXPECT_TRUE(lock->release()) << name;
+  }
+}
+
+TEST(AnyLock, NativeTrylockRefusesWhenHeld) {
+  for (const auto& name : lock_names()) {
+    auto lock = make_lock(name, kOriginal);
+    if (!lock->supports_trylock()) continue;
+    lock->acquire();
+    std::atomic<bool> got{false};
+    runtime::ThreadTeam::run(2, [&](std::uint32_t tid) {
+      if (tid == 1) got.store(lock->try_acquire());
+    });
+    EXPECT_FALSE(got.load()) << name;
+    EXPECT_TRUE(lock->release()) << name;
+  }
+}
+
+TEST(AnyLock, MutualExclusionThroughTypeErasure) {
+  for (const auto& name : lock_names()) {
+    auto lock = make_lock(name, kResilient);
+    std::uint64_t counter = 0;
+    runtime::ThreadTeam::run(4, [&](std::uint32_t) {
+      for (int i = 0; i < 300; ++i) {
+        lock->acquire();
+        ++counter;
+        ASSERT_TRUE(lock->release());
+      }
+    });
+    EXPECT_EQ(counter, 1200u) << name;
+  }
+}
+
+TEST(AnyLock, PerThreadContextsAreIndependent) {
+  // Context locks must give each thread its own context slot.
+  auto lock = make_lock("MCS", kResilient);
+  runtime::ThreadTeam::run(4, [&](std::uint32_t) {
+    for (int i = 0; i < 200; ++i) {
+      lock->acquire();
+      ASSERT_TRUE(lock->release());
+    }
+  });
+  SUCCEED();
+}
+
+TEST(AnyLock, CLHSupportsNoTrylock) {
+  auto lock = make_lock("CLH", kOriginal);
+  EXPECT_FALSE(lock->supports_trylock());  // §6: CLH has no trylock
+  auto tas = make_lock("TAS", kOriginal);
+  EXPECT_TRUE(tas->supports_trylock());
+}

@@ -1,0 +1,154 @@
+// Unit tests for the runtime substrate: barrier, thread team, RNG
+// determinism, statistics, and timing helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "runtime/barrier.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/thread_team.hpp"
+#include "runtime/timer.hpp"
+
+namespace rr = resilock::runtime;
+
+TEST(SenseBarrier, AllThreadsPassTogetherAcrossEpochs) {
+  constexpr std::uint32_t kThreads = 4;
+  constexpr int kEpochs = 50;
+  rr::SenseBarrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::atomic<bool> mismatch{false};
+  rr::ThreadTeam::run(kThreads, [&](std::uint32_t) {
+    for (int e = 0; e < kEpochs; ++e) {
+      counter.fetch_add(1);
+      barrier.arrive_and_wait();
+      // Between the two barriers everyone must observe the full epoch.
+      if (counter.load() != static_cast<int>(kThreads) * (e + 1))
+        mismatch.store(true);
+      barrier.arrive_and_wait();
+    }
+  });
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(counter.load(), static_cast<int>(kThreads) * kEpochs);
+}
+
+TEST(SenseBarrier, SingleParticipantNeverBlocks) {
+  rr::SenseBarrier barrier(1);
+  for (int i = 0; i < 100; ++i) barrier.arrive_and_wait();
+  SUCCEED();
+}
+
+TEST(ThreadTeam, RunsEveryIndexExactlyOnce) {
+  std::atomic<std::uint32_t> mask{0};
+  rr::ThreadTeam::run(8, [&](std::uint32_t i) {
+    mask.fetch_or(1u << i);
+  });
+  EXPECT_EQ(mask.load(), 0xFFu);
+}
+
+TEST(ThreadTeam, ZeroThreadsIsANoop) {
+  bool ran = false;
+  rr::ThreadTeam::run(0, [&](std::uint32_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadTeam, SingleThreadRunsInline) {
+  const auto caller = std::this_thread::get_id();
+  std::thread::id body_id;
+  rr::ThreadTeam::run(1, [&](std::uint32_t) {
+    body_id = std::this_thread::get_id();
+  });
+  EXPECT_EQ(body_id, caller);
+}
+
+TEST(ThreadTeam, PropagatesFirstException) {
+  EXPECT_THROW(
+      rr::ThreadTeam::run(4,
+                          [&](std::uint32_t i) {
+                            if (i == 2) throw std::runtime_error("boom");
+                          }),
+      std::runtime_error);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  rr::Xoshiro256ss a(42), b(42), c(43);
+  bool all_equal = true, any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a(), vb = b(), vc = c();
+    all_equal = all_equal && (va == vb);
+    any_diff = any_diff || (va != vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  rr::Xoshiro256ss rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+  EXPECT_EQ(rng.bounded(0), 0u);
+  EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, BoundedCoversTheRange) {
+  rr::Xoshiro256ss rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Stats, MinMaxMeanMedianStddev) {
+  rr::RunStats s;
+  for (double v : {4.0, 1.0, 3.0, 2.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, OddMedianAndSingleSample) {
+  rr::RunStats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  s.add(1.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+}
+
+TEST(Stats, EmptyStatsThrow) {
+  rr::RunStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.median(), std::logic_error);
+}
+
+TEST(Stats, OverheadPercent) {
+  EXPECT_NEAR(rr::overhead_percent(2.0, 2.1), 5.0, 1e-9);
+  EXPECT_NEAR(rr::overhead_percent(2.0, 1.9), -5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(rr::overhead_percent(0.0, 1.0), 0.0);  // guarded
+}
+
+TEST(Timer, BusyWorkDependsOnUnits) {
+  // The value chain must differ for different unit counts (prevents the
+  // compiler from collapsing the workload).
+  EXPECT_NE(rr::busy_work(10), rr::busy_work(11));
+  EXPECT_EQ(rr::busy_work(10), rr::busy_work(10));
+}
+
+TEST(Timer, TimedSecondsIsPositiveAndOrdered) {
+  const double t_small = rr::timed_seconds([] { rr::busy_work(1000); });
+  EXPECT_GT(t_small, 0.0);
+}
+
+TEST(Timer, NowNsIsMonotonic) {
+  const auto a = rr::now_ns();
+  const auto b = rr::now_ns();
+  EXPECT_LE(a, b);
+}

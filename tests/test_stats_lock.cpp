@@ -1,0 +1,112 @@
+// Unit tests for the StatsLock instrumentation wrapper.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/clh.hpp"
+#include "core/mcs.hpp"
+#include "core/stats_lock.hpp"
+#include "core/tas.hpp"
+#include "core/ticket.hpp"
+#include "lock_test_util.hpp"
+
+using namespace resilock;
+namespace rt = resilock::test;
+
+TEST(StatsLock, CountsBalancedEpisodes) {
+  StatsLock<TicketLockResilient> lock;
+  for (int i = 0; i < 10; ++i) {
+    lock.acquire();
+    EXPECT_TRUE(lock.release());
+  }
+  const auto s = lock.snapshot();
+  EXPECT_EQ(s.acquisitions, 10u);
+  EXPECT_EQ(s.releases, 10u);
+  EXPECT_EQ(s.detected_misuses, 0u);
+}
+
+TEST(StatsLock, CountsDetectedMisuses) {
+  StatsLock<TatasLockResilient> lock;
+  EXPECT_FALSE(lock.release());  // misuse
+  lock.acquire();
+  std::thread t([&] { EXPECT_FALSE(lock.release()); });  // misuse
+  t.join();
+  EXPECT_TRUE(lock.release());
+  const auto s = lock.snapshot();
+  EXPECT_EQ(s.detected_misuses, 2u);
+  EXPECT_EQ(s.releases, 1u);
+}
+
+TEST(StatsLock, CountsTrylockOutcomes) {
+  StatsLock<TatasLockResilient> lock;
+  EXPECT_TRUE(lock.try_acquire());
+  std::thread t([&] { EXPECT_FALSE(lock.try_acquire()); });
+  t.join();
+  EXPECT_TRUE(lock.release());
+  const auto s = lock.snapshot();
+  EXPECT_EQ(s.trylock_attempts, 2u);
+  EXPECT_EQ(s.trylock_failures, 1u);
+  EXPECT_EQ(s.acquisitions, 1u);
+}
+
+TEST(StatsLock, ContentionRatioUnderLoad) {
+  StatsLock<TatasLockResilient> lock;
+  std::uint64_t counter = 0;
+  runtime::ThreadTeam::run(4, [&](std::uint32_t) {
+    for (int i = 0; i < 2000; ++i) {
+      lock.acquire();
+      ++counter;
+      ASSERT_TRUE(lock.release());
+    }
+  });
+  EXPECT_EQ(counter, 8000u);
+  const auto s = lock.snapshot();
+  EXPECT_EQ(s.acquisitions, 8000u);
+  EXPECT_EQ(s.releases, 8000u);
+  EXPECT_LE(s.contention_ratio(), 1.0);
+}
+
+TEST(StatsLock, WrapsContextLocks) {
+  StatsLock<McsLockResilient> lock;
+  StatsLock<McsLockResilient>::Context ctx;
+  lock.acquire(ctx);
+  EXPECT_TRUE(lock.release(ctx));
+  EXPECT_FALSE(lock.release(ctx));  // misuse via context
+  const auto s = lock.snapshot();
+  EXPECT_EQ(s.acquisitions, 1u);
+  EXPECT_EQ(s.detected_misuses, 1u);
+}
+
+TEST(StatsLock, WrapsClhWithoutTrylock) {
+  // CLH has no trylock: the contention probe must be compiled out, and
+  // the wrapper still functions.
+  StatsLock<ClhLockResilient> lock;
+  StatsLock<ClhLockResilient>::Context ctx;
+  for (int i = 0; i < 5; ++i) {
+    lock.acquire(ctx);
+    EXPECT_TRUE(lock.release(ctx));
+  }
+  const auto s = lock.snapshot();
+  EXPECT_EQ(s.acquisitions, 5u);
+  EXPECT_EQ(s.contended_acquisitions, 0u);
+}
+
+TEST(StatsLock, MutualExclusionPreserved) {
+  StatsLock<TicketLockResilient> lock;
+  rt::mutex_stress(lock, 4, 1000);
+}
+
+TEST(StatsLock, ResetClearsCounters) {
+  StatsLock<TatasLockResilient> lock;
+  lock.acquire();
+  lock.release();
+  lock.reset_stats();
+  const auto s = lock.snapshot();
+  EXPECT_EQ(s.acquisitions, 0u);
+  EXPECT_EQ(s.releases, 0u);
+}
+
+TEST(StatsLock, SnapshotRatioEmpty) {
+  StatsLock<TatasLockResilient> lock;
+  EXPECT_DOUBLE_EQ(lock.snapshot().contention_ratio(), 0.0);
+}

@@ -1,0 +1,235 @@
+// Unit tests for the software-only locks (§5 and Appendix A): Peterson,
+// Fischer, Lamport fast 1/2, Bakery.
+//
+// Fischer and Lamport Algo 1 carry a real-time delay assumption; tests
+// bound thread counts and use generous delays so the assumption holds in
+// practice (see the header comments of the locks).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/sw/bakery.hpp"
+#include "core/sw/fischer.hpp"
+#include "core/sw/lamport_fast.hpp"
+#include "core/sw/peterson.hpp"
+#include "runtime/thread_team.hpp"
+#include "verify/checkers.hpp"
+
+using namespace resilock;
+namespace rv = resilock::verify;
+
+// ---------------------------- Peterson ---------------------------------
+
+TEST(Peterson, TwoThreadMutualExclusion) {
+  PetersonLock lock;
+  std::uint64_t counter = 0;
+  runtime::ThreadTeam::run(2, [&](std::uint32_t tid) {
+    for (int i = 0; i < 20000; ++i) {
+      lock.acquire(tid);
+      ++counter;
+      lock.release(tid);
+    }
+  });
+  EXPECT_EQ(counter, 40000u);
+}
+
+TEST(Peterson, MisuseByIdleThreadIsNoop) {
+  PetersonLock lock;
+  lock.acquire(0);
+  EXPECT_TRUE(lock.release(1));  // thread 1 is idle: side-effect free
+  std::atomic<bool> t1_in{false};
+  rv::Probe t1([&] {
+    lock.acquire(1);
+    t1_in.store(true);
+    lock.release(1);
+  });
+  EXPECT_FALSE(rv::wait_for([&] { return t1_in.load(); },
+                            rv::milliseconds{200}));  // still excluded
+  lock.release(0);
+  t1.join();
+  EXPECT_TRUE(t1_in.load());
+}
+
+TEST(Peterson, MisuseByWaitingThreadOnlyCancelsItsIntent) {
+  PetersonLock lock;
+  lock.acquire(0);
+  lock.release(1);  // "waiting" thread 1 gives up its (nonexistent) claim
+  lock.release(0);
+  lock.acquire(1);  // and can still lock later
+  EXPECT_TRUE(lock.release(1));
+}
+
+// ----------------------------- Fischer ---------------------------------
+
+template <typename L>
+class FischerTest : public ::testing::Test {};
+using FischerTypes = ::testing::Types<FischerLock, FischerLockResilient>;
+TYPED_TEST_SUITE(FischerTest, FischerTypes);
+
+TYPED_TEST(FischerTest, SingleThreadRoundTrips) {
+  TypeParam lock(64);
+  for (int i = 0; i < 100; ++i) {
+    lock.acquire();
+    EXPECT_TRUE(lock.release());
+  }
+}
+
+TYPED_TEST(FischerTest, TwoThreadMutualExclusion) {
+  TypeParam lock(4096);
+  std::uint64_t counter = 0;
+  runtime::ThreadTeam::run(2, [&](std::uint32_t) {
+    for (int i = 0; i < 2000; ++i) {
+      lock.acquire();
+      ++counter;
+      lock.release();
+    }
+  });
+  EXPECT_EQ(counter, 4000u);
+}
+
+TEST(FischerResilient, NonOwnerReleaseRefused) {
+  FischerLockResilient lock(64);
+  EXPECT_FALSE(lock.release());
+  lock.acquire();
+  std::thread t([&] { EXPECT_FALSE(lock.release()); });
+  t.join();
+  EXPECT_TRUE(lock.release());
+}
+
+TEST(FischerOriginal, NonOwnerReleaseOpensGate) {
+  FischerLock lock(64);
+  lock.acquire();
+  std::thread t([&] { EXPECT_TRUE(lock.release()); });  // undetected
+  t.join();
+  // Gate now open: another acquire succeeds while "we" still hold it.
+  std::thread t2([&] {
+    lock.acquire();
+    lock.release();
+  });
+  t2.join();
+  SUCCEED();
+}
+
+// ------------------------- Lamport fast 1/2 ----------------------------
+
+template <typename L>
+class Lamport1Test : public ::testing::Test {};
+using Lamport1Types =
+    ::testing::Types<LamportFast1Lock, LamportFast1LockResilient>;
+TYPED_TEST_SUITE(Lamport1Test, Lamport1Types);
+
+TYPED_TEST(Lamport1Test, SingleThreadRoundTrips) {
+  TypeParam lock(64);
+  for (int i = 0; i < 100; ++i) {
+    lock.acquire();
+    EXPECT_TRUE(lock.release());
+  }
+}
+
+TYPED_TEST(Lamport1Test, TwoThreadMutualExclusion) {
+  TypeParam lock(4096);
+  std::uint64_t counter = 0;
+  runtime::ThreadTeam::run(2, [&](std::uint32_t) {
+    for (int i = 0; i < 2000; ++i) {
+      lock.acquire();
+      ++counter;
+      lock.release();
+    }
+  });
+  EXPECT_EQ(counter, 4000u);
+}
+
+TEST(Lamport1Resilient, NonOwnerReleaseRefused) {
+  LamportFast1LockResilient lock(64);
+  EXPECT_FALSE(lock.release());
+  lock.acquire();
+  std::thread t([&] { EXPECT_FALSE(lock.release()); });
+  t.join();
+  EXPECT_TRUE(lock.release());
+}
+
+template <typename L>
+class Lamport2Test : public ::testing::Test {};
+using Lamport2Types =
+    ::testing::Types<LamportFast2Lock, LamportFast2LockResilient>;
+TYPED_TEST_SUITE(Lamport2Test, Lamport2Types);
+
+TYPED_TEST(Lamport2Test, SingleThreadRoundTrips) {
+  TypeParam lock(16);
+  for (int i = 0; i < 100; ++i) {
+    lock.acquire();
+    EXPECT_TRUE(lock.release());
+  }
+}
+
+TYPED_TEST(Lamport2Test, MutualExclusionFourThreads) {
+  // Algorithm 2 is correct without timing assumptions: stress harder.
+  TypeParam lock(64);
+  std::uint64_t counter = 0;
+  runtime::ThreadTeam::run(4, [&](std::uint32_t) {
+    for (int i = 0; i < 1000; ++i) {
+      lock.acquire();
+      ++counter;
+      lock.release();
+    }
+  });
+  EXPECT_EQ(counter, 4000u);
+}
+
+TEST(Lamport2Resilient, NonOwnerReleaseRefused) {
+  LamportFast2LockResilient lock(64);
+  EXPECT_FALSE(lock.release());
+  lock.acquire();
+  std::thread t([&] { EXPECT_FALSE(lock.release()); });
+  t.join();
+  EXPECT_TRUE(lock.release());
+}
+
+// ------------------------------ Bakery ---------------------------------
+
+TEST(Bakery, SingleThreadRoundTrips) {
+  BakeryLock lock(8);
+  for (int i = 0; i < 100; ++i) {
+    lock.acquire();
+    EXPECT_TRUE(lock.release());
+  }
+}
+
+TEST(Bakery, MutualExclusionFourThreads) {
+  BakeryLock lock(64);
+  std::uint64_t counter = 0;
+  runtime::ThreadTeam::run(4, [&](std::uint32_t) {
+    for (int i = 0; i < 1000; ++i) {
+      lock.acquire();
+      ++counter;
+      lock.release();
+    }
+  });
+  EXPECT_EQ(counter, 4000u);
+}
+
+TEST(Bakery, MisuseIsSideEffectFree) {
+  // Appendix A.1: resetting the caller's own (zero) number is a no-op.
+  BakeryLock lock(64);
+  std::atomic<bool> holder_out{false};
+  rv::Probe holder([&] {
+    lock.acquire();
+    rv::wait_for([&] { return holder_out.load(); }, rv::milliseconds{3000});
+    lock.release();
+  });
+  rv::wait_for([&] { return false; }, rv::milliseconds{50});
+  EXPECT_TRUE(lock.release());  // misuse from this (idle) thread
+  std::atomic<bool> t2_in{false};
+  rv::Probe t2([&] {
+    lock.acquire();
+    t2_in.store(true);
+    lock.release();
+  });
+  EXPECT_FALSE(rv::wait_for([&] { return t2_in.load(); },
+                            rv::milliseconds{200}));  // still excluded
+  holder_out.store(true);
+  holder.join();
+  t2.join();
+  EXPECT_TRUE(t2_in.load());
+}

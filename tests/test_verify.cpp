@@ -1,0 +1,84 @@
+// Unit tests for the verify substrate itself: the checkers must be
+// trustworthy before the misuse matrix built on them can be.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "runtime/thread_team.hpp"
+#include "verify/checkers.hpp"
+
+namespace rv = resilock::verify;
+
+TEST(MutexChecker, TracksSingleThread) {
+  rv::MutexChecker chk;
+  EXPECT_EQ(chk.current(), 0);
+  chk.enter();
+  EXPECT_EQ(chk.current(), 1);
+  chk.exit();
+  EXPECT_EQ(chk.current(), 0);
+  EXPECT_EQ(chk.max_simultaneous(), 1);
+  EXPECT_FALSE(chk.violated());
+}
+
+TEST(MutexChecker, RecordsOverlapAsViolation) {
+  rv::MutexChecker chk;
+  chk.enter();
+  chk.enter();  // simulated second thread
+  EXPECT_EQ(chk.current(), 2);
+  EXPECT_TRUE(chk.violated());
+  chk.exit();
+  chk.exit();
+  EXPECT_EQ(chk.max_simultaneous(), 2);  // high-water mark persists
+}
+
+TEST(MutexChecker, HighWaterMarkIsMonotonicUnderConcurrency) {
+  rv::MutexChecker chk;
+  resilock::runtime::ThreadTeam::run(4, [&](std::uint32_t) {
+    for (int i = 0; i < 5000; ++i) {
+      chk.enter();
+      chk.exit();
+    }
+  });
+  EXPECT_EQ(chk.current(), 0);
+  EXPECT_GE(chk.max_simultaneous(), 1);
+  EXPECT_LE(chk.max_simultaneous(), 4);
+}
+
+TEST(WaitFor, ReturnsTrueWhenPredicateBecomesTrue) {
+  std::atomic<bool> flag{false};
+  std::thread t([&] { flag.store(true); });
+  EXPECT_TRUE(rv::wait_for([&] { return flag.load(); },
+                           rv::milliseconds{2000}));
+  t.join();
+}
+
+TEST(WaitFor, TimesOutOnFalsePredicate) {
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(rv::wait_for([] { return false; }, rv::milliseconds{50}));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, rv::milliseconds{45});
+}
+
+TEST(Probe, FinishedWithinDetectsCompletion) {
+  rv::Probe quick([] {});
+  EXPECT_TRUE(quick.finished_within(rv::milliseconds{2000}));
+  quick.join();
+}
+
+TEST(Probe, FinishedWithinDetectsStall) {
+  std::atomic<bool> release{false};
+  rv::Probe stalled([&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  EXPECT_FALSE(stalled.finished_within(rv::milliseconds{100}));
+  release.store(true);
+  EXPECT_TRUE(rv::wait_for([&] { return stalled.done(); },
+                           rv::milliseconds{2000}));
+  stalled.join();
+}
+
+TEST(Probe, DestructorJoinsCompletedThread) {
+  { rv::Probe p([] {}); }  // must not leak or crash
+  SUCCEED();
+}
