@@ -28,7 +28,7 @@ void BM_LockThroughput(benchmark::State& state, const std::string& name,
 
 struct Register {
   Register() {
-    for (const auto& name : lock_names()) {
+    for (const auto& name : base_lock_names()) {
       for (auto flavor : {kOriginal, kResilient}) {
         const std::string bench_name =
             "lock/" + name + "/" + to_string(flavor);

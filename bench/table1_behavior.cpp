@@ -31,5 +31,18 @@ int main() {
   }
   std::printf("\nrows matching the paper's mutex/prevention claims: %zu/%zu\n",
               rows.size() - mismatches, rows.size());
+
+  // The generic ownership shield (src/shield/) over the ORIGINAL
+  // protocols must deliver what the bespoke in-protocol fixes deliver.
+  std::printf("\n=== Shield<original> vs native resilient ===\n\n");
+  const auto shield_rows = resilock::verify::run_shield_matrix();
+  resilock::verify::print_shield_matrix(shield_rows);
+  for (const auto& r : shield_rows) {
+    if (!r.shield_matches_native()) {
+      std::printf("MISMATCH (%s): shield<original> diverges from native "
+                  "resilient\n", r.lock.c_str());
+      ++mismatches;
+    }
+  }
   return mismatches == 0 ? 0 : 1;
 }

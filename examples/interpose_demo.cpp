@@ -43,12 +43,12 @@ int main() {
   std::printf("== interpose_demo: same workload, every algorithm "
               "(%u threads x %llu ops) ==\n\n",
               kThreads, static_cast<unsigned long long>(kIters));
-  std::printf("%-12s %14s %14s %10s\n", "lock", "original Mops",
+  std::printf("%-20s %14s %14s %10s\n", "lock", "original Mops",
               "resilient Mops", "overhead");
   for (const auto& name : lock_names()) {
     const double orig = mops_for(name, kOriginal, kThreads, kIters);
     const double resi = mops_for(name, kResilient, kThreads, kIters);
-    std::printf("%-12s %14.2f %14.2f %9.1f%%\n", name.c_str(), orig, resi,
+    std::printf("%-20s %14.2f %14.2f %9.1f%%\n", name.c_str(), orig, resi,
                 (orig / resi - 1.0) * 100.0);
   }
   std::printf("\nPositive overhead = the price of misuse detection; "

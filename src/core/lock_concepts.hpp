@@ -32,6 +32,10 @@ concept ContextLock = requires(L l, typename L::Context& c) {
   { l.release(c) } -> std::same_as<bool>;
 };
 
+// Anything the library can drive generically: either family.
+template <typename L>
+concept Lockable = PlainLock<L> || ContextLock<L>;
+
 template <typename L>
 concept TryLockable = requires(L l) {
   { l.try_acquire() } -> std::same_as<bool>;

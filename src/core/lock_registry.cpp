@@ -18,6 +18,7 @@
 #include "core/partitioned_ticket.hpp"
 #include "core/tas.hpp"
 #include "core/ticket.hpp"
+#include "shield/shield.hpp"
 
 namespace resilock {
 namespace {
@@ -26,30 +27,36 @@ using Factory = std::function<std::unique_ptr<AnyLock>(
     Resilience, const platform::Topology&)>;
 
 // One factory per algorithm; the flavor decides which template
-// instantiation backs it.
-template <template <Resilience> class LockT>
+// instantiation backs it. `Wrap` optionally interposes an adapter
+// around the flavored lock — the identity by default, Shield for the
+// "shield<X>" composites (flavor still selects the BASE protocol; the
+// shield's own policy comes from RESILOCK_SHIELD_POLICY).
+template <typename T>
+using Identity = T;
+
+template <template <Resilience> class LockT,
+          template <typename> class Wrap = Identity>
 Factory simple_factory(const char* name) {
-  return [name](Resilience r, const platform::Topology&) {
-    std::unique_ptr<AnyLock> p;
+  return [name](Resilience r,
+                const platform::Topology&) -> std::unique_ptr<AnyLock> {
     if (r == kOriginal) {
-      p = std::make_unique<AnyLockAdapter<LockT<kOriginal>>>(name);
-    } else {
-      p = std::make_unique<AnyLockAdapter<LockT<kResilient>>>(name);
+      return std::make_unique<AnyLockAdapter<Wrap<LockT<kOriginal>>>>(name);
     }
-    return p;
+    return std::make_unique<AnyLockAdapter<Wrap<LockT<kResilient>>>>(name);
   };
 }
 
-template <template <Resilience> class LockT>
+template <template <Resilience> class LockT,
+          template <typename> class Wrap = Identity>
 Factory topo_factory(const char* name) {
-  return [name](Resilience r, const platform::Topology& topo) {
-    std::unique_ptr<AnyLock> p;
+  return [name](Resilience r, const platform::Topology& topo)
+             -> std::unique_ptr<AnyLock> {
     if (r == kOriginal) {
-      p = std::make_unique<AnyLockAdapter<LockT<kOriginal>>>(name, topo);
-    } else {
-      p = std::make_unique<AnyLockAdapter<LockT<kResilient>>>(name, topo);
+      return std::make_unique<AnyLockAdapter<Wrap<LockT<kOriginal>>>>(name,
+                                                                      topo);
     }
-    return p;
+    return std::make_unique<AnyLockAdapter<Wrap<LockT<kResilient>>>>(name,
+                                                                     topo);
   };
 }
 
@@ -82,6 +89,41 @@ const std::map<std::string, Factory, std::less<>>& registry() {
       {"C-MCS-MCS", topo_factory<CMcsMcsLock>("C-MCS-MCS")},
       {"C-TKT-MCS", topo_factory<CTktMcsLock>("C-TKT-MCS")},
       {"C-PTKT-TKT", topo_factory<CPtktTktLock>("C-PTKT-TKT")},
+      // Ownership-shield composites (src/shield/): shield<X> is X behind
+      // the generic misuse shield. Every base algorithm is covered so
+      // locks with no bespoke resilient variant still get protection.
+      {"shield<TAS>", simple_factory<TasTatas, Shield>("shield<TAS>")},
+      {"shield<TAS_SWAP>",
+       simple_factory<TasSwap, Shield>("shield<TAS_SWAP>")},
+      {"shield<TAS_BO>",
+       simple_factory<TasBackoff, Shield>("shield<TAS_BO>")},
+      {"shield<Ticket>",
+       simple_factory<BasicTicketLock, Shield>("shield<Ticket>")},
+      {"shield<PTKT>",
+       simple_factory<BasicPartitionedTicketLock, Shield>("shield<PTKT>")},
+      {"shield<ABQL>",
+       simple_factory<BasicAndersonLock, Shield>("shield<ABQL>")},
+      {"shield<GT>",
+       simple_factory<BasicGraunkeThakkarLock, Shield>("shield<GT>")},
+      {"shield<MCS>", simple_factory<BasicMcsLock, Shield>("shield<MCS>")},
+      {"shield<CLH>", simple_factory<BasicClhLock, Shield>("shield<CLH>")},
+      {"shield<MCS_K42>",
+       simple_factory<BasicMcsK42Lock, Shield>("shield<MCS_K42>")},
+      {"shield<Hemlock>",
+       simple_factory<BasicHemlock, Shield>("shield<Hemlock>")},
+      {"shield<HMCS>", topo_factory<BasicHmcsLock, Shield>("shield<HMCS>")},
+      {"shield<AHMCS>", topo_factory<BasicAhmcsLock, Shield>("shield<AHMCS>")},
+      {"shield<HCLH>", topo_factory<BasicHclhLock, Shield>("shield<HCLH>")},
+      {"shield<HBO>", topo_factory<BasicHboLock, Shield>("shield<HBO>")},
+      {"shield<C-BO-BO>", topo_factory<CBoBoLock, Shield>("shield<C-BO-BO>")},
+      {"shield<C-TKT-TKT>",
+       topo_factory<CTktTktLock, Shield>("shield<C-TKT-TKT>")},
+      {"shield<C-MCS-MCS>",
+       topo_factory<CMcsMcsLock, Shield>("shield<C-MCS-MCS>")},
+      {"shield<C-TKT-MCS>",
+       topo_factory<CTktMcsLock, Shield>("shield<C-TKT-MCS>")},
+      {"shield<C-PTKT-TKT>",
+       topo_factory<CPtktTktLock, Shield>("shield<C-PTKT-TKT>")},
   };
   return r;
 }
@@ -92,6 +134,17 @@ const std::vector<std::string>& lock_names() {
   static const std::vector<std::string> names = [] {
     std::vector<std::string> v;
     for (const auto& [name, _] : registry()) v.push_back(name);
+    return v;
+  }();
+  return names;
+}
+
+const std::vector<std::string>& base_lock_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const auto& name : lock_names()) {
+      if (!is_shielded_name(name)) v.push_back(name);
+    }
     return v;
   }();
   return names;
@@ -115,6 +168,28 @@ std::unique_ptr<AnyLock> make_lock(std::string_view name, Resilience r,
                             std::string(name));
   }
   return it->second(r, topo);
+}
+
+std::string shielded_name(std::string_view base) {
+  std::string s;
+  s.reserve(base.size() + 8);
+  s += "shield<";
+  s += base;
+  s += '>';
+  return s;
+}
+
+bool is_shielded_name(std::string_view name) {
+  return !shield_base_name(name).empty();
+}
+
+std::string_view shield_base_name(std::string_view name) {
+  constexpr std::string_view prefix = "shield<";
+  if (name.size() > prefix.size() + 1 && name.substr(0, prefix.size()) == prefix &&
+      name.back() == '>') {
+    return name.substr(prefix.size(), name.size() - prefix.size() - 1);
+  }
+  return {};
 }
 
 }  // namespace resilock

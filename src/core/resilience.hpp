@@ -49,4 +49,25 @@ inline void set_misuse_checks(bool enabled) noexcept {
   detail::misuse_check_flag().store(enabled, std::memory_order_relaxed);
 }
 
+// RAII toggle for the process-global check flag. set_misuse_checks() is
+// global state; a test or bench that flips it and then exits early (an
+// ASSERT, an exception) leaks the setting into everything that runs
+// after it. The guard restores the previous value on scope exit:
+//
+//   { MisuseCheckGuard off(false);  /* §5 hand-off section */ }
+//   // checks are back to whatever they were
+class MisuseCheckGuard {
+ public:
+  explicit MisuseCheckGuard(bool enabled)
+      : previous_(misuse_checks_enabled()) {
+    set_misuse_checks(enabled);
+  }
+  ~MisuseCheckGuard() { set_misuse_checks(previous_); }
+  MisuseCheckGuard(const MisuseCheckGuard&) = delete;
+  MisuseCheckGuard& operator=(const MisuseCheckGuard&) = delete;
+
+ private:
+  const bool previous_;
+};
+
 }  // namespace resilock

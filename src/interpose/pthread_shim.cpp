@@ -1,6 +1,8 @@
 #include "interpose/pthread_shim.hpp"
 
 #include <cerrno>
+#include <cstdlib>
+#include <string>
 
 #include "core/any_lock.hpp"
 #include "core/lock_registry.hpp"
@@ -14,14 +16,35 @@ AnyLock* impl_of(rl_mutex_t* m) {
 }
 }  // namespace
 
+bool shield_interposition_enabled() {
+  // Interposed pthread programs get the ownership shield for free
+  // (src/shield/): any misuse is intercepted before the protocol sees
+  // it, whatever algorithm and flavor were selected. RESILOCK_SHIELD=0
+  // opts out and exposes the bare algorithm.
+  static const bool on = [] {
+    const char* v = std::getenv("RESILOCK_SHIELD");
+    return !(v != nullptr && v[0] == '0' && v[1] == '\0');
+  }();
+  return on;
+}
+
+std::string interposed_lock_name(std::string_view base) {
+  if (shield_interposition_enabled() && !is_shielded_name(base)) {
+    std::string shielded = shielded_name(base);
+    if (is_lock_name(shielded)) return shielded;
+  }
+  return std::string(base);
+}
+
 int rl_mutex_init(rl_mutex_t* m, const char* algorithm, int resilient) {
   if (m == nullptr) return EINVAL;
-  const std::string_view name =
+  const std::string_view base =
       algorithm != nullptr ? std::string_view(algorithm)
                            : std::string_view(default_algorithm());
-  if (!is_lock_name(name)) return EINVAL;
-  m->impl =
-      make_lock(name, resilient ? kResilient : kOriginal).release();
+  if (!is_lock_name(base)) return EINVAL;
+  m->impl = make_lock(interposed_lock_name(base),
+                      resilient ? kResilient : kOriginal)
+                .release();
   return 0;
 }
 

@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 
 namespace resilock::interpose {
 
@@ -25,7 +27,27 @@ struct rl_mutex_t {
   void* impl;  // owned; opaque to C callers
 };
 
-// Returns 0 on success, EINVAL for an unknown algorithm name.
+// True unless RESILOCK_SHIELD=0: interposed mutexes are wrapped in the
+// generic ownership shield (src/shield/), so misuse is intercepted
+// before the selected protocol sees it — protection "for free" even for
+// algorithms with no bespoke resilient variant.
+bool shield_interposition_enabled();
+
+// The registry name an interposed mutex should instantiate for `base`:
+// upgrades to "shield<base>" when shield interposition is on, the name
+// is not already a shield composite, and the composite is registered.
+// The C shim applies this to EVERY rl_mutex_init (explicit algorithm
+// names included — C callers are the "interposed program" the shield
+// protects for free); TransparentMutex applies it only to its
+// environment-selected default, since its explicit constructor is the
+// in-process C++ API where callers name an exact registry entry.
+std::string interposed_lock_name(std::string_view base);
+
+// Returns 0 on success, EINVAL for an unknown algorithm name. The
+// mutex is routed through the ownership shield (even for an explicitly
+// named algorithm; `resilient` selects the BASE flavor behind it)
+// unless RESILOCK_SHIELD=0 — set that to study an algorithm's bare
+// misuse behavior through this API.
 int rl_mutex_init(rl_mutex_t* m, const char* algorithm, int resilient);
 
 // Returns 0. Blocks until the lock is held.

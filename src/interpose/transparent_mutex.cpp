@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "interpose/pthread_shim.hpp"
+
 namespace resilock::interpose {
 
 const std::string& default_algorithm() {
@@ -22,8 +24,19 @@ Resilience default_resilience() {
   return r;
 }
 
+namespace {
+// Environment-selected mutexes ride through the ownership shield unless
+// RESILOCK_SHIELD=0 (interposed_lock_name, shared with the C shim);
+// explicitly constructed ones take exactly the algorithm they asked for.
+const std::string& default_interposed_algorithm() {
+  static const std::string name = interposed_lock_name(default_algorithm());
+  return name;
+}
+}  // namespace
+
 TransparentMutex::TransparentMutex()
-    : impl_(make_lock(default_algorithm(), default_resilience())) {}
+    : impl_(make_lock(default_interposed_algorithm(),
+                      default_resilience())) {}
 
 TransparentMutex::TransparentMutex(std::string_view algorithm, Resilience r)
     : impl_(make_lock(algorithm, r)) {}

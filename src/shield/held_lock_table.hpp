@@ -1,0 +1,130 @@
+// Per-thread held-locks table — the shield's source of truth for "does
+// the calling thread hold this lock, and how deep?".
+//
+// Modeled on the glibc `shield_arr` layer from the Lock-Bench companion
+// repo (SNIPPETS.md): a small thread-local array of (lock, recursion
+// count) entries consulted before every acquire/release. Two bugs in
+// that exemplar are fixed here:
+//
+//   1. Off-by-one: its lookup/insert guard is `lock_count <= MAX_LOCKS`,
+//      so the insert at `lock_table[lock_count]` writes one past the end
+//      of the array when the table is full, and its decrement guard is
+//      `lock_count < MAX_LOCKS`, so a release with an *exactly full*
+//      table is refused as unbalanced even though the entry is present.
+//   2. Overflow loss: once more than MAX_LOCKS locks are held the extra
+//      entries are silently dropped, and every later unlock of a dropped
+//      lock is misreported as unbalanced.
+//
+// Here the fixed-size array is only the fast path (kFastSlots covers the
+// common "a thread holds a handful of locks" case with zero allocation);
+// deeper nests spill into a per-thread hash map, so the table is exact
+// at any depth. Everything is thread-local: no atomics, no sharing.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace resilock::shield {
+
+class HeldLockTable {
+ public:
+  // Sized for the common case; PARSEC-style apps rarely nest deeper
+  // than a few locks per thread. Beyond this the spill map takes over.
+  static constexpr std::size_t kFastSlots = 8;
+
+  // Sentinel returned by note_released() when the calling thread does
+  // not hold the lock at all.
+  static constexpr int kNotHeld = -1;
+
+  // The calling thread's table (lazily constructed thread-local).
+  static HeldLockTable& mine() {
+    thread_local HeldLockTable table;
+    return table;
+  }
+
+  // Recursion depth of `lock` in this thread's table; 0 when not held.
+  std::uint32_t depth(const void* lock) const {
+    for (std::size_t i = 0; i < fast_count_; ++i) {
+      if (fast_[i].lock == lock) return fast_[i].depth;
+    }
+    if (!spill_.empty()) {
+      auto it = spill_.find(lock);
+      if (it != spill_.end()) return it->second;
+    }
+    return 0;
+  }
+
+  bool holds(const void* lock) const { return depth(lock) > 0; }
+
+  // Records one acquisition: inserts with depth 1, or bumps the
+  // recursion count when already held (absorbed reentrant acquire).
+  void note_acquired(const void* lock) {
+    for (std::size_t i = 0; i < fast_count_; ++i) {
+      if (fast_[i].lock == lock) {
+        ++fast_[i].depth;
+        return;
+      }
+    }
+    if (!spill_.empty()) {
+      auto it = spill_.find(lock);
+      if (it != spill_.end()) {
+        ++it->second;
+        return;
+      }
+    }
+    if (fast_count_ < kFastSlots) {  // strict <: the exemplar's OOB fix
+      fast_[fast_count_++] = Entry{lock, 1};
+    } else {
+      ++spill_[lock];
+    }
+  }
+
+  // Records one release. Returns the remaining recursion depth (0 means
+  // the lock is now fully released and the entry is gone), or kNotHeld
+  // when the calling thread does not hold `lock` — the shield's
+  // unbalanced-unlock signal.
+  int note_released(const void* lock) {
+    for (std::size_t i = 0; i < fast_count_; ++i) {
+      if (fast_[i].lock != lock) continue;
+      if (fast_[i].depth > 1) return static_cast<int>(--fast_[i].depth);
+      // Compact: move the last fast entry into the freed slot, then
+      // promote one spilled entry so the fast path stays full.
+      fast_[i] = fast_[--fast_count_];
+      if (!spill_.empty()) {
+        auto it = spill_.begin();
+        fast_[fast_count_++] = Entry{it->first, it->second};
+        spill_.erase(it);
+      }
+      return 0;
+    }
+    if (!spill_.empty()) {
+      auto it = spill_.find(lock);
+      if (it != spill_.end()) {
+        if (it->second > 1) return static_cast<int>(--it->second);
+        spill_.erase(it);
+        return 0;
+      }
+    }
+    return kNotHeld;
+  }
+
+  // Number of distinct locks this thread currently holds.
+  std::size_t held_count() const { return fast_count_ + spill_.size(); }
+
+  // True while every held lock fits in the no-allocation fast path.
+  bool fast_path_only() const { return spill_.empty(); }
+
+ private:
+  struct Entry {
+    const void* lock = nullptr;
+    std::uint32_t depth = 0;
+  };
+
+  std::array<Entry, kFastSlots> fast_{};
+  std::size_t fast_count_ = 0;
+  std::unordered_map<const void*, std::uint32_t> spill_;
+};
+
+}  // namespace resilock::shield

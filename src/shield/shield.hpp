@@ -1,0 +1,290 @@
+// Shield<L>: a lock-agnostic ownership shield around any lock in src/core.
+//
+// The paper's remedies live *inside* each protocol (one bespoke
+// kResilient fix per lock). The shield is the complementary design the
+// paper contrasts them with: a generic ownership-tracking layer in front
+// of the protocol — glibc's shield_arr approach from the Lock-Bench
+// companion repo — that stops unbalanced unlock(), double unlock,
+// unlock-by-non-owner, and (non-reentrant) relock *before they reach the
+// protocol*. Because the base protocol never observes the misuse, even a
+// kOriginal lock behind a shield keeps mutual exclusion and liveness
+// under misuse, at the cost of one thread-local table probe per
+// operation (bench/shield_overhead.cpp quantifies it against the native
+// in-protocol checks).
+//
+// Interception map (policy decides the consequence, see policy.hpp):
+//   acquire while already holding  -> kReentrantRelock
+//       suppress: absorbed as a recursion-depth bump (the §3.9 reentrant
+//       remedy), so the matching release is absorbed too.
+//   release while not holding      -> classified by the shield's owner
+//       tag: another thread holds it  -> kNonOwnerUnlock
+//             nobody holds, caller was the previous owner
+//                                     -> kDoubleUnlock
+//             otherwise               -> kUnbalancedUnlock
+//
+// The §5 escape hatch is honored: with misuse_checks_enabled() == false
+// (RESILOCK_DISABLE_CHECK=1) the shield forwards everything verbatim, so
+// hand-off designs where one thread acquires and another releases work
+// exactly as they do on the unshielded lock.
+//
+// Shield<L> satisfies the same Lockable shape as L (PlainLock stays
+// plain, ContextLock keeps its Context), so it composes with LockGuard,
+// StatsLock, AnyLockAdapter, and the registry.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <type_traits>
+#include <utility>
+
+#include "core/generic.hpp"
+#include "core/lock_concepts.hpp"
+#include "core/resilience.hpp"
+#include "platform/thread_registry.hpp"
+#include "shield/held_lock_table.hpp"
+#include "shield/policy.hpp"
+#include "shield/shield_stats.hpp"
+
+namespace resilock::shield {
+
+template <typename Base>
+class Shield {
+  static constexpr std::uint32_t kNoOwner = 0;
+
+ public:
+  using Context = context_of_t<Base>;
+
+  Shield() : policy_(default_shield_policy()) {}
+
+  // Per-instance policy override, plus perfect forwarding to the base
+  // (topology-aware locks take their Topology through here).
+  template <typename... Args>
+  explicit Shield(ShieldPolicy policy, Args&&... args)
+      : base_(std::forward<Args>(args)...), policy_(policy) {}
+
+  // Base-constructor forwarding with the process-default policy.
+  template <typename First, typename... Rest,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<First>, ShieldPolicy> &&
+                !std::is_same_v<std::decay_t<First>, Shield>>>
+  explicit Shield(First&& first, Rest&&... rest)
+      : base_(std::forward<First>(first), std::forward<Rest>(rest)...),
+        policy_(default_shield_policy()) {}
+
+  Shield(const Shield&) = delete;
+  Shield& operator=(const Shield&) = delete;
+
+  void acquire(Context& ctx) {
+    if (HeldLockTable::mine().holds(this) && confirm_held_or_heal() &&
+        misuse_checks_enabled()) {
+      if (intercept_relock()) return;  // absorbed as a depth bump
+    }
+    generic_acquire(base_, ctx);
+    note_base_acquired(ctx);
+  }
+
+  bool try_acquire(Context& ctx)
+    requires(generic_has_trylock<Base>())
+  {
+    if (HeldLockTable::mine().holds(this) && confirm_held_or_heal() &&
+        misuse_checks_enabled()) {
+      if (intercept_relock()) return true;  // absorbed
+      return generic_try_acquire(base_, ctx) &&
+             (note_base_acquired(ctx), true);  // kPassThrough: faithful
+    }
+    if (!generic_try_acquire(base_, ctx)) return false;
+    note_base_acquired(ctx);
+    return true;
+  }
+
+  bool release(Context& ctx) {
+    const std::uint32_t me = platform::self_pid() + 1;
+    auto& tbl = HeldLockTable::mine();
+    int remaining = tbl.note_released(this);
+    if (remaining != HeldLockTable::kNotHeld &&
+        owner_.load(std::memory_order_relaxed) != me) {
+      // Stale entry: the lock left this thread through the §5 escape
+      // hatch (cross-thread release with checks disabled). Releasing on
+      // the strength of that entry would free a lock some *other*
+      // thread may now hold — drain the stale depth and treat this call
+      // as releasing a lock the thread does not hold.
+      while (tbl.note_released(this) > 0) {
+      }
+      remaining = HeldLockTable::kNotHeld;
+    }
+    if (remaining > 0) {  // matching release of an absorbed relock
+      counters_.bump_release();
+      return true;
+    }
+    if (remaining == 0) {  // balanced: the base really gets released
+      last_owner_.store(me, std::memory_order_relaxed);
+      owner_.store(kNoOwner, std::memory_order_relaxed);
+      bool ok;
+      if constexpr (ContextLock<Base>) {
+        // The base was acquired with the context recorded at acquire
+        // time; an absorbed relock may hand release() a context the
+        // base never enqueued (self-deadlock bait).
+        Context* base_ctx = active_ctx_;
+        active_ctx_ = nullptr;
+        ok = generic_release(base_, base_ctx != nullptr ? *base_ctx : ctx);
+      } else {
+        ok = generic_release(base_, ctx);
+      }
+      counters_.bump_release();
+      return ok;
+    }
+    // Not held by this thread.
+    if (!misuse_checks_enabled()) {
+      // §5 escape hatch: trust the caller and behave like the base.
+      // Clearing the owner tag lets the acquiring thread's stale table
+      // entry self-heal on its next acquire (confirm_held_or_heal).
+      owner_.store(kNoOwner, std::memory_order_relaxed);
+      return generic_release(base_, ctx);
+    }
+    const MisuseKind kind = classify_release(me);
+    if (apply_policy(kind)) return false;  // suppressed
+    return generic_release(base_, ctx);    // kPassThrough: faithful
+  }
+
+  // PlainLock convenience overloads (the context is stateless).
+  void acquire()
+    requires(std::is_same_v<Context, NoContext>)
+  {
+    NoContext c;
+    acquire(c);
+  }
+  bool release()
+    requires(std::is_same_v<Context, NoContext>)
+  {
+    NoContext c;
+    return release(c);
+  }
+  bool try_acquire()
+    requires(std::is_same_v<Context, NoContext> &&
+             generic_has_trylock<Base>())
+  {
+    NoContext c;
+    return try_acquire(c);
+  }
+
+  // -- policy engine ---------------------------------------------------
+  ShieldPolicy policy() const {
+    return policy_.load(std::memory_order_relaxed);
+  }
+  void set_policy(ShieldPolicy p) {
+    policy_.store(p, std::memory_order_relaxed);
+  }
+
+  // -- telemetry --------------------------------------------------------
+  ShieldSnapshot snapshot() const { return counters_.snapshot(); }
+  void reset_stats() { counters_.reset(); }
+
+  // Calling thread's recursion depth on this shield (0 == not held).
+  std::uint32_t held_depth() const {
+    return HeldLockTable::mine().depth(this);
+  }
+
+  Base& base() { return base_; }
+  const Base& base() const { return base_; }
+
+  static constexpr Resilience resilience() { return Base::resilience(); }
+
+ private:
+  // Records the misuse and runs the policy dispatch shared by every
+  // interception point. Returns true when the policy suppresses the
+  // misuse (kAbort never returns); false means kPassThrough and the
+  // caller must forward to the base protocol, misbehavior and all.
+  bool apply_policy(MisuseKind kind) {
+    counters_.bump_misuse(kind);
+    switch (policy()) {
+      case ShieldPolicy::kAbort:
+        report_misuse(kind, this);
+        std::abort();
+      case ShieldPolicy::kLogAndSuppress:
+        report_misuse(kind, this);
+        [[fallthrough]];
+      case ShieldPolicy::kSuppress:
+        counters_.bump_suppressed();
+        return true;
+      case ShieldPolicy::kPassThrough:
+        counters_.bump_passed_through();
+        return false;
+    }
+    return true;  // unreachable
+  }
+
+  // Returns true when the relock was absorbed (caller must not touch the
+  // base); false means the policy is kPassThrough and the caller should
+  // forward to the base protocol.
+  bool intercept_relock() {
+    if (!apply_policy(MisuseKind::kReentrantRelock)) return false;
+    counters_.bump_absorbed();
+    HeldLockTable::mine().note_acquired(this);
+    return true;
+  }
+
+  // Validates this thread's table entry against the owner tag. True
+  // means the thread really holds the base lock (a second acquire is a
+  // genuine reentrant relock). A mismatch means the lock left this
+  // thread through the §5 escape hatch — a cross-thread release with
+  // checks disabled — so the stale entry is dropped and the caller
+  // proceeds as a normal first acquire.
+  bool confirm_held_or_heal() {
+    if (owner_.load(std::memory_order_relaxed) ==
+        platform::self_pid() + 1) {
+      return true;
+    }
+    auto& tbl = HeldLockTable::mine();
+    while (tbl.note_released(this) > 0) {
+    }
+    return false;
+  }
+
+  void note_base_acquired(Context& ctx) {
+    owner_.store(platform::self_pid() + 1, std::memory_order_relaxed);
+    if constexpr (ContextLock<Base>) {
+      // Plain locks pass throwaway stack NoContexts — never retain
+      // those; only a real base context must be remembered for release.
+      active_ctx_ = &ctx;
+    } else {
+      (void)ctx;
+    }
+    HeldLockTable::mine().note_acquired(this);
+    counters_.bump_acquisition();
+  }
+
+  MisuseKind classify_release(std::uint32_t me) const {
+    const std::uint32_t owner = owner_.load(std::memory_order_relaxed);
+    if (owner != kNoOwner && owner != me) {
+      return MisuseKind::kNonOwnerUnlock;
+    }
+    if (owner == kNoOwner &&
+        last_owner_.load(std::memory_order_relaxed) == me) {
+      return MisuseKind::kDoubleUnlock;
+    }
+    return MisuseKind::kUnbalancedUnlock;
+  }
+
+  Base base_;
+  std::atomic<ShieldPolicy> policy_;
+  // Owner tag (pid+1) for release classification only — the held-locks
+  // table, not this word, decides balanced vs unbalanced, so a stale
+  // read here can at worst mislabel the *kind* of an already-detected
+  // misuse, never miss or invent one.
+  std::atomic<std::uint32_t> owner_{kNoOwner};
+  std::atomic<std::uint32_t> last_owner_{kNoOwner};
+  // Context the base was actually acquired with — what the base must be
+  // released with, even when an absorbed relock handed release() a
+  // different context. Only the owning thread touches it between a
+  // base acquire and the matching base release (guarded by base_), so
+  // a plain pointer suffices; §5 hand-off releases bypass it.
+  Context* active_ctx_ = nullptr;
+  ShieldCounters counters_;
+};
+
+}  // namespace resilock::shield
+
+namespace resilock {
+// The shield is part of the lock vocabulary: resilock::Shield<L>.
+using shield::Shield;
+}  // namespace resilock

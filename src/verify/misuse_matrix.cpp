@@ -6,12 +6,14 @@
 
 #include "core/hbo.hpp"
 #include "core/hclh.hpp"
+#include "core/lock_registry.hpp"
 #include "core/rw/crw.hpp"
 #include "core/sw/bakery.hpp"
 #include "core/sw/fischer.hpp"
 #include "core/sw/lamport_fast.hpp"
 #include "core/sw/peterson.hpp"
 #include "platform/thread_registry.hpp"
+#include "shield/policy.hpp"
 #include "verify/access.hpp"
 #include "verify/checkers.hpp"
 
@@ -1067,6 +1069,164 @@ std::vector<MisuseReport> run_misuse_matrix() {
   rows.push_back(misuse_lamport2());
   rows.push_back(misuse_bakery());
   return rows;
+}
+
+// ---------------------------------------------------------------------
+// Shield-vs-native matrix: the generic ownership shield over ORIGINAL
+// protocols, compared against the bespoke in-protocol RESILIENT fixes,
+// on the four canonical misuse scenarios. All driving happens through
+// the type-erased AnyLock interface so the same script covers plain and
+// context locks alike.
+// ---------------------------------------------------------------------
+namespace {
+
+// Misuse a lock nobody holds: release() out of thin air.
+ShieldCell drive_unbalanced_unlock(AnyLock& lock) {
+  ShieldCell cell;
+  cell.detected = !lock.release();
+  lock.acquire();
+  cell.functional_after = lock.release();
+  return cell;
+}
+
+// Balanced episode followed by one release too many.
+ShieldCell drive_double_unlock(AnyLock& lock) {
+  ShieldCell cell;
+  lock.acquire();
+  if (!lock.release()) return cell;  // balanced release must succeed
+  cell.detected = !lock.release();
+  lock.acquire();
+  cell.functional_after = lock.release();
+  return cell;
+}
+
+// T1 holds the lock; this thread releases it. T2 must not slip into the
+// critical section while T1 is still inside.
+ShieldCell drive_non_owner_unlock(AnyLock& lock) {
+  ShieldCell cell;
+  MutexChecker chk;
+  std::atomic<bool> t1_out{false};
+  Probe t1([&] {
+    lock.acquire();
+    chk.enter();
+    wait_for([&] { return t1_out.load(); }, milliseconds{5000});
+    chk.exit();
+    lock.release();
+  });
+  wait_for([&] { return chk.current() == 1; }, milliseconds{2000});
+
+  cell.detected = !lock.release();  // the misuse
+
+  Probe t2([&] {
+    lock.acquire();
+    chk.enter();
+    chk.exit();
+    lock.release();
+  });
+  // Window for T2 to (incorrectly) enter while T1 is still inside.
+  wait_for([&] { return chk.max_simultaneous() >= 2; }, milliseconds{150});
+  cell.mutex_preserved = chk.max_simultaneous() <= 1;
+  t1_out.store(true);
+  t1.join();
+  t2.join();
+
+  lock.acquire();
+  cell.functional_after = lock.release();
+  return cell;
+}
+
+// Same-thread relock of a held, non-reentrant lock. Probed through
+// try_acquire so the scenario cannot self-deadlock; locks without a
+// native trylock (CLH, §6) are inapplicable. "Detected" means the
+// relock was handled safely: refused outright (the in-protocol CAS
+// fixes), or absorbed reentrantly with the matching release absorbed
+// too (the shield's kSuppress remedy).
+ShieldCell drive_reentrant_relock(AnyLock& lock) {
+  ShieldCell cell;
+  if (!lock.supports_trylock()) {
+    cell.applicable = false;
+    return cell;
+  }
+  lock.acquire();
+  if (lock.try_acquire()) {
+    const bool r1 = lock.release();
+    const bool r2 = lock.release();
+    cell.detected = r1 && r2;  // absorbed consistently, depth balanced
+  } else {
+    cell.detected = true;  // refused: no double-entry
+    lock.release();
+  }
+  lock.acquire();
+  cell.functional_after = lock.release();
+  return cell;
+}
+
+void drive_all(AnyLock& lock, ShieldCell (&cells)[4]) {
+  cells[0] = drive_unbalanced_unlock(lock);
+  cells[1] = drive_double_unlock(lock);
+  cells[2] = drive_non_owner_unlock(lock);
+  cells[3] = drive_reentrant_relock(lock);
+}
+
+bool cell_ok(const ShieldCell& c) {
+  return !c.applicable ||
+         (c.detected && c.mutex_preserved && c.functional_after);
+}
+
+}  // namespace
+
+bool ShieldComparison::shield_matches_native() const {
+  for (int i = 0; i < 4; ++i) {
+    if (cell_ok(shielded[i]) != cell_ok(native[i])) return false;
+  }
+  return true;
+}
+
+std::vector<ShieldComparison> run_shield_matrix(
+    const std::vector<std::string>& names) {
+  const std::vector<std::string>& selected =
+      names.empty() ? table2_lock_names() : names;
+  // Pin the shield policy so the matrix is deterministic regardless of
+  // RESILOCK_SHIELD_POLICY in the environment (RAII: an unknown name in
+  // `names` throws out of make_lock and must not leak the pin).
+  shield::ShieldPolicyGuard pin(shield::ShieldPolicy::kSuppress);
+
+  std::vector<ShieldComparison> rows;
+  for (const auto& name : selected) {
+    ShieldComparison row;
+    row.lock = name;
+    auto shielded = make_lock(shielded_name(name), kOriginal);
+    drive_all(*shielded, row.shielded);
+    auto native = make_lock(name, kResilient);
+    drive_all(*native, row.native);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_shield_matrix(const std::vector<ShieldComparison>& reports) {
+  std::printf("%-10s | %-29s | %-29s | agree\n", "Lock",
+              "shield<original>  U/D/N/R", "native resilient  U/D/N/R");
+  auto fmt = [](const ShieldCell& c) {
+    if (!c.applicable) return '-';
+    return cell_ok(c) ? 'Y' : 'n';
+  };
+  std::printf(
+      "-----------+-------------------------------+----------------------"
+      "---------+------\n");
+  for (const auto& r : reports) {
+    std::printf("%-10s | %c / %c / %c / %c %15s | %c / %c / %c / %c %15s | %s\n",
+                r.lock.c_str(), fmt(r.shielded[0]), fmt(r.shielded[1]),
+                fmt(r.shielded[2]), fmt(r.shielded[3]), "",
+                fmt(r.native[0]), fmt(r.native[1]), fmt(r.native[2]),
+                fmt(r.native[3]), "",
+                r.shield_matches_native() ? "yes" : "NO");
+  }
+  std::printf(
+      "\nU = unbalanced unlock of a free lock, D = double unlock, N = "
+      "non-owner unlock,\nR = same-thread reentrant relock (via trylock; "
+      "'-' = no trylock, not drivable).\nY = detected, mutual exclusion "
+      "preserved, functional afterwards.\n");
 }
 
 void print_misuse_matrix(const std::vector<MisuseReport>& reports) {

@@ -63,4 +63,42 @@ std::vector<MisuseReport> run_misuse_matrix();
 // bench/table1_behavior).
 void print_misuse_matrix(const std::vector<MisuseReport>& reports);
 
+// ---------------------------------------------------------------------
+// Shield-vs-native comparison (src/shield/). The ownership shield
+// claims to deliver, from *outside* the protocol, what each bespoke
+// kResilient fix delivers from inside. This matrix drives the four
+// canonical misuse scenarios — unbalanced unlock of a free lock, double
+// unlock by the previous owner, unlock while another thread holds the
+// lock, and same-thread reentrant relock — against shield<X> over the
+// ORIGINAL protocol and against the native RESILIENT protocol, and
+// records whether each one detected the misuse, preserved mutual
+// exclusion, and stayed functional afterwards.
+// ---------------------------------------------------------------------
+
+struct ShieldCell {
+  bool applicable = true;      // false: cannot be driven safely (e.g.
+                               // relock on a lock with no trylock)
+  bool detected = false;       // misuse refused or safely absorbed
+  bool mutex_preserved = true; // no double-entry observed
+  bool functional_after = false;
+};
+
+struct ShieldComparison {
+  std::string lock;  // base algorithm name
+  // Cells indexed in shield::MisuseKind order: unbalanced unlock,
+  // double unlock, non-owner unlock, reentrant relock.
+  ShieldCell shielded[4];  // "shield<lock>" over the kOriginal protocol
+  ShieldCell native[4];    // the lock's own kResilient flavor
+
+  bool shield_matches_native() const;
+};
+
+// Runs the comparison for `names` (default: the Table 2 six). The
+// shield policy is pinned to kSuppress for the run so results do not
+// depend on RESILOCK_SHIELD_POLICY.
+std::vector<ShieldComparison> run_shield_matrix(
+    const std::vector<std::string>& names = {});
+
+void print_shield_matrix(const std::vector<ShieldComparison>& reports);
+
 }  // namespace resilock::verify

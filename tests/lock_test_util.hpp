@@ -4,13 +4,24 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
 #include <cstdint>
+#include <string>
 
 #include "core/generic.hpp"
 #include "runtime/thread_team.hpp"
 #include "verify/checkers.hpp"
 
 namespace resilock::test {
+
+// gtest test names must be alphanumeric: registry names like "C-BO-BO"
+// and "shield<TAS>" need mangling before use in parameterized suites.
+inline std::string gtest_safe_name(std::string n) {
+  for (auto& c : n) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return n;
+}
 
 // The canonical mutual-exclusion check: N threads increment a plain
 // (non-atomic) counter under the lock; any lost update or checker

@@ -3,9 +3,9 @@
 // flagged. With checks disabled a resilient lock releases exactly like
 // the original protocol.
 //
-// NOTE: set_misuse_checks() is process-global; every test here restores
-// the default before finishing (and a fixture guards against early
-// exits).
+// NOTE: set_misuse_checks() is process-global; every test here scopes
+// the toggle in a MisuseCheckGuard so early exits (failed ASSERTs)
+// cannot leak the setting into later tests, and a fixture double-checks.
 #include <gtest/gtest.h>
 
 #include <thread>
@@ -27,15 +27,30 @@ TEST_F(CheckToggle, DefaultIsEnabled) {
   EXPECT_TRUE(misuse_checks_enabled());
 }
 
+TEST_F(CheckToggle, GuardRestoresOnScopeExit) {
+  ASSERT_TRUE(misuse_checks_enabled());
+  {
+    MisuseCheckGuard off(false);
+    EXPECT_FALSE(misuse_checks_enabled());
+    {
+      MisuseCheckGuard on(true);  // nests: inner guard restores to false
+      EXPECT_TRUE(misuse_checks_enabled());
+    }
+    EXPECT_FALSE(misuse_checks_enabled());
+  }
+  EXPECT_TRUE(misuse_checks_enabled());
+}
+
 TEST_F(CheckToggle, DisabledTasAllowsCrossThreadRelease) {
   // The §5 use case: acquire on one thread, release on another.
   TatasLockResilient lock;
   lock.acquire();
-  set_misuse_checks(false);
-  std::thread t([&] { EXPECT_TRUE(lock.release()); });
-  t.join();
-  EXPECT_FALSE(lock.is_locked());  // release really happened
-  set_misuse_checks(true);
+  {
+    MisuseCheckGuard off(false);
+    std::thread t([&] { EXPECT_TRUE(lock.release()); });
+    t.join();
+    EXPECT_FALSE(lock.is_locked());  // release really happened
+  }
   // Back to errorcheck behavior.
   EXPECT_FALSE(lock.release());
 }
@@ -43,10 +58,11 @@ TEST_F(CheckToggle, DisabledTasAllowsCrossThreadRelease) {
 TEST_F(CheckToggle, DisabledTicketAllowsCrossThreadRelease) {
   TicketLockResilient lock;
   lock.acquire();
-  set_misuse_checks(false);
-  std::thread t([&] { EXPECT_TRUE(lock.release()); });
-  t.join();
-  set_misuse_checks(true);
+  {
+    MisuseCheckGuard off(false);
+    std::thread t([&] { EXPECT_TRUE(lock.release()); });
+    t.join();
+  }
   lock.acquire();  // the cross-thread release kept the queue consistent
   EXPECT_TRUE(lock.release());
 }
@@ -54,17 +70,17 @@ TEST_F(CheckToggle, DisabledTicketAllowsCrossThreadRelease) {
 TEST_F(CheckToggle, DisabledHboAllowsCrossThreadRelease) {
   HboLockResilient lock(platform::Topology::uniform(2, 2));
   lock.acquire();
-  set_misuse_checks(false);
-  std::thread t([&] { EXPECT_TRUE(lock.release()); });
-  t.join();
-  set_misuse_checks(true);
+  {
+    MisuseCheckGuard off(false);
+    std::thread t([&] { EXPECT_TRUE(lock.release()); });
+    t.join();
+  }
   EXPECT_TRUE(lock.try_acquire());
   EXPECT_TRUE(lock.release());
 }
 
 TEST_F(CheckToggle, ReenablingRestoresDetectionEverywhere) {
-  set_misuse_checks(false);
-  set_misuse_checks(true);
+  { MisuseCheckGuard off(false); }
   for (const auto& name : lock_names()) {
     if (name == "HCLH") continue;  // immune: nothing to detect
     auto lock = make_lock(name, kResilient);
@@ -76,7 +92,7 @@ TEST_F(CheckToggle, ReenablingRestoresDetectionEverywhere) {
 
 TEST_F(CheckToggle, DisabledChecksStillMutualExclusive) {
   // Turning off detection must not affect well-behaved code.
-  set_misuse_checks(false);
+  MisuseCheckGuard off(false);
   auto lock = make_lock("MCS", kResilient);
   std::uint64_t counter = 0;
   runtime::ThreadTeam::run(4, [&](std::uint32_t) {

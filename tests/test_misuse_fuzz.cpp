@@ -18,6 +18,7 @@
 #include <tuple>
 
 #include "core/lock_registry.hpp"
+#include "lock_test_util.hpp"
 #include "runtime/rng.hpp"
 #include "runtime/thread_team.hpp"
 #include "runtime/timer.hpp"
@@ -95,12 +96,8 @@ std::vector<FuzzParam> fuzz_params() {
 }
 
 std::string fuzz_name(const ::testing::TestParamInfo<FuzzParam>& info) {
-  std::string n = std::get<0>(info.param) + "_s" +
-                  std::to_string(std::get<1>(info.param));
-  for (auto& c : n) {
-    if (c == '-') c = '_';
-  }
-  return n;
+  return test::gtest_safe_name(std::get<0>(info.param) + "_s" +
+                               std::to_string(std::get<1>(info.param)));
 }
 
 }  // namespace

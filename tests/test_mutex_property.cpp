@@ -14,6 +14,7 @@
 #include <tuple>
 
 #include "core/lock_registry.hpp"
+#include "lock_test_util.hpp"
 #include "runtime/barrier.hpp"
 #include "runtime/thread_team.hpp"
 #include "runtime/timer.hpp"
@@ -104,12 +105,9 @@ std::vector<Param> make_params() {
 
 std::string param_name(const ::testing::TestParamInfo<Param>& info) {
   const auto& [name, flavor, threads, cs] = info.param;
-  std::string n = name + std::string("_") + to_string(flavor) + "_t" +
-                  std::to_string(threads) + "_cs" + std::to_string(cs);
-  for (auto& c : n) {
-    if (c == '-') c = '_';
-  }
-  return n;
+  return test::gtest_safe_name(name + std::string("_") + to_string(flavor) +
+                               "_t" + std::to_string(threads) + "_cs" +
+                               std::to_string(cs));
 }
 
 }  // namespace
