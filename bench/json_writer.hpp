@@ -1,0 +1,139 @@
+// Minimal streaming JSON writer for bench output (--json out.json).
+//
+// The benches emit flat records (strings, numbers, booleans, nested
+// objects/arrays) for BENCH_*.json trajectory tracking; this writer
+// keeps them valid JSON without dragging in a library dependency.
+// Strings are escaped for the characters bench data can contain
+// (quotes, backslashes, control chars) — enough for algorithm names
+// like "shield<MCS>".
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace resilock::bench {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* f) : f_(f) { first_.push_back(true); }
+
+  void begin_object(const char* key = nullptr) {
+    sep(key);
+    std::fputc('{', f_);
+    first_.push_back(true);
+  }
+  void end_object() {
+    first_.pop_back();
+    std::fputc('}', f_);
+  }
+  void begin_array(const char* key = nullptr) {
+    sep(key);
+    std::fputc('[', f_);
+    first_.push_back(true);
+  }
+  void end_array() {
+    first_.pop_back();
+    std::fputc(']', f_);
+  }
+
+  void field(const char* key, const std::string& v) {
+    sep(key);
+    write_string(v);
+  }
+  void field(const char* key, const char* v) {
+    field(key, std::string(v));
+  }
+  void field(const char* key, double v) {
+    sep(key);
+    std::fprintf(f_, "%.6g", v);
+  }
+  void field(const char* key, std::uint64_t v) {
+    sep(key);
+    std::fprintf(f_, "%llu", static_cast<unsigned long long>(v));
+  }
+  void field(const char* key, std::uint32_t v) {
+    field(key, static_cast<std::uint64_t>(v));
+  }
+  void field(const char* key, bool v) {
+    sep(key);
+    std::fputs(v ? "true" : "false", f_);
+  }
+
+ private:
+  void sep(const char* key) {
+    if (!first_.back()) std::fputc(',', f_);
+    first_.back() = false;
+    if (key != nullptr) {
+      write_string(key);
+      std::fputc(':', f_);
+    }
+  }
+
+  void write_string(const std::string& s) {
+    std::fputc('"', f_);
+    for (const char c : s) {
+      switch (c) {
+        case '"': std::fputs("\\\"", f_); break;
+        case '\\': std::fputs("\\\\", f_); break;
+        case '\n': std::fputs("\\n", f_); break;
+        case '\t': std::fputs("\\t", f_); break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            std::fprintf(f_, "\\u%04x", c);
+          } else {
+            std::fputc(c, f_);
+          }
+      }
+    }
+    std::fputc('"', f_);
+  }
+
+  std::FILE* f_;
+  std::vector<bool> first_;  // one "no element emitted yet" flag per level
+};
+
+// Scans argv for `--json <path>`. Returns nullptr (and complains) when
+// the flag is present without a filename, so a typo is not silently a
+// table-only run.
+inline const char* json_out_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") != 0) continue;
+    if (i + 1 < argc) return argv[i + 1];
+    std::fprintf(stderr, "--json requires an output path; ignoring\n");
+    return nullptr;
+  }
+  return nullptr;
+}
+
+// Shared envelope for the overhead benches: opens `path`, writes the
+// common header fields, positions `emit` inside the "results" array,
+// and closes the document. Returns false when the file cannot be
+// opened.
+template <typename EmitRows>
+bool write_bench_json(const char* path, const char* bench_name,
+                      std::uint32_t max_threads, std::uint32_t reps,
+                      std::uint64_t iters_per_thread, EmitRows&& emit) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return false;
+  }
+  JsonWriter w(f);
+  w.begin_object();
+  w.field("bench", bench_name);
+  w.field("max_threads", max_threads);
+  w.field("reps", reps);
+  w.field("iters_per_thread", iters_per_thread);
+  w.begin_array("results");
+  emit(w);
+  w.end_array();
+  w.end_object();
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace resilock::bench

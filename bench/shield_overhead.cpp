@@ -11,10 +11,16 @@
 // Methodology mirrors the harness (§6): every thread hammers one shared
 // lock with a small critical section behind a start barrier; best of
 // RESILOCK_REPS runs; ops scaled by RESILOCK_SCALE; thread axis {1, max}
-// with max from RESILOCK_MAX_THREADS.
+// with max from RESILOCK_MAX_THREADS. Lockdep is pinned OFF for the
+// whole run so this bench prices the ownership layer in isolation
+// (bench/lockdep_overhead.cpp prices the dependency layer on top).
+//
+// `--json out.json` additionally emits the table machine-readably for
+// BENCH_*.json trajectory tracking.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +28,8 @@
 #include "core/lock_registry.hpp"
 #include "core/resilience.hpp"
 #include "harness/evaluation.hpp"
+#include "json_writer.hpp"
+#include "lockdep/lockdep.hpp"
 #include "runtime/barrier.hpp"
 #include "runtime/thread_team.hpp"
 #include "runtime/timer.hpp"
@@ -73,10 +81,43 @@ double pct_overhead(double base, double variant) {
   return (base / variant - 1.0) * 100.0;
 }
 
+struct Row {
+  std::string lock;
+  std::uint32_t threads = 0;
+  double orig_mops = 0;
+  double resil_mops = 0;
+  double shield_mops = 0;
+  double shield_resil_mops = 0;
+};
+
+bool write_json(const char* path, const std::vector<Row>& rows,
+                std::uint32_t max_threads, std::uint32_t reps,
+                std::uint64_t iters) {
+  return bench::write_bench_json(
+      path, "shield_overhead", max_threads, reps, iters,
+      [&](bench::JsonWriter& w) {
+        for (const auto& r : rows) {
+          w.begin_object();
+          w.field("lock", r.lock);
+          w.field("threads", r.threads);
+          w.field("orig_mops", r.orig_mops);
+          w.field("resil_mops", r.resil_mops);
+          w.field("shield_mops", r.shield_mops);
+          w.field("shield_resil_mops", r.shield_resil_mops);
+          w.end_object();
+        }
+      });
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace resilock::harness;
+
+  const char* json_path = bench::json_out_path(argc, argv);
+
+  // Price the ownership layer alone, whatever RESILOCK_LOCKDEP says.
+  lockdep::LockdepModeGuard lockdep_off(lockdep::LockdepMode::kOff);
 
   const std::uint32_t max_threads = env_max_threads();
   const std::uint32_t reps = env_reps();
@@ -92,22 +133,27 @@ int main() {
 
   const std::vector<std::string> locks = {"TAS", "Ticket", "ABQL",
                                           "MCS",  "CLH",   "HMCS"};
+  std::vector<Row> rows;
   for (std::uint32_t threads : {1u, max_threads}) {
     std::printf("--- threads = %u ---\n", threads);
     std::printf("%-8s %12s | %10s %12s %14s\n", "Lock", "orig Mops",
                 "resil %", "shield %", "shield+resil %");
     for (const auto& name : locks) {
-      const double orig = best_mops(name, kOriginal, threads, iters, reps);
-      const double resil =
-          best_mops(name, kResilient, threads, iters, reps);
-      const double sh_orig =
+      Row r;
+      r.lock = name;
+      r.threads = threads;
+      r.orig_mops = best_mops(name, kOriginal, threads, iters, reps);
+      r.resil_mops = best_mops(name, kResilient, threads, iters, reps);
+      r.shield_mops =
           best_mops(shielded_name(name), kOriginal, threads, iters, reps);
-      const double sh_resil =
+      r.shield_resil_mops =
           best_mops(shielded_name(name), kResilient, threads, iters, reps);
       std::printf("%-8s %12.2f | %9.2f%% %11.2f%% %13.2f%%\n", name.c_str(),
-                  orig, pct_overhead(orig, resil),
-                  pct_overhead(orig, sh_orig), pct_overhead(orig, sh_resil));
+                  r.orig_mops, pct_overhead(r.orig_mops, r.resil_mops),
+                  pct_overhead(r.orig_mops, r.shield_mops),
+                  pct_overhead(r.orig_mops, r.shield_resil_mops));
       std::fflush(stdout);
+      rows.push_back(r);
     }
     std::printf("\n");
   }
@@ -117,5 +163,10 @@ int main() {
       "               protection comes from the generic ownership layer.\n"
       "shield+resil = shield over the resilient flavor (defense in "
       "depth).\nNegative values are measurement noise.\n");
+
+  if (json_path != nullptr &&
+      !write_json(json_path, rows, max_threads, reps, iters)) {
+    return 1;
+  }
   return 0;
 }

@@ -3,14 +3,19 @@
 // Runs the same contended counter workload over each registered lock
 // algorithm in both flavors and prints a throughput table, demonstrating
 // runtime algorithm selection through the type-erased registry (what the
-// paper does to PARSEC applications via LD_PRELOAD, §6).
+// paper does to PARSEC applications via LD_PRELOAD, §6). Ends with a
+// misuse drill against a shielded lock and prints the shield's misuse
+// counters — detection telemetry, not just survival.
 //
 // Build & run:  ./interpose_demo
+#include <atomic>
 #include <cstdio>
+#include <thread>
 
 #include "core/lock_registry.hpp"
 #include "runtime/thread_team.hpp"
 #include "runtime/timer.hpp"
+#include "shield/policy.hpp"
 
 using namespace resilock;
 
@@ -54,5 +59,40 @@ int main() {
   std::printf("\nPositive overhead = the price of misuse detection; "
               "near-zero for the scalable queue locks,\nmatching the "
               "paper's Table 2.\n");
+
+  // Misuse drill: hit one shielded lock with all four canonical
+  // misuses, then read its counters back through the type-erased API —
+  // what an interposed program's exit hook would log.
+  std::printf("\n== misuse drill: shield<MCS> over the ORIGINAL "
+              "protocol ==\n");
+  shield::ShieldPolicyGuard pin(shield::ShieldPolicy::kSuppress);
+  auto drilled = make_lock("shield<MCS>", kOriginal);
+  drilled->release();  // unbalanced unlock of a free lock
+  drilled->acquire();
+  drilled->release();
+  drilled->release();  // double unlock by the previous owner
+  drilled->acquire();
+  drilled->acquire();  // reentrant relock (absorbed as a depth bump)
+  drilled->release();
+  drilled->release();
+  std::atomic<bool> held{false}, done{false};
+  std::thread holder([&] {
+    drilled->acquire();
+    held.store(true);
+    while (!done.load()) std::this_thread::yield();
+    drilled->release();
+  });
+  while (!held.load()) std::this_thread::yield();
+  drilled->release();  // unlock while another thread holds the lock
+  done.store(true);
+  holder.join();
+  drilled->acquire();  // still functional after all of the above
+  drilled->release();
+  std::printf(
+      "shield intercepted %llu misuses (unbalanced, double, reentrant "
+      "relock,\nnon-owner) and the lock stayed functional throughout — "
+      "detection counters\nare what turns a suppressed bug into a fixed "
+      "one.\n",
+      static_cast<unsigned long long>(drilled->misuse_total()));
   return 0;
 }

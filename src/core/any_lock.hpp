@@ -65,6 +65,12 @@ class AnyLock {
 
   virtual const std::string& name() const = 0;
   virtual Resilience resilience() const = 0;
+
+  // Total misuses the wrapped lock has detected so far, when the lock
+  // keeps a tally (Shield counters, StatsLock); 0 for bare protocols.
+  // Lets interposed programs print detection telemetry without knowing
+  // which wrapper (if any) backs the mutex.
+  virtual std::uint64_t misuse_total() const { return 0; }
 };
 
 template <typename L>
@@ -89,6 +95,16 @@ class AnyLockAdapter final : public AnyLock {
 
   bool supports_trylock() const override {
     return generic_has_trylock<L>();
+  }
+
+  std::uint64_t misuse_total() const override {
+    if constexpr (requires { lock_.snapshot().total_misuses(); }) {
+      return lock_.snapshot().total_misuses();  // Shield counters
+    } else if constexpr (requires { lock_.snapshot().detected_misuses; }) {
+      return lock_.snapshot().detected_misuses;  // StatsLock counters
+    } else {
+      return 0;
+    }
   }
 
   const std::string& name() const override { return name_; }

@@ -34,15 +34,32 @@ using Factory = std::function<std::unique_ptr<AnyLock>(
 template <typename T>
 using Identity = T;
 
+// Registry-made shields carry their registry name as the lockdep class
+// label, so order-cycle reports read "shield<MCS>#12 -> shield<MCS>#13"
+// instead of bare class numbers. `name` is a string literal captured by
+// the factory — stable for the process lifetime, as the label requires.
+template <typename Adapter>
+std::unique_ptr<Adapter> label_for_lockdep(std::unique_ptr<Adapter> a,
+                                           const char* name) {
+  if constexpr (requires { a->underlying().set_lockdep_label(name); }) {
+    a->underlying().set_lockdep_label(name);
+  }
+  return a;
+}
+
 template <template <Resilience> class LockT,
           template <typename> class Wrap = Identity>
 Factory simple_factory(const char* name) {
   return [name](Resilience r,
                 const platform::Topology&) -> std::unique_ptr<AnyLock> {
     if (r == kOriginal) {
-      return std::make_unique<AnyLockAdapter<Wrap<LockT<kOriginal>>>>(name);
+      return label_for_lockdep(
+          std::make_unique<AnyLockAdapter<Wrap<LockT<kOriginal>>>>(name),
+          name);
     }
-    return std::make_unique<AnyLockAdapter<Wrap<LockT<kResilient>>>>(name);
+    return label_for_lockdep(
+        std::make_unique<AnyLockAdapter<Wrap<LockT<kResilient>>>>(name),
+        name);
   };
 }
 
@@ -52,11 +69,15 @@ Factory topo_factory(const char* name) {
   return [name](Resilience r, const platform::Topology& topo)
              -> std::unique_ptr<AnyLock> {
     if (r == kOriginal) {
-      return std::make_unique<AnyLockAdapter<Wrap<LockT<kOriginal>>>>(name,
-                                                                      topo);
+      return label_for_lockdep(
+          std::make_unique<AnyLockAdapter<Wrap<LockT<kOriginal>>>>(name,
+                                                                   topo),
+          name);
     }
-    return std::make_unique<AnyLockAdapter<Wrap<LockT<kResilient>>>>(name,
-                                                                     topo);
+    return label_for_lockdep(
+        std::make_unique<AnyLockAdapter<Wrap<LockT<kResilient>>>>(name,
+                                                                  topo),
+        name);
   };
 }
 

@@ -1,0 +1,185 @@
+// Misuse event tracing: per-thread SPSC rings drained by a collector.
+//
+// Counters (shield_stats.hpp) say *that* misuse happened; production
+// diagnosis needs *when*, *by whom*, and *on what*. Every shield
+// violation and every lockdep report is recorded as a timestamped
+// TraceEvent in the emitting thread's private ring — a single-producer
+// single-consumer queue, so the emit path is two relaxed-ish atomic ops
+// and one struct store, wait-free, no contention with other threads.
+// A collector (test harness, exporter thread, atexit dump) drains all
+// rings through TraceBuffer::drain().
+//
+// Rings are bounded: when a producer outruns the collector the newest
+// event is dropped and counted, never blocking the lock operation that
+// triggered it — tracing must not perturb the thing it observes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "platform/thread_registry.hpp"
+#include "runtime/timer.hpp"
+
+namespace resilock::lockdep {
+
+// One tag space for both layers: the shield's four ownership misuses
+// (values match shield::MisuseKind) plus the lockdep verdicts.
+enum class EventKind : std::uint8_t {
+  kUnbalancedUnlock = 0,
+  kDoubleUnlock = 1,
+  kNonOwnerUnlock = 2,
+  kReentrantRelock = 3,
+  kOrderInversion = 4,  // AB/BA two-lock order inversion
+  kDeadlockCycle = 5,   // order cycle over three or more lock classes
+};
+
+inline constexpr std::size_t kEventKinds = 6;
+
+constexpr const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kUnbalancedUnlock: return "unbalanced-unlock";
+    case EventKind::kDoubleUnlock: return "double-unlock";
+    case EventKind::kNonOwnerUnlock: return "non-owner-unlock";
+    case EventKind::kReentrantRelock: return "reentrant-relock";
+    case EventKind::kOrderInversion: return "order-inversion";
+    case EventKind::kDeadlockCycle: return "deadlock-cycle";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  std::uint64_t ns = 0;         // runtime::now_ns() at emission
+  const void* lock = nullptr;   // the lock the misbehaving op targeted
+  std::uint32_t pid = 0;        // dense thread id of the emitter
+  std::uint16_t a = 0;          // lockdep: source class of the new edge
+  std::uint16_t b = 0;          // lockdep: destination class
+  EventKind kind = EventKind::kUnbalancedUnlock;
+};
+
+// Lamport SPSC ring. The producer is whichever thread currently owns
+// the pid slot (one at a time by construction of ThreadRegistry); the
+// consumer is whoever calls TraceBuffer::drain().
+class EventRing {
+ public:
+  static constexpr std::size_t kCapacity = 128;  // power of two
+  static_assert((kCapacity & (kCapacity - 1)) == 0);
+
+  // Producer side. False (and a dropped_ bump) when the ring is full.
+  bool push(const TraceEvent& e) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) == kCapacity) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    buf_[t & (kCapacity - 1)] = e;
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. False when the ring is empty.
+  bool pop(TraceEvent& out) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return false;
+    out = buf_[h & (kCapacity - 1)];
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  TraceEvent buf_[kCapacity] = {};
+};
+
+// Process-wide collector over lazily allocated per-pid rings.
+class TraceBuffer {
+ public:
+  static TraceBuffer& instance() {
+    static TraceBuffer tb;
+    return tb;
+  }
+
+  // Emit from the calling thread (wait-free; the ring is allocated on
+  // the thread's first event, never on the lock fast path).
+  void emit(EventKind kind, const void* lock, std::uint16_t a = 0,
+            std::uint16_t b = 0) {
+    TraceEvent e;
+    e.ns = runtime::now_ns();
+    e.lock = lock;
+    e.pid = platform::self_pid();
+    e.a = a;
+    e.b = b;
+    e.kind = kind;
+    ring_for(e.pid).push(e);
+  }
+
+  // Drains every ring through `sink`; returns the number of events
+  // delivered. Single consumer at a time is the caller's contract.
+  std::size_t drain(const std::function<void(const TraceEvent&)>& sink) {
+    std::size_t n = 0;
+    for (auto& slot : rings_) {
+      EventRing* r = slot.load(std::memory_order_acquire);
+      if (r == nullptr) continue;
+      TraceEvent e;
+      while (r->pop(e)) {
+        sink(e);
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  std::vector<TraceEvent> drain_all() {
+    std::vector<TraceEvent> v;
+    drain([&](const TraceEvent& e) { v.push_back(e); });
+    return v;
+  }
+
+  // Events discarded because a producer outran the collector.
+  std::uint64_t dropped() const {
+    std::uint64_t d = 0;
+    for (const auto& slot : rings_) {
+      const EventRing* r = slot.load(std::memory_order_acquire);
+      if (r != nullptr) d += r->dropped();
+    }
+    return d;
+  }
+
+ private:
+  TraceBuffer() {
+    for (auto& s : rings_) s.store(nullptr, std::memory_order_relaxed);
+  }
+  ~TraceBuffer() {
+    for (auto& s : rings_) delete s.load(std::memory_order_relaxed);
+  }
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  EventRing& ring_for(std::uint32_t pid) {
+    auto& slot = rings_[pid];
+    EventRing* r = slot.load(std::memory_order_acquire);
+    if (r == nullptr) {
+      r = new EventRing();
+      EventRing* expected = nullptr;
+      if (!slot.compare_exchange_strong(expected, r,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        delete r;  // pid slots recycle; a previous tenant installed one
+        r = expected;
+      }
+    }
+    return *r;
+  }
+
+  std::atomic<EventRing*> rings_[platform::ThreadRegistry::kCapacity];
+};
+
+}  // namespace resilock::lockdep

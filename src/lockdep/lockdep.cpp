@@ -1,0 +1,163 @@
+// Out-of-line slow paths of the lockdep graph: class allocation and
+// retirement, cycle detection on new edges, and report emission.
+#include "lockdep/lockdep.hpp"
+
+#include <cstdio>
+#include <thread>
+
+namespace resilock::lockdep {
+
+ClassId Graph::register_class(const void* instance, const char* label) {
+  std::lock_guard<std::mutex> g(class_mutex_);
+  ClassId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else if (next_unused_ < kMaxClasses) {
+    id = next_unused_++;
+  } else {
+    class_table_full_.fetch_add(1, std::memory_order_relaxed);
+    return kUntrackedClass;
+  }
+  instances_[id].store(instance, std::memory_order_release);
+  labels_[id].store(label, std::memory_order_release);
+  classes_registered_.fetch_add(1, std::memory_order_relaxed);
+  classes_live_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void Graph::retire_class(ClassId id) {
+  if (id >= kMaxClasses) return;  // kInvalid/kUntracked: nothing to do
+  std::lock_guard<std::mutex> g(class_mutex_);
+  // Clear the class's successor row (seq_cst so a DFS starting after
+  // the drain below cannot observe any pre-clear bit) ...
+  for (auto& w : rows_[id].bits) w.store(0, std::memory_order_seq_cst);
+  // ... and its column bit in every other row, so a recycled id starts
+  // with no inherited order constraints.
+  const std::size_t word = id >> 6;
+  const std::uint64_t mask = ~(1ull << (id & 63));
+  for (auto& row : rows_) {
+    row.bits[word].fetch_and(mask, std::memory_order_seq_cst);
+  }
+  instances_[id].store(nullptr, std::memory_order_release);
+  labels_[id].store(nullptr, std::memory_order_release);
+  owner_pid_[id].store(0, std::memory_order_relaxed);
+  // A traversal concurrent with the clears may still have seen the
+  // dying class's edges. Drain every in-flight DFS before recycling
+  // the id, so no traversal can stitch a dead class's stale in-edge to
+  // a recycled id's fresh out-edges (a cycle that existed in no epoch).
+  // DFS runs are rare (first occurrence of an edge) and bounded, so
+  // this wait is short; it takes no locks a DFS could be holding.
+  while (dfs_in_flight_.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+  free_ids_.push_back(id);
+  classes_live_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Graph::check_cycle(ClassId from, ClassId to, const void* lock) {
+  // Iterative DFS from `to` looking for `from`: a path to→…→from plus
+  // the just-inserted from→to closes a cycle. Bounded by kMaxClasses;
+  // runs only on the first occurrence of an edge. The in-flight count
+  // keeps retire_class from recycling a class id mid-traversal.
+  struct DfsScope {
+    std::atomic<std::uint32_t>& n;
+    explicit DfsScope(std::atomic<std::uint32_t>& c) : n(c) {
+      n.fetch_add(1, std::memory_order_seq_cst);
+    }
+    ~DfsScope() { n.fetch_sub(1, std::memory_order_seq_cst); }
+  } scope(dfs_in_flight_);
+
+  ClassId parent[kMaxClasses];
+  ClassId stack[kMaxClasses];
+  std::uint64_t visited[kWords] = {};
+  std::size_t top = 0;
+  stack[top++] = to;
+  visited[to >> 6] |= 1ull << (to & 63);
+  parent[to] = kInvalidClass;
+  bool found = false;
+  while (top > 0 && !found) {
+    const ClassId n = stack[--top];
+    for (std::size_t w = 0; w < kWords && !found; ++w) {
+      std::uint64_t bits = rows_[n].bits[w].load(std::memory_order_seq_cst);
+      bits &= ~visited[w];
+      while (bits != 0) {
+        const auto b = static_cast<std::uint32_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        const auto succ = static_cast<ClassId>(w * 64 + b);
+        parent[succ] = n;
+        if (succ == from) {
+          found = true;
+          break;
+        }
+        visited[w] |= 1ull << b;
+        stack[top++] = succ;
+      }
+    }
+  }
+  if (!found) return;
+
+  // The parent chain walks from→…→to backwards through the DFS tree;
+  // reversing it yields the stored-edge path to→…→from, and prepending
+  // `from` (the new edge's source) closes the printed cycle:
+  // from → to → … → from.
+  ClassId rev[kMaxClasses + 1];
+  std::size_t n = 0;
+  for (ClassId c = from; c != kInvalidClass; c = parent[c]) rev[n++] = c;
+  ClassId path[kMaxClasses + 1];
+  std::size_t len = 0;
+  path[len++] = from;
+  for (std::size_t i = n; i-- > 0;) path[len++] = rev[i];
+  report_cycle(path, len, lock);
+}
+
+void Graph::report_cycle(const ClassId* path, std::size_t len,
+                         const void* lock) {
+  // len counts nodes including the repeated endpoint: an AB/BA
+  // inversion is {A, B, A} (len 3, two distinct classes).
+  const bool two_lock = len == 3;
+  if (two_lock) {
+    inversions_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    cycles_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const EventKind kind =
+      two_lock ? EventKind::kOrderInversion : EventKind::kDeadlockCycle;
+  TraceBuffer::instance().emit(kind, lock, path[0], path[1]);
+
+  const LockdepMode mode = lockdep_mode();
+  {
+    std::lock_guard<std::mutex> g(report_mutex_);
+    std::fprintf(stderr,
+                 "resilock[lockdep]: %s detected by thread pid %u on "
+                 "lock %p — acquisition order cycle:\n  ",
+                 two_lock ? "lock-order inversion (AB/BA)"
+                          : "potential deadlock cycle",
+                 static_cast<unsigned>(platform::self_pid()), lock);
+    for (std::size_t i = 0; i < len; ++i) {
+      const char* label = label_of(path[i]);
+      std::fprintf(stderr, "%s%s#%u", i == 0 ? "" : " -> ",
+                   label != nullptr ? label : "lock",
+                   static_cast<unsigned>(path[i]));
+    }
+    std::fprintf(stderr,
+                 "\n  (flagged on first occurrence of this order; the "
+                 "threads need never actually wedge)\n");
+  }
+  if (mode == LockdepMode::kAbort) std::abort();
+}
+
+LockdepStats Graph::stats() const {
+  LockdepStats s;
+  s.classes_registered =
+      classes_registered_.load(std::memory_order_relaxed);
+  s.classes_live = classes_live_.load(std::memory_order_relaxed);
+  s.class_table_full = class_table_full_.load(std::memory_order_relaxed);
+  s.edges = edges_.load(std::memory_order_relaxed);
+  s.inversions = inversions_.load(std::memory_order_relaxed);
+  s.cycles = cycles_.load(std::memory_order_relaxed);
+  s.stack_overflow = stack_overflow_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace resilock::lockdep

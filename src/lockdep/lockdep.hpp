@@ -1,0 +1,382 @@
+// Lock-dependency subsystem: runtime lock-order graph with incremental
+// cycle detection (lockdep, after the Linux kernel facility of the same
+// name).
+//
+// The shield (src/shield/) answers "does the calling thread hold THIS
+// lock?" — a per-thread, per-lock question. Deadlocks are a cross-thread,
+// cross-lock property: thread 1 takes A then B, thread 2 takes B then A,
+// and whether they wedge depends on timing. This subsystem makes the
+// hazard timing-independent: every "held H while acquiring L" pair is an
+// edge H→L in a global order graph, and an acquisition whose new edge
+// closes a cycle is flagged the FIRST time that order is ever observed —
+// long before (and whether or not) two threads actually interleave into
+// the deadlock.
+//
+// Structure:
+//   * a fixed-size class table (kMaxClasses): every shielded lock
+//     instance lazily registers a class id; ids are recycled on
+//     destruction so long-lived processes do not exhaust the table;
+//   * the order graph, sharded by source class into per-class atomic
+//     bitmap rows. The hot path — "is this edge already known?" — is a
+//     single lock-free word load. A NEW edge is claimed with one
+//     fetch_or (seq_cst); the claiming thread then runs a DFS over the
+//     bitmap rows for a path back. Two threads racing to insert the two
+//     halves of a cycle both use seq_cst RMWs, so at least one of them
+//     observes the other's edge and reports;
+//   * a per-thread acquisition stack (AcqStack) recording the held set
+//     in acquisition order, fed by Shield<L> hooks;
+//   * verdicts wired to RESILOCK_LOCKDEP=report|abort|off (default
+//     report), runtime-settable like the shield policy. Reports are
+//     counted, pushed into the misuse event ring (event_ring.hpp), and
+//     printed; abort additionally calls std::abort() — BEFORE the
+//     acquisition blocks, so an imminent deadlock dies loudly instead
+//     of wedging.
+//
+// Trylocks never add edges: an acquisition that cannot block cannot
+// contribute to a deadlock cycle (it can only be held while someone
+// else blocks, which the blocking side's edge records).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "lockdep/event_ring.hpp"
+
+namespace resilock::lockdep {
+
+using ClassId = std::uint16_t;
+
+inline constexpr std::size_t kMaxClasses = 1024;
+// Not yet registered (lazy registration happens on first acquire).
+inline constexpr ClassId kInvalidClass = 0xFFFF;
+// Registration was attempted while the class table was full; the lock
+// participates in nothing (fail-open: no tracking, no false reports).
+inline constexpr ClassId kUntrackedClass = 0xFFFE;
+
+// ---------------------------------------------------------------------
+// Mode: the lockdep analog of the shield's policy engine.
+// ---------------------------------------------------------------------
+
+enum class LockdepMode : std::uint8_t {
+  kOff,     // no tracking at all (hooks disengage)
+  kReport,  // count + trace + print each first-seen inversion/cycle
+  kAbort,   // report, then abort() before the acquisition can wedge
+};
+
+constexpr const char* to_string(LockdepMode m) noexcept {
+  switch (m) {
+    case LockdepMode::kOff: return "off";
+    case LockdepMode::kReport: return "report";
+    case LockdepMode::kAbort: return "abort";
+  }
+  return "?";
+}
+
+inline std::optional<LockdepMode> mode_from_name(std::string_view name) {
+  if (name == "off") return LockdepMode::kOff;
+  if (name == "report") return LockdepMode::kReport;
+  if (name == "abort") return LockdepMode::kAbort;
+  return std::nullopt;
+}
+
+namespace detail {
+inline std::atomic<LockdepMode>& mode_flag() {
+  static std::atomic<LockdepMode> flag{[] {
+    const char* v = std::getenv("RESILOCK_LOCKDEP");
+    if (v != nullptr) {
+      if (auto m = mode_from_name(v)) return *m;
+    }
+    return LockdepMode::kReport;
+  }()};
+  return flag;
+}
+}  // namespace detail
+
+inline LockdepMode lockdep_mode() noexcept {
+  return detail::mode_flag().load(std::memory_order_relaxed);
+}
+
+inline void set_lockdep_mode(LockdepMode m) noexcept {
+  detail::mode_flag().store(m, std::memory_order_relaxed);
+}
+
+inline bool lockdep_enabled() noexcept {
+  return lockdep_mode() != LockdepMode::kOff;
+}
+
+// RAII pin, mirroring ShieldPolicyGuard / MisuseCheckGuard.
+class LockdepModeGuard {
+ public:
+  explicit LockdepModeGuard(LockdepMode m) : previous_(lockdep_mode()) {
+    set_lockdep_mode(m);
+  }
+  ~LockdepModeGuard() { set_lockdep_mode(previous_); }
+  LockdepModeGuard(const LockdepModeGuard&) = delete;
+  LockdepModeGuard& operator=(const LockdepModeGuard&) = delete;
+
+ private:
+  const LockdepMode previous_;
+};
+
+// ---------------------------------------------------------------------
+// Telemetry.
+// ---------------------------------------------------------------------
+
+struct LockdepStats {
+  std::uint64_t classes_registered = 0;  // cumulative
+  std::uint64_t classes_live = 0;        // currently registered
+  std::uint64_t class_table_full = 0;    // registrations refused
+  std::uint64_t edges = 0;               // distinct order edges recorded
+  std::uint64_t inversions = 0;          // two-class AB/BA reports
+  std::uint64_t cycles = 0;              // reports with cycle length >= 3
+  std::uint64_t stack_overflow = 0;      // held-set entries not tracked
+
+  std::uint64_t reports() const { return inversions + cycles; }
+};
+
+// ---------------------------------------------------------------------
+// The global order graph.
+// ---------------------------------------------------------------------
+
+class Graph {
+ public:
+  static Graph& instance() {
+    static Graph g;
+    return g;
+  }
+
+  // Allocates a class id (recycling retired ones first). Returns
+  // kUntrackedClass when the table is full — callers must treat that as
+  // "do not track" and carry on.
+  ClassId register_class(const void* instance, const char* label);
+
+  // Clears the class's row and column in the edge relation and returns
+  // the id to the free list. Safe to call with kUntrackedClass /
+  // kInvalidClass (no-op).
+  void retire_class(ClassId id);
+
+  // Hot path: true iff from→to is already recorded (single word load).
+  bool has_edge(ClassId from, ClassId to) const {
+    if (from >= kMaxClasses || to >= kMaxClasses) return false;
+    return (rows_[from].bits[to >> 6].load(std::memory_order_acquire) >>
+            (to & 63)) & 1u;
+  }
+
+  // Records "held `from` while acquiring `to`" and, when the edge is
+  // new, runs cycle detection and the mode verdict. `lock` is the lock
+  // being acquired (for the report only).
+  void ensure_edge(ClassId from, ClassId to, const void* lock) {
+    if (from >= kMaxClasses || to >= kMaxClasses || from == to) return;
+    auto& word = rows_[from].bits[to >> 6];
+    const std::uint64_t mask = 1ull << (to & 63);
+    if (word.load(std::memory_order_acquire) & mask) return;
+    // Claim first-occurrence duty: exactly one thread sees the bit
+    // flip. seq_cst so two threads inserting the two halves of a cycle
+    // cannot both miss each other in the DFS below (store-buffering).
+    if (word.fetch_or(mask, std::memory_order_seq_cst) & mask) return;
+    edges_.fetch_add(1, std::memory_order_relaxed);
+    check_cycle(from, to, lock);
+  }
+
+  const char* label_of(ClassId id) const {
+    if (id >= kMaxClasses) return nullptr;
+    return labels_[id].load(std::memory_order_acquire);
+  }
+
+  // Lock instance currently registered under `id`; nullptr when the
+  // class is retired (or the id is a sentinel).
+  const void* instance_of(ClassId id) const {
+    if (id >= kMaxClasses) return nullptr;
+    return instances_[id].load(std::memory_order_acquire);
+  }
+
+  // Graph-side owner mirror, maintained by the Shield hooks: pid+1 of
+  // the thread that holds the class's lock, 0 when free. Lives in the
+  // graph's static arrays (not in the lock) so a thread can validate a
+  // possibly-stale acquisition-stack entry WITHOUT dereferencing a
+  // lock object that may have been destroyed since.
+  std::uint32_t owner_of(ClassId id) const {
+    if (id >= kMaxClasses) return 0;
+    return owner_pid_[id].load(std::memory_order_relaxed);
+  }
+  void note_owner(ClassId id, std::uint32_t tag) {
+    if (id < kMaxClasses) {
+      owner_pid_[id].store(tag, std::memory_order_relaxed);
+    }
+  }
+  void clear_owner(ClassId id) { note_owner(id, 0); }
+
+  LockdepStats stats() const;
+
+ private:
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  // DFS from `to` looking for `from`; on a hit, reports the cycle and
+  // applies the mode verdict. Out of line — runs at most once per
+  // distinct edge over the process lifetime.
+  void check_cycle(ClassId from, ClassId to, const void* lock);
+
+  void report_cycle(const ClassId* path, std::size_t len,
+                    const void* lock);
+
+  static constexpr std::size_t kWords = kMaxClasses / 64;
+  struct Row {
+    std::atomic<std::uint64_t> bits[kWords] = {};
+  };
+
+  // The edge relation, sharded by source class: row r is the successor
+  // bitmap of class r. Readers (hot-path probes and the DFS) are
+  // lock-free; mutation is a single fetch_or.
+  Row rows_[kMaxClasses] = {};
+
+  std::atomic<const char*> labels_[kMaxClasses] = {};
+  std::atomic<const void*> instances_[kMaxClasses] = {};
+  std::atomic<std::uint32_t> owner_pid_[kMaxClasses] = {};
+
+  // DFS traversals in flight; retire_class waits for this to drain
+  // before recycling an id, so a traversal can never stitch a dead
+  // class's stale in-edge to a recycled id's fresh out-edges.
+  std::atomic<std::uint32_t> dfs_in_flight_{0};
+
+  // Class allocation (slow path only).
+  std::mutex class_mutex_;
+  std::vector<ClassId> free_ids_;
+  ClassId next_unused_ = 0;
+
+  // Serializes report formatting so interleaved cycles stay readable.
+  std::mutex report_mutex_;
+
+  std::atomic<std::uint64_t> classes_registered_{0};
+  std::atomic<std::uint64_t> classes_live_{0};
+  std::atomic<std::uint64_t> class_table_full_{0};
+  std::atomic<std::uint64_t> edges_{0};
+  std::atomic<std::uint64_t> inversions_{0};
+  std::atomic<std::uint64_t> cycles_{0};
+
+  friend class AcqStack;  // stack_overflow_ lives here for one snapshot
+  std::atomic<std::uint64_t> stack_overflow_{0};
+};
+
+// ---------------------------------------------------------------------
+// Per-thread acquisition stack: the held set, in acquisition order.
+// ---------------------------------------------------------------------
+
+class AcqStack {
+ public:
+  // Deeper nests than this stop being tracked (counted, fail-open).
+  // 64 is far beyond any sane lock nest; the shield's HeldLockTable
+  // stays exact regardless.
+  static constexpr std::size_t kMaxDepth = 64;
+
+  struct Entry {
+    const void* lock = nullptr;
+    ClassId cls = kInvalidClass;
+  };
+
+  static AcqStack& mine() {
+    thread_local AcqStack s;
+    return s;
+  }
+
+  bool push(const void* lock, ClassId cls) {
+    if (n_ == kMaxDepth) {
+      Graph::instance().stack_overflow_.fetch_add(
+          1, std::memory_order_relaxed);
+      return false;
+    }
+    e_[n_++] = Entry{lock, cls};
+    return true;
+  }
+
+  // Removes the topmost entry for `lock`; no-op when absent (releases
+  // of untracked or stale-handed-off locks).
+  void remove(const void* lock) {
+    for (std::size_t i = n_; i-- > 0;) {
+      if (e_[i].lock != lock) continue;
+      remove_at(i);
+      return;
+    }
+  }
+
+  // Removes the entry at `index`, preserving the order of the rest
+  // (used by the lazy stale-entry purge in on_acquire_attempt).
+  void remove_at(std::size_t index) {
+    for (std::size_t j = index + 1; j < n_; ++j) e_[j - 1] = e_[j];
+    --n_;
+  }
+
+  bool contains(const void* lock) const {
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (e_[i].lock == lock) return true;
+    }
+    return false;
+  }
+
+  std::size_t depth() const { return n_; }
+  const Entry* begin() const { return e_; }
+  const Entry* end() const { return e_ + n_; }
+
+ private:
+  Entry e_[kMaxDepth] = {};
+  std::size_t n_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Hooks, called by Shield<L>.
+// ---------------------------------------------------------------------
+
+// Before a BLOCKING acquire attempt: records one order edge per held
+// lock and runs the verdict on any new edge — i.e. an imminent
+// inversion is flagged before the caller can wedge. Callers gate on
+// lockdep_enabled().
+inline void on_acquire_attempt(const void* lock, ClassId cls) {
+  if (cls >= kMaxClasses) return;
+  AcqStack& st = AcqStack::mine();
+  if (st.depth() == 0) return;  // single-lock hot path: no edges
+  Graph& g = Graph::instance();
+  const std::uint32_t me = platform::self_pid() + 1;
+  for (std::size_t i = 0; i < st.depth();) {
+    const AcqStack::Entry held = st.begin()[i];
+    // A held entry sources an edge only while the graph still maps its
+    // class to this lock AND this thread is still the owner. A §5
+    // hand-off (cross-thread release with checks disabled) or a
+    // destroyed lock leaves a stale entry that would otherwise record
+    // orders this thread never held across — purge it lazily instead.
+    // Both probes read the graph's own arrays, never the (possibly
+    // freed) lock object.
+    if (g.instance_of(held.cls) != held.lock ||
+        g.owner_of(held.cls) != me) {
+      st.remove_at(i);
+      continue;
+    }
+    g.ensure_edge(held.cls, cls, lock);
+    ++i;
+  }
+}
+
+// After the base protocol actually granted the lock (blocking or try
+// path). Callers gate on lockdep_enabled().
+inline void on_acquired(const void* lock, ClassId cls) {
+  if (cls >= kMaxClasses) return;
+  AcqStack& st = AcqStack::mine();
+  if (st.contains(lock)) return;  // pass-through relock: held set, not depth
+  st.push(lock, cls);
+}
+
+// After the base protocol was released (or the entry went stale through
+// the §5 escape hatch). NOT gated on lockdep_enabled(): if tracking was
+// on at acquire time the entry must come off even if the mode changed
+// in between.
+inline void on_released(const void* lock) {
+  AcqStack::mine().remove(lock);
+}
+
+}  // namespace resilock::lockdep

@@ -30,6 +30,12 @@
 // Shield<L> satisfies the same Lockable shape as L (PlainLock stays
 // plain, ContextLock keeps its Context), so it composes with LockGuard,
 // StatsLock, AnyLockAdapter, and the registry.
+//
+// The shield is also the feeding point of the lockdep subsystem
+// (src/lockdep/): every blocking acquire attempt records held-while-
+// acquiring order edges (flagging AB/BA inversions and deadlock cycles
+// before they can wedge, RESILOCK_LOCKDEP=report|abort|off), and every
+// caught misuse is emitted as a timestamped trace event.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +46,7 @@
 #include "core/generic.hpp"
 #include "core/lock_concepts.hpp"
 #include "core/resilience.hpp"
+#include "lockdep/lockdep.hpp"
 #include "platform/thread_registry.hpp"
 #include "shield/held_lock_table.hpp"
 #include "shield/policy.hpp"
@@ -74,10 +81,21 @@ class Shield {
   Shield(const Shield&) = delete;
   Shield& operator=(const Shield&) = delete;
 
+  ~Shield() {
+    lockdep::Graph::instance().retire_class(
+        lockdep_class_.load(std::memory_order_relaxed));
+  }
+
   void acquire(Context& ctx) {
     if (HeldLockTable::mine().holds(this) && confirm_held_or_heal() &&
         misuse_checks_enabled()) {
       if (intercept_relock()) return;  // absorbed as a depth bump
+    }
+    // Order edges are recorded at the ATTEMPT, before the base can
+    // block: an acquisition about to close an AB/BA cycle is flagged
+    // (or aborted) before it can actually wedge.
+    if (lockdep::lockdep_enabled()) {
+      lockdep::on_acquire_attempt(this, lockdep_ensure_class());
     }
     generic_acquire(base_, ctx);
     note_base_acquired(ctx);
@@ -110,6 +128,7 @@ class Shield {
       // as releasing a lock the thread does not hold.
       while (tbl.note_released(this) > 0) {
       }
+      lockdep::on_released(this);
       remaining = HeldLockTable::kNotHeld;
     }
     if (remaining > 0) {  // matching release of an absorbed relock
@@ -117,6 +136,9 @@ class Shield {
       return true;
     }
     if (remaining == 0) {  // balanced: the base really gets released
+      lockdep::on_released(this);
+      lockdep::Graph::instance().clear_owner(
+          lockdep_class_.load(std::memory_order_relaxed));
       last_owner_.store(me, std::memory_order_relaxed);
       owner_.store(kNoOwner, std::memory_order_relaxed);
       bool ok;
@@ -138,7 +160,14 @@ class Shield {
       // §5 escape hatch: trust the caller and behave like the base.
       // Clearing the owner tag lets the acquiring thread's stale table
       // entry self-heal on its next acquire (confirm_held_or_heal).
+      // The releasing thread has no acquisition-stack entry for this
+      // lock, so on_released is a no-op here; clearing the graph-side
+      // owner mirror is what invalidates the ACQUIRER's stale stack
+      // entry — its next blocking acquire purges it instead of
+      // recording orders it never held across.
       owner_.store(kNoOwner, std::memory_order_relaxed);
+      lockdep::Graph::instance().clear_owner(
+          lockdep_class_.load(std::memory_order_relaxed));
       return generic_release(base_, ctx);
     }
     const MisuseKind kind = classify_release(me);
@@ -175,6 +204,17 @@ class Shield {
     policy_.store(p, std::memory_order_relaxed);
   }
 
+  // -- lockdep integration ---------------------------------------------
+  // Stable human-readable class label for lockdep reports (the registry
+  // passes the algorithm name). Set before first use; not synchronized.
+  void set_lockdep_label(const char* label) { lockdep_label_ = label; }
+
+  // This shield's lockdep class id: kInvalidClass before the first
+  // tracked acquire, kUntrackedClass if the class table was full.
+  lockdep::ClassId lockdep_class() const {
+    return lockdep_class_.load(std::memory_order_acquire);
+  }
+
   // -- telemetry --------------------------------------------------------
   ShieldSnapshot snapshot() const { return counters_.snapshot(); }
   void reset_stats() { counters_.reset(); }
@@ -196,6 +236,12 @@ class Shield {
   // caller must forward to the base protocol, misbehavior and all.
   bool apply_policy(MisuseKind kind) {
     counters_.bump_misuse(kind);
+    // Every caught misuse also becomes a timestamped trace event
+    // (src/lockdep/event_ring.hpp); MisuseKind values map one-to-one
+    // onto the low EventKind values.
+    lockdep::TraceBuffer::instance().emit(
+        static_cast<lockdep::EventKind>(static_cast<std::uint8_t>(kind)),
+        this);
     switch (policy()) {
       case ShieldPolicy::kAbort:
         report_misuse(kind, this);
@@ -237,10 +283,40 @@ class Shield {
     auto& tbl = HeldLockTable::mine();
     while (tbl.note_released(this) > 0) {
     }
+    lockdep::on_released(this);  // purge the stale stack entry too
     return false;
   }
 
+  // Lazily registers this shield in the lockdep class table. Racing
+  // first acquires CAS; the loser returns its surplus id.
+  lockdep::ClassId lockdep_ensure_class() {
+    lockdep::ClassId id = lockdep_class_.load(std::memory_order_acquire);
+    if (id != lockdep::kInvalidClass) return id;
+    const lockdep::ClassId fresh =
+        lockdep::Graph::instance().register_class(this, lockdep_label_);
+    lockdep::ClassId expected = lockdep::kInvalidClass;
+    if (!lockdep_class_.compare_exchange_strong(
+            expected, fresh, std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      lockdep::Graph::instance().retire_class(fresh);
+      return expected;
+    }
+    return fresh;
+  }
+
   void note_base_acquired(Context& ctx) {
+    if (lockdep::lockdep_enabled()) {
+      // Try-path acquisitions register here (no blocking attempt ran);
+      // they add no order edges — a trylock cannot wedge — but must
+      // enter the held set so later blocking acquires see them. The
+      // graph-side owner mirror is what lets other code validate a
+      // stack entry without touching this object (it may be destroyed
+      // by then).
+      const lockdep::ClassId cls = lockdep_ensure_class();
+      lockdep::on_acquired(this, cls);
+      lockdep::Graph::instance().note_owner(
+          cls, platform::self_pid() + 1);
+    }
     owner_.store(platform::self_pid() + 1, std::memory_order_relaxed);
     if constexpr (ContextLock<Base>) {
       // Plain locks pass throwaway stack NoContexts — never retain
@@ -279,6 +355,10 @@ class Shield {
   // base acquire and the matching base release (guarded by base_), so
   // a plain pointer suffices; §5 hand-off releases bypass it.
   Context* active_ctx_ = nullptr;
+  // Lockdep class of this shield: registered on first tracked acquire,
+  // retired (and its order edges cleared) on destruction.
+  std::atomic<lockdep::ClassId> lockdep_class_{lockdep::kInvalidClass};
+  const char* lockdep_label_ = nullptr;
   ShieldCounters counters_;
 };
 
