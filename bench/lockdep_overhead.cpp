@@ -7,7 +7,9 @@
 //   raw      — the unprotected original protocol;
 //   shield   — shield<lock> with lockdep OFF: the ownership layer only;
 //   lockdep  — shield<lock> with lockdep in report mode: ownership
-//              layer + acquisition stack + order-graph probes.
+//              layer + acquisition stack + order-graph probes;
+//   engine   — the lockdep configuration plus the adaptive
+//              RESILOCK_POLICY rule set: the full engine-routed stack.
 // Two workloads:
 //   single — one shared lock, empty held set at every acquire: the
 //            hot path the 2x acceptance bound is stated over;
@@ -29,6 +31,7 @@
 #include "harness/evaluation.hpp"
 #include "json_writer.hpp"
 #include "lockdep/lockdep.hpp"
+#include "response/response.hpp"
 #include "runtime/barrier.hpp"
 #include "runtime/thread_team.hpp"
 #include "runtime/timer.hpp"
@@ -85,9 +88,15 @@ struct Row {
   double raw_mops = 0;
   double shield_mops = 0;
   double lockdep_mops = 0;
+  double engine_mops = 0;
 
   double lockdep_over_shield() const {
     return lockdep_mops > 0 ? shield_mops / lockdep_mops : 0.0;
+  }
+  // The acceptance ratio for the engine-routed stack: adaptive rules +
+  // lockdep over the bare ownership layer, target < 2x on `single`.
+  double engine_over_shield() const {
+    return engine_mops > 0 ? shield_mops / engine_mops : 0.0;
   }
 };
 
@@ -114,6 +123,10 @@ Row measure(const std::string& workload, const std::string& name,
     lockdep::LockdepModeGuard on(lockdep::LockdepMode::kReport);
     r.lockdep_mops =
         best_mops(config(shielded_name(name)), threads, iters, reps);
+    response::ResponseRulesGuard adaptive(
+        response::adaptive_policy_spec());
+    r.engine_mops =
+        best_mops(config(shielded_name(name)), threads, iters, reps);
   }
   return r;
 }
@@ -126,13 +139,15 @@ void print_rows(const std::vector<Row>& rows) {
     if (key != last_key) {
       std::printf("--- workload = %s, threads = %u ---\n",
                   r.workload.c_str(), r.threads);
-      std::printf("%-8s %10s %12s %13s %18s\n", "Lock", "raw Mops",
-                  "shield Mops", "lockdep Mops", "lockdep/shield x");
+      std::printf("%-8s %10s %12s %13s %12s %18s %17s\n", "Lock",
+                  "raw Mops", "shield Mops", "lockdep Mops",
+                  "engine Mops", "lockdep/shield x", "engine/shield x");
       last_key = key;
     }
-    std::printf("%-8s %10.2f %12.2f %13.2f %17.2fx\n", r.lock.c_str(),
-                r.raw_mops, r.shield_mops, r.lockdep_mops,
-                r.lockdep_over_shield());
+    std::printf("%-8s %10.2f %12.2f %13.2f %12.2f %17.2fx %16.2fx\n",
+                r.lock.c_str(), r.raw_mops, r.shield_mops, r.lockdep_mops,
+                r.engine_mops, r.lockdep_over_shield(),
+                r.engine_over_shield());
     std::fflush(stdout);
   }
 }
@@ -151,7 +166,9 @@ bool write_json(const char* path, const std::vector<Row>& rows,
           w.field("raw_mops", r.raw_mops);
           w.field("shield_mops", r.shield_mops);
           w.field("lockdep_mops", r.lockdep_mops);
+          w.field("engine_mops", r.engine_mops);
           w.field("lockdep_over_shield", r.lockdep_over_shield());
+          w.field("engine_over_shield", r.engine_over_shield());
           w.end_object();
         }
       });
@@ -196,7 +213,9 @@ int main(int argc, char** argv) {
       "shield  = shield<lock>, lockdep off: the ownership layer alone.\n"
       "lockdep = shield<lock>, RESILOCK_LOCKDEP=report: + acquisition\n"
       "          stack and order-graph probes (the interposer's default "
-      "stack).\n");
+      "stack).\n"
+      "engine  = lockdep + RESILOCK_POLICY=adaptive rules installed: the\n"
+      "          full engine-routed verdict pipeline.\n");
 
   if (json_path != nullptr &&
       !write_json(json_path, rows, max_threads, reps, iters)) {

@@ -30,6 +30,7 @@
 #include "harness/evaluation.hpp"
 #include "json_writer.hpp"
 #include "lockdep/lockdep.hpp"
+#include "response/response.hpp"
 #include "runtime/barrier.hpp"
 #include "runtime/thread_team.hpp"
 #include "runtime/timer.hpp"
@@ -88,6 +89,9 @@ struct Row {
   double resil_mops = 0;
   double shield_mops = 0;
   double shield_resil_mops = 0;
+  // shield<lock> with the adaptive RESILOCK_POLICY rule set installed:
+  // the engine-routed verdict pipeline plus live contention telemetry.
+  double engine_mops = 0;
 };
 
 bool write_json(const char* path, const std::vector<Row>& rows,
@@ -104,6 +108,7 @@ bool write_json(const char* path, const std::vector<Row>& rows,
           w.field("resil_mops", r.resil_mops);
           w.field("shield_mops", r.shield_mops);
           w.field("shield_resil_mops", r.shield_resil_mops);
+          w.field("engine_mops", r.engine_mops);
           w.end_object();
         }
       });
@@ -136,8 +141,8 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
   for (std::uint32_t threads : {1u, max_threads}) {
     std::printf("--- threads = %u ---\n", threads);
-    std::printf("%-8s %12s | %10s %12s %14s\n", "Lock", "orig Mops",
-                "resil %", "shield %", "shield+resil %");
+    std::printf("%-8s %12s | %10s %12s %14s %10s\n", "Lock", "orig Mops",
+                "resil %", "shield %", "shield+resil %", "engine %");
     for (const auto& name : locks) {
       Row r;
       r.lock = name;
@@ -148,10 +153,20 @@ int main(int argc, char** argv) {
           best_mops(shielded_name(name), kOriginal, threads, iters, reps);
       r.shield_resil_mops =
           best_mops(shielded_name(name), kResilient, threads, iters, reps);
-      std::printf("%-8s %12.2f | %9.2f%% %11.2f%% %13.2f%%\n", name.c_str(),
-                  r.orig_mops, pct_overhead(r.orig_mops, r.resil_mops),
+      {
+        // Same shielded lock, but with the adaptive escalation rules
+        // installed so every verdict would route through the engine.
+        response::ResponseRulesGuard adaptive(
+            response::adaptive_policy_spec());
+        r.engine_mops = best_mops(shielded_name(name), kOriginal, threads,
+                                  iters, reps);
+      }
+      std::printf("%-8s %12.2f | %9.2f%% %11.2f%% %13.2f%% %9.2f%%\n",
+                  name.c_str(), r.orig_mops,
+                  pct_overhead(r.orig_mops, r.resil_mops),
                   pct_overhead(r.orig_mops, r.shield_mops),
-                  pct_overhead(r.orig_mops, r.shield_resil_mops));
+                  pct_overhead(r.orig_mops, r.shield_resil_mops),
+                  pct_overhead(r.orig_mops, r.engine_mops));
       std::fflush(stdout);
       rows.push_back(r);
     }
@@ -162,7 +177,10 @@ int main(int argc, char** argv) {
       "shield       = shield<lock> over the ORIGINAL protocol: all\n"
       "               protection comes from the generic ownership layer.\n"
       "shield+resil = shield over the resilient flavor (defense in "
-      "depth).\nNegative values are measurement noise.\n");
+      "depth).\n"
+      "engine       = shield<lock> with RESILOCK_POLICY=adaptive rules:\n"
+      "               the response-engine verdict pipeline armed.\n"
+      "Negative values are measurement noise.\n");
 
   if (json_path != nullptr &&
       !write_json(json_path, rows, max_threads, reps, iters)) {

@@ -71,6 +71,14 @@ class AnyLock {
   // Lets interposed programs print detection telemetry without knowing
   // which wrapper (if any) backs the mutex.
   virtual std::uint64_t misuse_total() const { return 0; }
+
+  // Live contention telemetry (core/contention.hpp), when the wrapped
+  // lock carries a probe (Shield, StatsLock); 0 for bare protocols.
+  // The response engine escalates verdicts on these signals; exposing
+  // them here lets harness/verify code observe the same numbers the
+  // engine sees, whatever wrapper backs the mutex.
+  virtual std::uint32_t waiters() const { return 0; }
+  virtual std::uint64_t contended_total() const { return 0; }
 };
 
 template <typename L>
@@ -102,6 +110,24 @@ class AnyLockAdapter final : public AnyLock {
       return lock_.snapshot().total_misuses();  // Shield counters
     } else if constexpr (requires { lock_.snapshot().detected_misuses; }) {
       return lock_.snapshot().detected_misuses;  // StatsLock counters
+    } else {
+      return 0;
+    }
+  }
+
+  std::uint32_t waiters() const override {
+    if constexpr (requires { lock_.waiters(); }) {
+      return lock_.waiters();
+    } else {
+      return 0;
+    }
+  }
+
+  std::uint64_t contended_total() const override {
+    if constexpr (requires { lock_.contended_total(); }) {
+      return lock_.contended_total();
+    } else if constexpr (requires { lock_.snapshot().contended_acquisitions; }) {
+      return lock_.snapshot().contended_acquisitions;
     } else {
       return 0;
     }

@@ -7,7 +7,8 @@
 #pragma once
 
 #include <atomic>
-#include <cstdlib>
+
+#include "platform/env.hpp"
 
 namespace resilock {
 
@@ -27,10 +28,8 @@ namespace detail {
 inline std::atomic<bool>& misuse_check_flag() {
   // Defaults on; RESILOCK_DISABLE_CHECK=1 turns every resilient check
   // off at process start.
-  static std::atomic<bool> flag{[] {
-    const char* v = std::getenv("RESILOCK_DISABLE_CHECK");
-    return !(v != nullptr && v[0] == '1' && v[1] == '\0');
-  }()};
+  static std::atomic<bool> flag{
+      !platform::env_flag("RESILOCK_DISABLE_CHECK", false)};
   return flag;
 }
 }  // namespace detail

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "core/contention.hpp"
 #include "core/generic.hpp"
 #include "core/lock_concepts.hpp"
 #include "platform/cacheline.hpp"
@@ -51,13 +52,18 @@ class StatsLock {
 
   void acquire(Context& ctx) {
     // Contention probe: only where the base lock has a native trylock
-    // (probing by other means would perturb the protocol).
+    // (probing by other means would perturb the protocol). The probe
+    // also brackets the blocking wait so waiters() is a live gauge.
     if constexpr (generic_has_trylock<Base>()) {
       if (generic_try_acquire(base_, ctx)) {
         bump(acquisitions_);
         return;
       }
-      bump(contended_);
+      contention_.value.begin_wait();
+      generic_acquire(base_, ctx);
+      contention_.value.end_wait();
+      bump(acquisitions_);
+      return;
     }
     generic_acquire(base_, ctx);
     bump(acquisitions_);
@@ -108,8 +114,7 @@ class StatsLock {
   LockStatsSnapshot snapshot() const {
     LockStatsSnapshot s;
     s.acquisitions = acquisitions_.value.load(std::memory_order_relaxed);
-    s.contended_acquisitions =
-        contended_.value.load(std::memory_order_relaxed);
+    s.contended_acquisitions = contention_.value.contended_total();
     s.releases = releases_.value.load(std::memory_order_relaxed);
     s.detected_misuses = misuses_.value.load(std::memory_order_relaxed);
     s.trylock_attempts =
@@ -120,10 +125,17 @@ class StatsLock {
   }
 
   void reset_stats() {
-    for (auto* c : {&acquisitions_, &contended_, &releases_, &misuses_,
+    for (auto* c : {&acquisitions_, &releases_, &misuses_,
                     &try_attempts_, &try_failures_}) {
       c->value.store(0, std::memory_order_relaxed);
     }
+    contention_.value.reset();
+  }
+
+  // Live contention telemetry (response-engine inputs).
+  std::uint32_t waiters() const { return contention_.value.waiters(); }
+  std::uint64_t contended_total() const {
+    return contention_.value.contended_total();
   }
 
   Base& base() { return base_; }
@@ -136,7 +148,7 @@ class StatsLock {
 
   Base base_;
   Counter acquisitions_;
-  Counter contended_;
+  platform::CacheLineAligned<ContentionProbe> contention_;
   Counter releases_;
   Counter misuses_;
   Counter try_attempts_;

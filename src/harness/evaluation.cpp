@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <memory>
 
 #include "core/lock_registry.hpp"
+#include "platform/env.hpp"
 #include "platform/topology.hpp"
 #include "runtime/barrier.hpp"
 #include "runtime/rng.hpp"
@@ -16,22 +16,8 @@
 namespace resilock::harness {
 namespace {
 
-double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  if (!v || !*v) return fallback;
-  char* end = nullptr;
-  const double d = std::strtod(v, &end);
-  return (end && *end == '\0' && d > 0.0) ? d : fallback;
-}
-
-std::uint32_t env_u32(const char* name, std::uint32_t fallback) {
-  const char* v = std::getenv(name);
-  if (!v || !*v) return fallback;
-  char* end = nullptr;
-  const unsigned long u = std::strtoul(v, &end, 10);
-  return (end && *end == '\0' && u > 0) ? static_cast<std::uint32_t>(u)
-                                        : fallback;
-}
+using platform::env_double;
+using platform::env_u32;
 
 bool is_pow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
 

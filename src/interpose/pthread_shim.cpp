@@ -1,12 +1,12 @@
 #include "interpose/pthread_shim.hpp"
 
 #include <cerrno>
-#include <cstdlib>
 #include <string>
 
 #include "core/any_lock.hpp"
 #include "core/lock_registry.hpp"
 #include "interpose/transparent_mutex.hpp"
+#include "platform/env.hpp"
 
 namespace resilock::interpose {
 
@@ -21,10 +21,7 @@ bool shield_interposition_enabled() {
   // (src/shield/): any misuse is intercepted before the protocol sees
   // it, whatever algorithm and flavor were selected. RESILOCK_SHIELD=0
   // opts out and exposes the bare algorithm.
-  static const bool on = [] {
-    const char* v = std::getenv("RESILOCK_SHIELD");
-    return !(v != nullptr && v[0] == '0' && v[1] == '\0');
-  }();
+  static const bool on = platform::env_flag("RESILOCK_SHIELD", true);
   return on;
 }
 

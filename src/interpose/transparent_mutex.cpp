@@ -1,26 +1,23 @@
 #include "interpose/transparent_mutex.hpp"
 
-#include <cstdlib>
-
 #include "interpose/pthread_shim.hpp"
+#include "platform/env.hpp"
 
 namespace resilock::interpose {
 
 const std::string& default_algorithm() {
   static const std::string algo = [] {
-    const char* v = std::getenv("RESILOCK_ALGO");
-    if (v && *v && is_lock_name(v)) return std::string(v);
+    const char* v = platform::env_raw("RESILOCK_ALGO");
+    if (v != nullptr && is_lock_name(v)) return std::string(v);
     return std::string("MCS");
   }();
   return algo;
 }
 
 Resilience default_resilience() {
-  static const Resilience r = [] {
-    const char* v = std::getenv("RESILOCK_RESILIENT");
-    if (v && v[0] == '0' && v[1] == '\0') return kOriginal;
-    return kResilient;
-  }();
+  static const Resilience r =
+      platform::env_flag("RESILOCK_RESILIENT", true) ? kResilient
+                                                     : kOriginal;
   return r;
 }
 

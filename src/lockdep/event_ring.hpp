@@ -50,6 +50,9 @@ constexpr const char* to_string(EventKind k) noexcept {
   return "?";
 }
 
+// TraceEvent.verdict when the response engine was not consulted.
+inline constexpr std::uint8_t kNoVerdict = 0xFF;
+
 struct TraceEvent {
   std::uint64_t ns = 0;         // runtime::now_ns() at emission
   const void* lock = nullptr;   // the lock the misbehaving op targeted
@@ -57,6 +60,10 @@ struct TraceEvent {
   std::uint16_t a = 0;          // lockdep: source class of the new edge
   std::uint16_t b = 0;          // lockdep: destination class
   EventKind kind = EventKind::kUnbalancedUnlock;
+  // response::Action the engine returned for this event (kNoVerdict
+  // when none was taken), so post-mortem traces show not just what
+  // happened but what the engine decided to do about it.
+  std::uint8_t verdict = kNoVerdict;
 };
 
 // Lamport SPSC ring. The producer is whichever thread currently owns
@@ -99,18 +106,26 @@ class EventRing {
   TraceEvent buf_[kCapacity] = {};
 };
 
+// Registers the RESILOCK_TRACE_FILE atexit JSONL dump when that
+// variable is set; idempotent. Defined in trace_export.cpp.
+void register_env_trace_exporter();
+
 // Process-wide collector over lazily allocated per-pid rings.
 class TraceBuffer {
  public:
   static TraceBuffer& instance() {
     static TraceBuffer tb;
+    // Registered AFTER tb's construction completes, so the atexit dump
+    // runs BEFORE tb's destructor (handlers run in reverse
+    // registration order) and never touches freed rings.
+    register_env_trace_exporter();
     return tb;
   }
 
   // Emit from the calling thread (wait-free; the ring is allocated on
   // the thread's first event, never on the lock fast path).
   void emit(EventKind kind, const void* lock, std::uint16_t a = 0,
-            std::uint16_t b = 0) {
+            std::uint16_t b = 0, std::uint8_t verdict = kNoVerdict) {
     TraceEvent e;
     e.ns = runtime::now_ns();
     e.lock = lock;
@@ -118,6 +133,7 @@ class TraceBuffer {
     e.a = a;
     e.b = b;
     e.kind = kind;
+    e.verdict = verdict;
     ring_for(e.pid).push(e);
   }
 

@@ -1,11 +1,20 @@
 // Out-of-line slow paths of the lockdep graph: class allocation and
-// retirement, cycle detection on new edges, and report emission.
+// retirement, cycle detection on new edges, and report emission (the
+// verdict now routes through the response engine, src/response/).
 #include "lockdep/lockdep.hpp"
 
 #include <cstdio>
 #include <thread>
 
+#include "response/response.hpp"
+
 namespace resilock::lockdep {
+
+// The engine's tag space mirrors EventKind; keep them in lock step.
+static_assert(static_cast<int>(response::ResponseEvent::kOrderInversion) ==
+              static_cast<int>(EventKind::kOrderInversion));
+static_assert(static_cast<int>(response::ResponseEvent::kDeadlockCycle) ==
+              static_cast<int>(EventKind::kDeadlockCycle));
 
 ClassId Graph::register_class(const void* instance, const char* label) {
   std::lock_guard<std::mutex> g(class_mutex_);
@@ -26,6 +35,15 @@ ClassId Graph::register_class(const void* instance, const char* label) {
   return id;
 }
 
+ClassId Graph::register_shared_class(const void* key, const char* label) {
+  const ClassId id = register_class(key, label);
+  if (id < kMaxClasses) {
+    shared_[id >> 6].fetch_or(1ull << (id & 63),
+                              std::memory_order_acq_rel);
+  }
+  return id;
+}
+
 void Graph::retire_class(ClassId id) {
   if (id >= kMaxClasses) return;  // kInvalid/kUntracked: nothing to do
   std::lock_guard<std::mutex> g(class_mutex_);
@@ -42,6 +60,8 @@ void Graph::retire_class(ClassId id) {
   instances_[id].store(nullptr, std::memory_order_release);
   labels_[id].store(nullptr, std::memory_order_release);
   owner_pid_[id].store(0, std::memory_order_relaxed);
+  shared_[word].fetch_and(mask, std::memory_order_acq_rel);
+  flagged_[word].fetch_and(mask, std::memory_order_relaxed);
   // A traversal concurrent with the clears may still have seen the
   // dying class's edges. Drain every in-flight DFS before recycling
   // the id, so no traversal can stitch a dead class's stale in-edge to
@@ -55,7 +75,8 @@ void Graph::retire_class(ClassId id) {
   classes_live_.fetch_sub(1, std::memory_order_relaxed);
 }
 
-void Graph::check_cycle(ClassId from, ClassId to, const void* lock) {
+void Graph::check_cycle(ClassId from, ClassId to, const void* lock,
+                        std::uint32_t waiters, bool owned) {
   // Iterative DFS from `to` looking for `from`: a path to→…→from plus
   // the just-inserted from→to closes a cycle. Bounded by kMaxClasses;
   // runs only on the first occurrence of an edge. The in-flight count
@@ -108,11 +129,12 @@ void Graph::check_cycle(ClassId from, ClassId to, const void* lock) {
   std::size_t len = 0;
   path[len++] = from;
   for (std::size_t i = n; i-- > 0;) path[len++] = rev[i];
-  report_cycle(path, len, lock);
+  report_cycle(path, len, lock, waiters, owned);
 }
 
 void Graph::report_cycle(const ClassId* path, std::size_t len,
-                         const void* lock) {
+                         const void* lock, std::uint32_t waiters,
+                         bool owned) {
   // len counts nodes including the repeated endpoint: an AB/BA
   // inversion is {A, B, A} (len 3, two distinct classes).
   const bool two_lock = len == 3;
@@ -121,19 +143,47 @@ void Graph::report_cycle(const ClassId* path, std::size_t len,
   } else {
     cycles_.fetch_add(1, std::memory_order_relaxed);
   }
+  // Every class on the path is now "entangled in a reported cycle" —
+  // the lockdep-state input later misuse verdicts consult.
+  for (std::size_t i = 0; i < len; ++i) {
+    flagged_[path[i] >> 6].fetch_or(1ull << (path[i] & 63),
+                                    std::memory_order_relaxed);
+  }
   const EventKind kind =
       two_lock ? EventKind::kOrderInversion : EventKind::kDeadlockCycle;
-  TraceBuffer::instance().emit(kind, lock, path[0], path[1]);
 
-  const LockdepMode mode = lockdep_mode();
-  {
+  // The verdict pipeline: rules (RESILOCK_POLICY) first, the legacy
+  // RESILOCK_LOCKDEP mode as the fallback — report maps to kLog,
+  // abort to kAbort, so the old knob behaves exactly as before when no
+  // rules are installed.
+  response::EventContext ctx;
+  ctx.waiters = waiters;
+  // "Held by another thread" is contention too: in the canonical
+  // two-thread AB/BA wedge the closing lock has an empty waiter queue
+  // (its holder is parked on the OTHER lock), yet the wedge is
+  // imminent — exactly what the abort tier exists for.
+  ctx.contended = waiters > 0 || owned;
+  ctx.in_flagged_cycle = true;
+  const auto ev = static_cast<response::ResponseEvent>(kind);
+  const response::Action fallback =
+      lockdep_mode() == LockdepMode::kAbort ? response::Action::kAbort
+                                            : response::Action::kLog;
+  const response::Action action =
+      response::ResponseEngine::instance().decide(ev, ctx, fallback);
+
+  TraceBuffer::instance().emit(kind, lock, path[0], path[1],
+                               static_cast<std::uint8_t>(action));
+
+  if (action == response::Action::kLog ||
+      action == response::Action::kAbort) {
     std::lock_guard<std::mutex> g(report_mutex_);
     std::fprintf(stderr,
                  "resilock[lockdep]: %s detected by thread pid %u on "
-                 "lock %p — acquisition order cycle:\n  ",
+                 "lock %p (%u waiter%s) — acquisition order cycle:\n  ",
                  two_lock ? "lock-order inversion (AB/BA)"
                           : "potential deadlock cycle",
-                 static_cast<unsigned>(platform::self_pid()), lock);
+                 static_cast<unsigned>(platform::self_pid()), lock,
+                 waiters, waiters == 1 ? "" : "s");
     for (std::size_t i = 0; i < len; ++i) {
       const char* label = label_of(path[i]);
       std::fprintf(stderr, "%s%s#%u", i == 0 ? "" : " -> ",
@@ -144,7 +194,11 @@ void Graph::report_cycle(const ClassId* path, std::size_t len,
                  "\n  (flagged on first occurrence of this order; the "
                  "threads need never actually wedge)\n");
   }
-  if (mode == LockdepMode::kAbort) std::abort();
+  if (action == response::Action::kAbort) {
+    response::dispatch_abort(ev, lock);
+    // A verify/test abort trap returned: degrade to the report-only
+    // outcome and let the acquisition proceed.
+  }
 }
 
 LockdepStats Graph::stats() const {

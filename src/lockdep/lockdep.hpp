@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "lockdep/event_ring.hpp"
+#include "platform/env.hpp"
 
 namespace resilock::lockdep {
 
@@ -87,9 +88,11 @@ inline std::optional<LockdepMode> mode_from_name(std::string_view name) {
 
 namespace detail {
 inline std::atomic<LockdepMode>& mode_flag() {
+  // RESILOCK_LOCKDEP is the legacy static knob; with RESILOCK_POLICY
+  // rules installed it only decides whether tracking is engaged (off)
+  // and serves as the verdict fallback for unmatched events.
   static std::atomic<LockdepMode> flag{[] {
-    const char* v = std::getenv("RESILOCK_LOCKDEP");
-    if (v != nullptr) {
+    if (const char* v = platform::env_raw("RESILOCK_LOCKDEP")) {
       if (auto m = mode_from_name(v)) return *m;
     }
     return LockdepMode::kReport;
@@ -156,10 +159,34 @@ class Graph {
   // "do not track" and carry on.
   ClassId register_class(const void* instance, const char* label);
 
+  // Allocates a class id shared by MANY lock instances (Linux-style
+  // static class keys, see class_key.hpp). `key` is registered as the
+  // class's instance so reports can name it; the shared bit tells the
+  // acquisition-stack validation that neither the instance mirror nor
+  // the owner mirror can identify individual locks of this class.
+  ClassId register_shared_class(const void* key, const char* label);
+
   // Clears the class's row and column in the edge relation and returns
   // the id to the free list. Safe to call with kUntrackedClass /
   // kInvalidClass (no-op).
   void retire_class(ClassId id);
+
+  // True iff `id` was registered through register_shared_class.
+  bool is_shared(ClassId id) const {
+    if (id >= kMaxClasses) return false;
+    return (shared_[id >> 6].load(std::memory_order_acquire) >>
+            (id & 63)) & 1u;
+  }
+
+  // True iff `id` sat on the path of a reported inversion/cycle. This
+  // is the "lockdep state" input of the response engine: a misuse on a
+  // lock whose class is entangled in a known order cycle is graver
+  // than the same misuse elsewhere.
+  bool is_flagged(ClassId id) const {
+    if (id >= kMaxClasses) return false;
+    return (flagged_[id >> 6].load(std::memory_order_relaxed) >>
+            (id & 63)) & 1u;
+  }
 
   // Hot path: true iff from→to is already recorded (single word load).
   bool has_edge(ClassId from, ClassId to) const {
@@ -169,9 +196,13 @@ class Graph {
   }
 
   // Records "held `from` while acquiring `to`" and, when the edge is
-  // new, runs cycle detection and the mode verdict. `lock` is the lock
-  // being acquired (for the report only).
-  void ensure_edge(ClassId from, ClassId to, const void* lock) {
+  // new, runs cycle detection and the response-engine verdict. `lock`
+  // is the lock being acquired (for the report only); `waiters` is its
+  // live waiter count at the attempt and `owned` whether another
+  // thread currently holds it — together the contention signal the
+  // engine keys cycle-with-waiters escalation off.
+  void ensure_edge(ClassId from, ClassId to, const void* lock,
+                   std::uint32_t waiters = 0, bool owned = false) {
     if (from >= kMaxClasses || to >= kMaxClasses || from == to) return;
     auto& word = rows_[from].bits[to >> 6];
     const std::uint64_t mask = 1ull << (to & 63);
@@ -181,7 +212,7 @@ class Graph {
     // cannot both miss each other in the DFS below (store-buffering).
     if (word.fetch_or(mask, std::memory_order_seq_cst) & mask) return;
     edges_.fetch_add(1, std::memory_order_relaxed);
-    check_cycle(from, to, lock);
+    check_cycle(from, to, lock, waiters, owned);
   }
 
   const char* label_of(ClassId id) const {
@@ -220,12 +251,13 @@ class Graph {
   Graph& operator=(const Graph&) = delete;
 
   // DFS from `to` looking for `from`; on a hit, reports the cycle and
-  // applies the mode verdict. Out of line — runs at most once per
-  // distinct edge over the process lifetime.
-  void check_cycle(ClassId from, ClassId to, const void* lock);
+  // applies the response-engine verdict. Out of line — runs at most
+  // once per distinct edge over the process lifetime.
+  void check_cycle(ClassId from, ClassId to, const void* lock,
+                   std::uint32_t waiters, bool owned);
 
   void report_cycle(const ClassId* path, std::size_t len,
-                    const void* lock);
+                    const void* lock, std::uint32_t waiters, bool owned);
 
   static constexpr std::size_t kWords = kMaxClasses / 64;
   struct Row {
@@ -240,6 +272,10 @@ class Graph {
   std::atomic<const char*> labels_[kMaxClasses] = {};
   std::atomic<const void*> instances_[kMaxClasses] = {};
   std::atomic<std::uint32_t> owner_pid_[kMaxClasses] = {};
+  // Shared-class bits (register_shared_class) and flagged-cycle bits
+  // (set by report_cycle for every class on a reported path).
+  std::atomic<std::uint64_t> shared_[kWords] = {};
+  std::atomic<std::uint64_t> flagged_[kWords] = {};
 
   // DFS traversals in flight; retire_class waits for this to drain
   // before recycling an id, so a traversal can never stitch a dead
@@ -336,8 +372,12 @@ class AcqStack {
 // Before a BLOCKING acquire attempt: records one order edge per held
 // lock and runs the verdict on any new edge — i.e. an imminent
 // inversion is flagged before the caller can wedge. Callers gate on
-// lockdep_enabled().
-inline void on_acquire_attempt(const void* lock, ClassId cls) {
+// lockdep_enabled(). `waiters` (the acquired lock's live waiter count)
+// and `owned` (held by another thread right now) are forwarded to the
+// response engine with any report.
+inline void on_acquire_attempt(const void* lock, ClassId cls,
+                               std::uint32_t waiters = 0,
+                               bool owned = false) {
   if (cls >= kMaxClasses) return;
   AcqStack& st = AcqStack::mine();
   if (st.depth() == 0) return;  // single-lock hot path: no edges
@@ -345,19 +385,26 @@ inline void on_acquire_attempt(const void* lock, ClassId cls) {
   const std::uint32_t me = platform::self_pid() + 1;
   for (std::size_t i = 0; i < st.depth();) {
     const AcqStack::Entry held = st.begin()[i];
-    // A held entry sources an edge only while the graph still maps its
-    // class to this lock AND this thread is still the owner. A §5
-    // hand-off (cross-thread release with checks disabled) or a
-    // destroyed lock leaves a stale entry that would otherwise record
-    // orders this thread never held across — purge it lazily instead.
-    // Both probes read the graph's own arrays, never the (possibly
-    // freed) lock object.
-    if (g.instance_of(held.cls) != held.lock ||
-        g.owner_of(held.cls) != me) {
+    const bool shared = g.is_shared(held.cls);
+    // A per-instance held entry sources an edge only while the graph
+    // still maps its class to this lock AND this thread is still the
+    // owner. A §5 hand-off (cross-thread release with checks disabled)
+    // or a destroyed lock leaves a stale entry that would otherwise
+    // record orders this thread never held across — purge it lazily
+    // instead. Both probes read the graph's own arrays, never the
+    // (possibly freed) lock object.
+    //
+    // A SHARED (keyed) class maps many instances to one id, so neither
+    // mirror can identify this entry; the only check left is that the
+    // key itself is still registered. Stale keyed entries are instead
+    // bounded by release() removing them by lock pointer.
+    if (shared ? g.instance_of(held.cls) == nullptr
+               : (g.instance_of(held.cls) != held.lock ||
+                  g.owner_of(held.cls) != me)) {
       st.remove_at(i);
       continue;
     }
-    g.ensure_edge(held.cls, cls, lock);
+    g.ensure_edge(held.cls, cls, lock, waiters, owned);
     ++i;
   }
 }

@@ -1,0 +1,71 @@
+#include "lockdep/trace_export.hpp"
+
+#include <cstdlib>
+
+#include "lockdep/lockdep.hpp"
+#include "platform/env.hpp"
+#include "response/response.hpp"
+
+namespace resilock::lockdep {
+
+std::size_t write_trace_jsonl(std::FILE* f) {
+  Graph& g = Graph::instance();
+  return TraceBuffer::instance().drain([&](const TraceEvent& e) {
+    std::fprintf(f,
+                 "{\"ns\":%llu,\"kind\":\"%s\",\"lock\":\"%p\",\"pid\":%u",
+                 static_cast<unsigned long long>(e.ns), to_string(e.kind),
+                 e.lock, static_cast<unsigned>(e.pid));
+    if (e.kind == EventKind::kOrderInversion ||
+        e.kind == EventKind::kDeadlockCycle) {
+      std::fprintf(f, ",\"a\":%u,\"b\":%u", static_cast<unsigned>(e.a),
+                   static_cast<unsigned>(e.b));
+      // Labels resolve against the LIVE class table; a class retired
+      // between emission and drain simply drops its label.
+      if (const char* la = g.label_of(e.a)) {
+        std::fprintf(f, ",\"a_label\":\"%s\"", la);
+      }
+      if (const char* lb = g.label_of(e.b)) {
+        std::fprintf(f, ",\"b_label\":\"%s\"", lb);
+      }
+    }
+    if (e.verdict != kNoVerdict &&
+        e.verdict < response::kActions) {
+      std::fprintf(f, ",\"verdict\":\"%s\"",
+                   to_string(static_cast<response::Action>(e.verdict)));
+    }
+    std::fputs("}\n", f);
+  });
+}
+
+bool export_trace_jsonl(const char* path, std::size_t* written) {
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "resilock[trace]: cannot open %s for append\n",
+                 path);
+    return false;
+  }
+  const std::size_t n = write_trace_jsonl(f);
+  std::fclose(f);
+  if (written != nullptr) *written = n;
+  return true;
+}
+
+namespace {
+void atexit_trace_dump() {
+  if (const char* path = platform::env_raw("RESILOCK_TRACE_FILE")) {
+    export_trace_jsonl(path);
+  }
+}
+}  // namespace
+
+void register_env_trace_exporter() {
+  static const bool once = [] {
+    if (platform::env_raw("RESILOCK_TRACE_FILE") != nullptr) {
+      std::atexit(atexit_trace_dump);
+    }
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace resilock::lockdep

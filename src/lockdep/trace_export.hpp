@@ -1,0 +1,36 @@
+// JSONL export of the misuse event ring — the first trace export
+// format (ROADMAP: "text/JSONL dumper on atexit").
+//
+// Counters say THAT misuse happened; the ring says when/who/what; this
+// exporter gets that record out of the process so it can be inspected
+// post-mortem: one JSON object per line, append-mode, so successive
+// dumps (and successive runs) accumulate into one greppable log.
+//
+//   {"ns":123,"kind":"non-owner-unlock","lock":"0x...","pid":3,
+//    "a":7,"b":9,"a_label":"shield<MCS>","verdict":"log"}
+//
+// Two entry points:
+//   * on-demand — export_trace_jsonl(path) / write_trace_jsonl(FILE*)
+//     drain whatever is queued right now;
+//   * atexit   — with RESILOCK_TRACE_FILE=<path> set, a process-exit
+//     dump is registered automatically the first time any event is
+//     emitted (note: std::abort() exits do not run atexit handlers —
+//     an aborting verdict leaves only what earlier dumps captured).
+//
+// Draining consumes: events written by an exporter are gone from the
+// ring. The single-consumer contract of TraceBuffer::drain applies.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+
+namespace resilock::lockdep {
+
+// Drains every ring into `f` as JSONL; returns events written.
+std::size_t write_trace_jsonl(std::FILE* f);
+
+// Opens `path` (append) and drains into it. False when the file cannot
+// be opened; `written` (optional) receives the event count.
+bool export_trace_jsonl(const char* path, std::size_t* written = nullptr);
+
+}  // namespace resilock::lockdep

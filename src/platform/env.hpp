@@ -1,0 +1,54 @@
+// Environment-variable parsing, in one place.
+//
+// Every RESILOCK_* knob used to reimplement its own getenv-and-parse
+// (harness/evaluation.cpp, interpose/, shield/policy.hpp,
+// lockdep/lockdep.cpp); the copies had already begun to drift (some
+// accepted empty strings, some required exact "0"). These helpers are
+// the single definition of how resilock reads its environment:
+//   * env_raw    — the variable's value, nullptr when unset OR empty
+//                  (an empty assignment means "use the default");
+//   * env_u32    — positive integer; malformed or zero -> fallback;
+//   * env_double — positive double; malformed or non-positive -> fallback;
+//   * env_flag   — boolean: 0/false/off/no and 1/true/on/yes; anything
+//                  else (including unset) -> fallback.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+namespace resilock::platform {
+
+inline const char* env_raw(const char* name) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? v : nullptr;
+}
+
+inline std::uint32_t env_u32(const char* name, std::uint32_t fallback) {
+  const char* v = env_raw(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const unsigned long u = std::strtoul(v, &end, 10);
+  return (end != nullptr && *end == '\0' && u > 0)
+             ? static_cast<std::uint32_t>(u)
+             : fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = env_raw(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const double d = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0' && d > 0.0) ? d : fallback;
+}
+
+inline bool env_flag(const char* name, bool fallback) {
+  const char* v = env_raw(name);
+  if (v == nullptr) return fallback;
+  const std::string_view s(v);
+  if (s == "0" || s == "false" || s == "off" || s == "no") return false;
+  if (s == "1" || s == "true" || s == "on" || s == "yes") return true;
+  return fallback;
+}
+
+}  // namespace resilock::platform

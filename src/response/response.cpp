@@ -1,0 +1,248 @@
+// Out-of-line half of the response engine: the RESILOCK_POLICY rule
+// parser, the singleton (env-seeded), verdict bookkeeping, and abort
+// dispatch.
+#include "response/response.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "platform/env.hpp"
+
+namespace resilock::response {
+
+namespace {
+
+// The escalation ladder, ordered most-specific first:
+//   * a reentrant relock is NEVER forwarded — on a non-reentrant base
+//     protocol passthrough is a guaranteed self-deadlock, not a
+//     "harmless radius" misuse; absorbing it (suppress) is the §3.9
+//     remedy;
+//   * a non-owner unlock means another thread HOLDS the lock, so
+//     forwarding it is the paper's headline corruption even with no
+//     waiters queued: log + suppress;
+//   * the remaining release misuses (unbalanced/double unlock of a
+//     free lock) forward faithfully when nobody is queued, escalate to
+//     log once waiters exist;
+//   * lockdep reports abort when the flagged order closes against a
+//     contended lock (waiters queued or held by another thread — the
+//     imminent-wedge shape), otherwise log.
+constexpr std::string_view kAdaptiveSpec =
+    "reentrant-relock=suppress;non-owner-unlock=log;"
+    "misuse@uncontended=passthrough;misuse@contended=log;"
+    "lockdep@contended=abort;lockdep=log;misuse=suppress";
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// One event token -> bitmask over ResponseEvent values; 0 on error.
+std::uint8_t event_mask(std::string_view tok) {
+  if (tok == "*" || tok == "any") return 0x3F;
+  if (tok == "misuse") return 0x0F;   // the four shield ownership kinds
+  if (tok == "lockdep") return 0x30;  // inversion + cycle
+  for (std::size_t i = 0; i < kResponseEvents; ++i) {
+    const auto ev = static_cast<ResponseEvent>(i);
+    if (tok == to_string(ev)) return static_cast<std::uint8_t>(1u << i);
+  }
+  // Long-form lockdep aliases (the EventKind names).
+  if (tok == "order-inversion") return 0x10;
+  if (tok == "deadlock-cycle") return 0x20;
+  return 0;
+}
+
+std::optional<Condition> cond_from_name(std::string_view tok) {
+  if (tok == "uncontended") return Condition::kUncontended;
+  if (tok == "contended" || tok == "waiters") return Condition::kContended;
+  if (tok == "incycle" || tok == "in-cycle") return Condition::kInCycle;
+  return std::nullopt;
+}
+
+std::optional<Rule> parse_rule(std::string_view text) {
+  const std::size_t eq = text.find('=');
+  if (eq == std::string_view::npos) return std::nullopt;
+  const auto action = action_from_name(trim(text.substr(eq + 1)));
+  if (!action) return std::nullopt;
+
+  std::string_view lhs = trim(text.substr(0, eq));
+  Rule r;
+  r.action = *action;
+  const std::size_t at = lhs.find('@');
+  if (at != std::string_view::npos) {
+    const auto cond = cond_from_name(trim(lhs.substr(at + 1)));
+    if (!cond) return std::nullopt;
+    r.cond = *cond;
+    lhs = trim(lhs.substr(0, at));
+  }
+  // Event list: tok['|'tok...].
+  r.events = 0;
+  while (!lhs.empty()) {
+    const std::size_t bar = lhs.find('|');
+    const std::string_view tok = trim(lhs.substr(0, bar));
+    const std::uint8_t mask = event_mask(tok);
+    if (mask == 0) return std::nullopt;
+    r.events |= mask;
+    if (bar == std::string_view::npos) break;
+    lhs = lhs.substr(bar + 1);
+  }
+  if (r.events == 0) return std::nullopt;
+  return r;
+}
+
+}  // namespace
+
+std::optional<Action> action_from_name(std::string_view name) noexcept {
+  if (name == "passthrough") return Action::kPassthrough;
+  if (name == "suppress") return Action::kSuppress;
+  if (name == "log") return Action::kLog;
+  if (name == "abort") return Action::kAbort;
+  return std::nullopt;
+}
+
+std::string_view adaptive_policy_spec() noexcept { return kAdaptiveSpec; }
+
+std::optional<std::vector<Rule>> parse_rules(std::string_view spec) {
+  spec = trim(spec);
+  if (spec == "adaptive") spec = kAdaptiveSpec;
+  std::vector<Rule> rules;
+  if (spec.empty() || spec == "legacy") return rules;  // no-rules state
+  while (true) {
+    const std::size_t semi = spec.find(';');
+    const std::string_view text = trim(spec.substr(0, semi));
+    if (!text.empty()) {
+      const auto r = parse_rule(text);
+      if (!r) return std::nullopt;
+      rules.push_back(*r);
+    }
+    if (semi == std::string_view::npos) break;
+    spec = spec.substr(semi + 1);
+  }
+  return rules;
+}
+
+ResponseEngine& ResponseEngine::instance() {
+  static ResponseEngine e;
+  return e;
+}
+
+ResponseEngine::ResponseEngine() {
+  const char* spec = platform::env_raw("RESILOCK_POLICY");
+  if (spec == nullptr) return;
+  if (!configure(spec)) {
+    std::fprintf(stderr,
+                 "resilock[response]: malformed RESILOCK_POLICY \"%s\" "
+                 "ignored (legacy policies stay in effect)\n",
+                 spec);
+  }
+}
+
+Action ResponseEngine::decide(ResponseEvent ev, const EventContext& ctx,
+                              Action fallback) noexcept {
+  Action a = fallback;
+  if (has_rules_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> g(mutex_);
+    for (const Rule& r : rules_) {
+      if (r.matches(ev, ctx)) {
+        a = r.action;
+        rule_hits_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+  decisions_.fetch_add(1, std::memory_order_relaxed);
+  by_action_[static_cast<std::size_t>(a)].fetch_add(
+      1, std::memory_order_relaxed);
+  by_event_[static_cast<std::size_t>(ev)].fetch_add(
+      1, std::memory_order_relaxed);
+  return a;
+}
+
+bool ResponseEngine::configure(std::string_view spec) {
+  auto rules = parse_rules(spec);
+  if (!rules) return false;
+  install(std::move(*rules));
+  return true;
+}
+
+void ResponseEngine::install(std::vector<Rule> rules) {
+  std::lock_guard<std::mutex> g(mutex_);
+  rules_ = std::move(rules);
+  has_rules_.store(!rules_.empty(), std::memory_order_release);
+}
+
+void ResponseEngine::clear_rules() { install({}); }
+
+std::vector<Rule> ResponseEngine::rules() const {
+  std::lock_guard<std::mutex> g(mutex_);
+  return rules_;
+}
+
+ResponseStats ResponseEngine::stats() const {
+  ResponseStats s;
+  s.decisions = decisions_.load(std::memory_order_relaxed);
+  s.rule_hits = rule_hits_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kActions; ++i) {
+    s.by_action[i] = by_action_[i].load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < kResponseEvents; ++i) {
+    s.by_event[i] = by_event_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void ResponseEngine::reset_stats() {
+  decisions_.store(0, std::memory_order_relaxed);
+  rule_hits_.store(0, std::memory_order_relaxed);
+  for (auto& a : by_action_) a.store(0, std::memory_order_relaxed);
+  for (auto& e : by_event_) e.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Abort dispatch.
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<AbortHandler> g_abort_handler{nullptr};
+}  // namespace
+
+AbortHandler set_abort_handler(AbortHandler h) noexcept {
+  return g_abort_handler.exchange(h, std::memory_order_acq_rel);
+}
+
+void dispatch_abort(ResponseEvent ev, const void* lock) {
+  AbortHandler h = g_abort_handler.load(std::memory_order_acquire);
+  if (h != nullptr) {
+    h(ev, lock);
+    return;  // the handler chose to survive; caller degrades to suppress
+  }
+  std::abort();
+}
+
+ResponseRulesGuard::ResponseRulesGuard(std::string_view spec)
+    : previous_(ResponseEngine::instance().rules()),
+      previous_had_(ResponseEngine::instance().has_rules()) {
+  if (!ResponseEngine::instance().configure(spec)) {
+    ResponseEngine::instance().clear_rules();
+  }
+}
+
+ResponseRulesGuard::ResponseRulesGuard(std::vector<Rule> rules)
+    : previous_(ResponseEngine::instance().rules()),
+      previous_had_(ResponseEngine::instance().has_rules()) {
+  ResponseEngine::instance().install(std::move(rules));
+}
+
+ResponseRulesGuard::~ResponseRulesGuard() {
+  if (previous_had_) {
+    ResponseEngine::instance().install(std::move(previous_));
+  } else {
+    ResponseEngine::instance().clear_rules();
+  }
+}
+
+}  // namespace resilock::response

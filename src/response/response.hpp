@@ -1,0 +1,240 @@
+// Unified adaptive response engine: one verdict pipeline for every
+// protection layer.
+//
+// The paper frames the *remedy* for a caught misuse as a per-protocol
+// decision; PR 1 (shield) and PR 2 (lockdep) each grew their own static
+// policy knob (RESILOCK_SHIELD_POLICY, RESILOCK_LOCKDEP). A deployment,
+// however, wants to express responses in terms of what is actually at
+// stake RIGHT NOW: an unbalanced unlock of an uncontended lock is
+// harmless to forward, the same unlock with waiters queued deserves a
+// log line, and an order cycle reported while threads are already
+// blocked on the lock is an imminent wedge worth dying for.
+//
+// This engine is that decision point. Both the Shield<L> misuse
+// interception and the lockdep inversion/cycle verdict path route
+// through
+//
+//   decide(event kind, lock telemetry, lockdep state) -> Action
+//
+// where telemetry is the lightweight contention probe threaded through
+// the shield (core/contention.hpp) and the lockdep state is whether the
+// lock's class sits on a reported order cycle.
+//
+// Rules come from RESILOCK_POLICY — an ordered, first-match-wins rule
+// string:
+//
+//   RESILOCK_POLICY = rule[;rule...] | "adaptive" | "legacy"
+//   rule   = events[@cond]=action
+//   events = *|misuse|lockdep|unbalanced-unlock|double-unlock|
+//            non-owner-unlock|reentrant-relock|inversion|cycle
+//            (several joined with '|')
+//   cond   = uncontended | contended (alias: waiters) | incycle
+//   action = passthrough | suppress | log | abort
+//
+// "adaptive" expands to the ROADMAP escalation ladder:
+//   misuse@uncontended=passthrough; misuse@contended=log;
+//   lockdep@contended=abort; lockdep=log; misuse=suppress
+//
+// Backward compatibility: with no rules installed (no RESILOCK_POLICY,
+// "legacy", or an empty spec) every decision returns the caller's
+// fallback action — the shield passes its per-instance policy and
+// lockdep passes its mode — so the old env vars behave exactly as
+// before. Explicit per-Shield policies always win over rules.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace resilock::response {
+
+// One tag space across layers. Values 0..3 mirror shield::MisuseKind,
+// 4..5 the lockdep half of lockdep::EventKind (static_asserts at the
+// call sites keep them in lock step).
+enum class ResponseEvent : std::uint8_t {
+  kUnbalancedUnlock = 0,
+  kDoubleUnlock = 1,
+  kNonOwnerUnlock = 2,
+  kReentrantRelock = 3,
+  kOrderInversion = 4,
+  kDeadlockCycle = 5,
+};
+
+inline constexpr std::size_t kResponseEvents = 6;
+
+constexpr const char* to_string(ResponseEvent e) noexcept {
+  switch (e) {
+    case ResponseEvent::kUnbalancedUnlock: return "unbalanced-unlock";
+    case ResponseEvent::kDoubleUnlock: return "double-unlock";
+    case ResponseEvent::kNonOwnerUnlock: return "non-owner-unlock";
+    case ResponseEvent::kReentrantRelock: return "reentrant-relock";
+    case ResponseEvent::kOrderInversion: return "inversion";
+    case ResponseEvent::kDeadlockCycle: return "cycle";
+  }
+  return "?";
+}
+
+// What the consulted layer should do with the event. For shield
+// misuses: forward to the base protocol / swallow / print + swallow /
+// die. For lockdep reports (which cannot be "forwarded"): passthrough
+// and suppress both mean count + trace silently, log prints the report,
+// abort prints and dies before the acquisition can wedge.
+enum class Action : std::uint8_t {
+  kPassthrough = 0,
+  kSuppress = 1,
+  kLog = 2,
+  kAbort = 3,
+};
+
+inline constexpr std::size_t kActions = 4;
+
+constexpr const char* to_string(Action a) noexcept {
+  switch (a) {
+    case Action::kPassthrough: return "passthrough";
+    case Action::kSuppress: return "suppress";
+    case Action::kLog: return "log";
+    case Action::kAbort: return "abort";
+  }
+  return "?";
+}
+
+std::optional<Action> action_from_name(std::string_view name) noexcept;
+
+// Telemetry snapshot the reporting layer hands to decide().
+struct EventContext {
+  std::uint32_t waiters = 0;      // threads blocked on the lock now
+  bool contended = false;         // waiters > 0
+  bool in_flagged_cycle = false;  // lock's class is on a reported cycle
+};
+
+enum class Condition : std::uint8_t {
+  kAlways,
+  kUncontended,  // !contended
+  kContended,    // contended (env alias: "waiters")
+  kInCycle,      // in_flagged_cycle
+};
+
+struct Rule {
+  std::uint8_t events = 0x3F;  // bitmask over ResponseEvent values
+  Condition cond = Condition::kAlways;
+  Action action = Action::kSuppress;
+
+  bool matches(ResponseEvent ev, const EventContext& ctx) const noexcept {
+    if ((events & (1u << static_cast<unsigned>(ev))) == 0) return false;
+    switch (cond) {
+      case Condition::kAlways: return true;
+      case Condition::kUncontended: return !ctx.contended;
+      case Condition::kContended: return ctx.contended;
+      case Condition::kInCycle: return ctx.in_flagged_cycle;
+    }
+    return false;
+  }
+};
+
+// Parses a rule spec ("adaptive"/"legacy" presets included). Returns
+// nullopt on any malformed rule — a policy string must be all-or-
+// nothing, a half-installed escalation ladder is worse than none.
+std::optional<std::vector<Rule>> parse_rules(std::string_view spec);
+
+// The "adaptive" preset, spelled out (bench and verify install it).
+std::string_view adaptive_policy_spec() noexcept;
+
+struct ResponseStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t rule_hits = 0;  // decisions answered by a rule (not fallback)
+  std::uint64_t by_action[kActions] = {};
+  std::uint64_t by_event[kResponseEvents] = {};
+};
+
+class ResponseEngine {
+ public:
+  static ResponseEngine& instance();
+
+  // The verdict pipeline. Rules are consulted in order, first match
+  // wins; with no rules (or no match) the caller's `fallback` — its
+  // legacy static policy — is returned, which is what keeps the old
+  // RESILOCK_SHIELD_POLICY / RESILOCK_LOCKDEP semantics intact.
+  // Called only on the cold path (a caught misuse or a first-seen
+  // order violation), never per lock operation.
+  Action decide(ResponseEvent ev, const EventContext& ctx,
+                Action fallback) noexcept;
+
+  // Installs `spec` (true) or rejects it untouched (false). An empty
+  // spec or "legacy" clears the rules.
+  bool configure(std::string_view spec);
+  void install(std::vector<Rule> rules);
+  void clear_rules();
+  bool has_rules() const noexcept {
+    return has_rules_.load(std::memory_order_acquire);
+  }
+  std::vector<Rule> rules() const;
+
+  ResponseStats stats() const;
+  void reset_stats();
+
+ private:
+  ResponseEngine();  // reads RESILOCK_POLICY
+  ResponseEngine(const ResponseEngine&) = delete;
+  ResponseEngine& operator=(const ResponseEngine&) = delete;
+
+  mutable std::mutex mutex_;   // guards rules_ (cold path only)
+  std::vector<Rule> rules_;
+  std::atomic<bool> has_rules_{false};
+
+  std::atomic<std::uint64_t> decisions_{0};
+  std::atomic<std::uint64_t> rule_hits_{0};
+  std::atomic<std::uint64_t> by_action_[kActions] = {};
+  std::atomic<std::uint64_t> by_event_[kResponseEvents] = {};
+};
+
+// ---------------------------------------------------------------------
+// Abort dispatch. kAbort verdicts funnel through here so the verify
+// layer can observe "this would have died" without dying: the default
+// handler calls std::abort(); a test/verify handler records and
+// returns, and the caller then degrades to suppression.
+// ---------------------------------------------------------------------
+
+using AbortHandler = void (*)(ResponseEvent ev, const void* lock);
+
+// Installs `h` (nullptr restores the default std::abort behavior);
+// returns the previous handler.
+AbortHandler set_abort_handler(AbortHandler h) noexcept;
+
+// Invokes the current handler. Returns only when a non-default handler
+// chose not to die.
+void dispatch_abort(ResponseEvent ev, const void* lock);
+
+// RAII pins, mirroring ShieldPolicyGuard / LockdepModeGuard.
+class ResponseRulesGuard {
+ public:
+  // Installs `spec` for the scope ("" / "legacy" pins the no-rules
+  // state). A malformed spec pins no-rules rather than throwing — the
+  // guard is used in verify/bench paths that must not die on a typo'd
+  // environment.
+  explicit ResponseRulesGuard(std::string_view spec);
+  explicit ResponseRulesGuard(std::vector<Rule> rules);
+  ~ResponseRulesGuard();
+  ResponseRulesGuard(const ResponseRulesGuard&) = delete;
+  ResponseRulesGuard& operator=(const ResponseRulesGuard&) = delete;
+
+ private:
+  std::vector<Rule> previous_;
+  bool previous_had_;
+};
+
+class ScopedAbortHandler {
+ public:
+  explicit ScopedAbortHandler(AbortHandler h) : prev_(set_abort_handler(h)) {}
+  ~ScopedAbortHandler() { set_abort_handler(prev_); }
+  ScopedAbortHandler(const ScopedAbortHandler&) = delete;
+  ScopedAbortHandler& operator=(const ScopedAbortHandler&) = delete;
+
+ private:
+  AbortHandler prev_;
+};
+
+}  // namespace resilock::response

@@ -12,6 +12,14 @@
 // The process-wide default policy is RESILOCK_SHIELD_POLICY
 // ("suppress" | "abort" | "log" | "passthrough", default "suppress") and
 // can be changed at runtime; every Shield<L> instance can override it.
+//
+// Since the unified response engine (src/response/), this static
+// policy is the *fallback* of the verdict pipeline: with
+// RESILOCK_POLICY rules installed, a default-policy shield asks the
+// engine first (telemetry-aware escalation) and only lands here when
+// no rule matches. RESILOCK_SHIELD_POLICY is therefore a deprecated
+// alias kept for compatibility — without rules it behaves exactly as
+// it always did.
 #pragma once
 
 #include <atomic>
@@ -22,7 +30,9 @@
 #include <optional>
 #include <string_view>
 
+#include "platform/env.hpp"
 #include "platform/thread_registry.hpp"
+#include "response/response.hpp"
 
 namespace resilock::shield {
 
@@ -78,11 +88,23 @@ inline std::optional<ShieldPolicy> policy_from_name(std::string_view name) {
   return std::nullopt;
 }
 
+// The engine's Action space is the policy space; this is the
+// compatibility mapping that lets a static ShieldPolicy serve as the
+// verdict-pipeline fallback.
+constexpr response::Action to_action(ShieldPolicy p) noexcept {
+  switch (p) {
+    case ShieldPolicy::kSuppress: return response::Action::kSuppress;
+    case ShieldPolicy::kAbort: return response::Action::kAbort;
+    case ShieldPolicy::kLogAndSuppress: return response::Action::kLog;
+    case ShieldPolicy::kPassThrough: return response::Action::kPassthrough;
+  }
+  return response::Action::kSuppress;
+}
+
 namespace detail {
 inline std::atomic<ShieldPolicy>& default_policy_flag() {
   static std::atomic<ShieldPolicy> flag{[] {
-    const char* v = std::getenv("RESILOCK_SHIELD_POLICY");
-    if (v != nullptr) {
+    if (const char* v = platform::env_raw("RESILOCK_SHIELD_POLICY")) {
       if (auto p = policy_from_name(v)) return *p;
     }
     return ShieldPolicy::kSuppress;

@@ -43,16 +43,25 @@
 #include <type_traits>
 #include <utility>
 
+#include "core/contention.hpp"
 #include "core/generic.hpp"
 #include "core/lock_concepts.hpp"
 #include "core/resilience.hpp"
+#include "lockdep/class_key.hpp"
 #include "lockdep/lockdep.hpp"
 #include "platform/thread_registry.hpp"
+#include "response/response.hpp"
 #include "shield/held_lock_table.hpp"
 #include "shield/policy.hpp"
 #include "shield/shield_stats.hpp"
 
 namespace resilock::shield {
+
+// The engine's tag space mirrors MisuseKind; keep them in lock step.
+static_assert(static_cast<int>(response::ResponseEvent::kUnbalancedUnlock) ==
+              static_cast<int>(MisuseKind::kUnbalancedUnlock));
+static_assert(static_cast<int>(response::ResponseEvent::kReentrantRelock) ==
+              static_cast<int>(MisuseKind::kReentrantRelock));
 
 template <typename Base>
 class Shield {
@@ -64,15 +73,37 @@ class Shield {
   Shield() : policy_(default_shield_policy()) {}
 
   // Per-instance policy override, plus perfect forwarding to the base
-  // (topology-aware locks take their Topology through here).
+  // (topology-aware locks take their Topology through here). An
+  // explicit policy always wins over RESILOCK_POLICY rules.
   template <typename... Args>
   explicit Shield(ShieldPolicy policy, Args&&... args)
-      : base_(std::forward<Args>(args)...), policy_(policy) {}
+      : base_(std::forward<Args>(args)...),
+        policy_(policy),
+        policy_explicit_(true) {}
+
+  // Keyed construction (lockdep/class_key.hpp): every shield built
+  // against `key` shares one lockdep class — container-level order
+  // tracking with one class-table slot. Unkeyed shields keep the
+  // per-instance default.
+  template <typename... Args>
+  explicit Shield(lockdep::LockClassKey& key, Args&&... args)
+      : base_(std::forward<Args>(args)...),
+        policy_(default_shield_policy()),
+        lockdep_key_(&key) {}
+
+  template <typename... Args>
+  Shield(ShieldPolicy policy, lockdep::LockClassKey& key, Args&&... args)
+      : base_(std::forward<Args>(args)...),
+        policy_(policy),
+        policy_explicit_(true),
+        lockdep_key_(&key) {}
 
   // Base-constructor forwarding with the process-default policy.
   template <typename First, typename... Rest,
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<First>, ShieldPolicy> &&
+                !std::is_same_v<std::decay_t<First>,
+                                lockdep::LockClassKey> &&
                 !std::is_same_v<std::decay_t<First>, Shield>>>
   explicit Shield(First&& first, Rest&&... rest)
       : base_(std::forward<First>(first), std::forward<Rest>(rest)...),
@@ -82,8 +113,12 @@ class Shield {
   Shield& operator=(const Shield&) = delete;
 
   ~Shield() {
-    lockdep::Graph::instance().retire_class(
-        lockdep_class_.load(std::memory_order_relaxed));
+    // A keyed class belongs to the key (other instances may still use
+    // it); only per-instance classes retire with their shield.
+    if (lockdep_key_ == nullptr) {
+      lockdep::Graph::instance().retire_class(
+          lockdep_class_.load(std::memory_order_relaxed));
+    }
   }
 
   void acquire(Context& ctx) {
@@ -93,11 +128,26 @@ class Shield {
     }
     // Order edges are recorded at the ATTEMPT, before the base can
     // block: an acquisition about to close an AB/BA cycle is flagged
-    // (or aborted) before it can actually wedge.
+    // (or aborted) before it can actually wedge. The contention signal
+    // rides along so a cycle-with-waiters escalation rule can fire —
+    // "held by another thread" counts as contended even with an empty
+    // waiter queue, because that is exactly the canonical two-thread
+    // wedge shape (the other holder is parked on a DIFFERENT lock and
+    // registers on that lock's gauge, not this one's).
+    const std::uint32_t holder = owner_.load(std::memory_order_relaxed);
+    const bool owned_by_other =
+        holder != kNoOwner && holder != platform::self_pid() + 1;
     if (lockdep::lockdep_enabled()) {
-      lockdep::on_acquire_attempt(this, lockdep_ensure_class());
+      lockdep::on_acquire_attempt(this, lockdep_ensure_class(),
+                                  contention_.waiters(), owned_by_other);
     }
+    // Contention telemetry: one relaxed load on the uncontended path;
+    // threads that observed the lock held register as live waiters for
+    // the duration of the blocking acquire.
+    const bool contended = holder != kNoOwner;
+    if (contended) contention_.begin_wait();
     generic_acquire(base_, ctx);
+    if (contended) contention_.end_wait();
     note_base_acquired(ctx);
   }
 
@@ -137,8 +187,7 @@ class Shield {
     }
     if (remaining == 0) {  // balanced: the base really gets released
       lockdep::on_released(this);
-      lockdep::Graph::instance().clear_owner(
-          lockdep_class_.load(std::memory_order_relaxed));
+      clear_owner_mirror();
       last_owner_.store(me, std::memory_order_relaxed);
       owner_.store(kNoOwner, std::memory_order_relaxed);
       bool ok;
@@ -166,8 +215,7 @@ class Shield {
       // entry — its next blocking acquire purges it instead of
       // recording orders it never held across.
       owner_.store(kNoOwner, std::memory_order_relaxed);
-      lockdep::Graph::instance().clear_owner(
-          lockdep_class_.load(std::memory_order_relaxed));
+      clear_owner_mirror();
       return generic_release(base_, ctx);
     }
     const MisuseKind kind = classify_release(me);
@@ -200,8 +248,11 @@ class Shield {
   ShieldPolicy policy() const {
     return policy_.load(std::memory_order_relaxed);
   }
+  // An explicitly set policy pins this instance: RESILOCK_POLICY rules
+  // no longer apply to it (same precedence as the policy constructor).
   void set_policy(ShieldPolicy p) {
     policy_.store(p, std::memory_order_relaxed);
+    policy_explicit_.store(true, std::memory_order_relaxed);
   }
 
   // -- lockdep integration ---------------------------------------------
@@ -219,6 +270,14 @@ class Shield {
   ShieldSnapshot snapshot() const { return counters_.snapshot(); }
   void reset_stats() { counters_.reset(); }
 
+  // Live contention telemetry — the signals the response engine keys
+  // escalation off (core/contention.hpp).
+  std::uint32_t waiters() const { return contention_.waiters(); }
+  std::uint64_t contended_total() const {
+    return contention_.contended_total();
+  }
+  ContentionSnapshot contention() const { return contention_.snapshot(); }
+
   // Calling thread's recursion depth on this shield (0 == not held).
   std::uint32_t held_depth() const {
     return HeldLockTable::mine().depth(this);
@@ -230,29 +289,54 @@ class Shield {
   static constexpr Resilience resilience() { return Base::resilience(); }
 
  private:
-  // Records the misuse and runs the policy dispatch shared by every
-  // interception point. Returns true when the policy suppresses the
-  // misuse (kAbort never returns); false means kPassThrough and the
-  // caller must forward to the base protocol, misbehavior and all.
+  // Records the misuse and runs the verdict pipeline shared by every
+  // interception point. Returns true when the verdict suppresses the
+  // misuse (kAbort only returns through a verify/test abort trap);
+  // false means passthrough and the caller must forward to the base
+  // protocol, misbehavior and all.
+  //
+  // Precedence: an explicit per-instance policy is final; otherwise
+  // the response engine decides from (event, contention telemetry,
+  // lockdep state), falling back to this instance's captured default
+  // policy when no rule matches — which is exactly the pre-engine
+  // behavior when RESILOCK_POLICY is unset.
   bool apply_policy(MisuseKind kind) {
     counters_.bump_misuse(kind);
+    const auto ev =
+        static_cast<response::ResponseEvent>(static_cast<std::uint8_t>(kind));
+    response::Action action;
+    if (policy_explicit_.load(std::memory_order_relaxed)) {
+      action = to_action(policy());
+    } else {
+      response::EventContext ctx;
+      ctx.waiters = contention_.waiters();
+      ctx.contended = ctx.waiters > 0;
+      ctx.in_flagged_cycle = lockdep::Graph::instance().is_flagged(
+          lockdep_class_.load(std::memory_order_relaxed));
+      action = response::ResponseEngine::instance().decide(
+          ev, ctx, to_action(policy()));
+    }
     // Every caught misuse also becomes a timestamped trace event
     // (src/lockdep/event_ring.hpp); MisuseKind values map one-to-one
-    // onto the low EventKind values.
+    // onto the low EventKind values, and the verdict rides along so
+    // post-mortem traces show what the engine decided.
     lockdep::TraceBuffer::instance().emit(
         static_cast<lockdep::EventKind>(static_cast<std::uint8_t>(kind)),
-        this);
-    switch (policy()) {
-      case ShieldPolicy::kAbort:
+        this, 0, 0, static_cast<std::uint8_t>(action));
+    switch (action) {
+      case response::Action::kAbort:
         report_misuse(kind, this);
-        std::abort();
-      case ShieldPolicy::kLogAndSuppress:
-        report_misuse(kind, this);
-        [[fallthrough]];
-      case ShieldPolicy::kSuppress:
+        response::dispatch_abort(ev, this);
+        // An abort trap chose to survive: degrade to suppression.
         counters_.bump_suppressed();
         return true;
-      case ShieldPolicy::kPassThrough:
+      case response::Action::kLog:
+        report_misuse(kind, this);
+        [[fallthrough]];
+      case response::Action::kSuppress:
+        counters_.bump_suppressed();
+        return true;
+      case response::Action::kPassthrough:
         counters_.bump_passed_through();
         return false;
     }
@@ -287,21 +371,38 @@ class Shield {
     return false;
   }
 
-  // Lazily registers this shield in the lockdep class table. Racing
-  // first acquires CAS; the loser returns its surplus id.
+  // Lazily registers this shield in the lockdep class table — its own
+  // class by default, the key's shared class when keyed. Racing first
+  // acquires CAS; the loser returns its surplus id (keyed shields get
+  // the same id from the key, so the CAS cannot lose a distinct one).
   lockdep::ClassId lockdep_ensure_class() {
     lockdep::ClassId id = lockdep_class_.load(std::memory_order_acquire);
     if (id != lockdep::kInvalidClass) return id;
     const lockdep::ClassId fresh =
-        lockdep::Graph::instance().register_class(this, lockdep_label_);
+        lockdep_key_ != nullptr
+            ? lockdep_key_->ensure(lockdep_label_)
+            : lockdep::Graph::instance().register_class(this,
+                                                        lockdep_label_);
     lockdep::ClassId expected = lockdep::kInvalidClass;
     if (!lockdep_class_.compare_exchange_strong(
             expected, fresh, std::memory_order_acq_rel,
             std::memory_order_acquire)) {
-      lockdep::Graph::instance().retire_class(fresh);
+      if (lockdep_key_ == nullptr) {
+        lockdep::Graph::instance().retire_class(fresh);
+      }
       return expected;
     }
     return fresh;
+  }
+
+  // The graph-side owner mirror identifies per-instance classes only;
+  // a shared (keyed) class has many concurrent owners, so keyed
+  // shields skip it rather than thrash one word across instances.
+  void clear_owner_mirror() {
+    if (lockdep_key_ == nullptr) {
+      lockdep::Graph::instance().clear_owner(
+          lockdep_class_.load(std::memory_order_relaxed));
+    }
   }
 
   void note_base_acquired(Context& ctx) {
@@ -311,11 +412,14 @@ class Shield {
       // enter the held set so later blocking acquires see them. The
       // graph-side owner mirror is what lets other code validate a
       // stack entry without touching this object (it may be destroyed
-      // by then).
+      // by then); shared keyed classes have no usable mirror and skip
+      // it.
       const lockdep::ClassId cls = lockdep_ensure_class();
       lockdep::on_acquired(this, cls);
-      lockdep::Graph::instance().note_owner(
-          cls, platform::self_pid() + 1);
+      if (lockdep_key_ == nullptr) {
+        lockdep::Graph::instance().note_owner(
+            cls, platform::self_pid() + 1);
+      }
     }
     owner_.store(platform::self_pid() + 1, std::memory_order_relaxed);
     if constexpr (ContextLock<Base>) {
@@ -343,6 +447,12 @@ class Shield {
 
   Base base_;
   std::atomic<ShieldPolicy> policy_;
+  // True when the policy was chosen per instance (constructor or
+  // set_policy): the verdict pipeline then never overrides it.
+  std::atomic<bool> policy_explicit_{false};
+  // Live waiter gauge + cumulative contended-acquire count
+  // (core/contention.hpp) — the telemetry half of the engine's inputs.
+  ContentionProbe contention_;
   // Owner tag (pid+1) for release classification only — the held-locks
   // table, not this word, decides balanced vs unbalanced, so a stale
   // read here can at worst mislabel the *kind* of an already-detected
@@ -356,8 +466,11 @@ class Shield {
   // a plain pointer suffices; §5 hand-off releases bypass it.
   Context* active_ctx_ = nullptr;
   // Lockdep class of this shield: registered on first tracked acquire,
-  // retired (and its order edges cleared) on destruction.
+  // retired (and its order edges cleared) on destruction — unless the
+  // shield was built against a LockClassKey, whose shared class the
+  // key owns.
   std::atomic<lockdep::ClassId> lockdep_class_{lockdep::kInvalidClass};
+  lockdep::LockClassKey* lockdep_key_ = nullptr;
   const char* lockdep_label_ = nullptr;
   ShieldCounters counters_;
 };

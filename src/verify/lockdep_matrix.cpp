@@ -9,6 +9,7 @@
 #include "core/tas.hpp"
 #include "core/ticket.hpp"
 #include "lockdep/lockdep.hpp"
+#include "response/response.hpp"
 #include "shield/shield.hpp"
 #include "verify/access.hpp"
 #include "verify/checkers.hpp"
@@ -184,9 +185,11 @@ LockdepScenarioReport run_row(const std::string& name) {
 
 std::vector<LockdepScenarioReport> run_lockdep_matrix(
     const std::vector<std::string>& names) {
-  // Pin both policy engines so results do not depend on the
-  // environment: misuses the scenarios provoke are suppressed, lockdep
+  // Pin every policy surface so results do not depend on the
+  // environment: no response-engine rules (RESILOCK_POLICY cleared for
+  // the scope), misuses the scenarios provoke are suppressed, lockdep
   // reports but never aborts.
+  response::ResponseRulesGuard rules("");
   shield::ShieldPolicyGuard policy(shield::ShieldPolicy::kSuppress);
   lockdep::LockdepModeGuard mode(lockdep::LockdepMode::kReport);
   const std::vector<std::string> defaults = {"TAS", "Ticket", "MCS"};

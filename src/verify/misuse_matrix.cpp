@@ -13,6 +13,7 @@
 #include "core/sw/lamport_fast.hpp"
 #include "core/sw/peterson.hpp"
 #include "platform/thread_registry.hpp"
+#include "response/response.hpp"
 #include "shield/policy.hpp"
 #include "verify/access.hpp"
 #include "verify/checkers.hpp"
@@ -1186,9 +1187,11 @@ std::vector<ShieldComparison> run_shield_matrix(
     const std::vector<std::string>& names) {
   const std::vector<std::string>& selected =
       names.empty() ? table2_lock_names() : names;
-  // Pin the shield policy so the matrix is deterministic regardless of
-  // RESILOCK_SHIELD_POLICY in the environment (RAII: an unknown name in
-  // `names` throws out of make_lock and must not leak the pin).
+  // Pin the shield policy — and clear any RESILOCK_POLICY rules — so
+  // the matrix is deterministic regardless of the environment (RAII:
+  // an unknown name in `names` throws out of make_lock and must not
+  // leak the pins).
+  response::ResponseRulesGuard rules("");
   shield::ShieldPolicyGuard pin(shield::ShieldPolicy::kSuppress);
 
   std::vector<ShieldComparison> rows;

@@ -1,0 +1,370 @@
+// Unit + scenario tests for the unified response engine
+// (src/response/):
+//   * the RESILOCK_POLICY rule parser — grammar, presets, rejection of
+//     malformed specs;
+//   * decide() — first-match-wins ordering, condition gating, fallback
+//     compatibility with the legacy static policies;
+//   * engine-routed Shield verdicts (default-policy shields follow the
+//     rules, explicit policies stay pinned) including the abort trap;
+//   * the verify-layer escalation matrix across TAS/Ticket/MCS and the
+//     legacy compatibility mapping.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/tas.hpp"
+#include "core/ticket.hpp"
+#include "lockdep/lockdep.hpp"
+#include "response/response.hpp"
+#include "shield/shield.hpp"
+#include "verify/escalation_matrix.hpp"
+
+using namespace resilock;
+using response::Action;
+using response::Condition;
+using response::EventContext;
+using response::parse_rules;
+using response::ResponseEngine;
+using response::ResponseEvent;
+using response::ResponseRulesGuard;
+using response::Rule;
+using shield::ShieldPolicy;
+
+namespace {
+
+EventContext contended_ctx(std::uint32_t waiters = 1) {
+  EventContext c;
+  c.waiters = waiters;
+  c.contended = waiters > 0;
+  return c;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------
+
+TEST(ResponseParser, SingleRule) {
+  const auto rules = parse_rules("misuse@contended=log");
+  ASSERT_TRUE(rules.has_value());
+  ASSERT_EQ(rules->size(), 1u);
+  EXPECT_EQ((*rules)[0].events, 0x0F);
+  EXPECT_EQ((*rules)[0].cond, Condition::kContended);
+  EXPECT_EQ((*rules)[0].action, Action::kLog);
+}
+
+TEST(ResponseParser, EventGroupsAndAliases) {
+  const auto rules = parse_rules(
+      "unbalanced-unlock|double-unlock=passthrough;"
+      "lockdep=abort;*=suppress;inversion|cycle@waiters=abort");
+  ASSERT_TRUE(rules.has_value());
+  ASSERT_EQ(rules->size(), 4u);
+  EXPECT_EQ((*rules)[0].events, 0x03);
+  EXPECT_EQ((*rules)[1].events, 0x30);
+  EXPECT_EQ((*rules)[2].events, 0x3F);
+  EXPECT_EQ((*rules)[3].events, 0x30);
+  EXPECT_EQ((*rules)[3].cond, Condition::kContended);  // waiters alias
+}
+
+TEST(ResponseParser, WhitespaceTolerated) {
+  const auto rules =
+      parse_rules(" misuse @ uncontended = passthrough ; lockdep = log ");
+  ASSERT_TRUE(rules.has_value());
+  EXPECT_EQ(rules->size(), 2u);
+  EXPECT_EQ((*rules)[0].cond, Condition::kUncontended);
+}
+
+TEST(ResponseParser, PresetsAndEmpty) {
+  const auto adaptive = parse_rules("adaptive");
+  ASSERT_TRUE(adaptive.has_value());
+  EXPECT_GE(adaptive->size(), 4u);
+  EXPECT_EQ(parse_rules("legacy")->size(), 0u);
+  EXPECT_EQ(parse_rules("")->size(), 0u);
+  // The spelled-out adaptive spec parses to the same ladder.
+  EXPECT_EQ(parse_rules(response::adaptive_policy_spec())->size(),
+            adaptive->size());
+}
+
+TEST(ResponseParser, MalformedSpecsRejectedWhole) {
+  EXPECT_FALSE(parse_rules("misuse=explode").has_value());   // bad action
+  EXPECT_FALSE(parse_rules("bogus=log").has_value());        // bad event
+  EXPECT_FALSE(parse_rules("misuse@sideways=log").has_value());  // bad cond
+  EXPECT_FALSE(parse_rules("misuse").has_value());           // no '='
+  // One bad rule poisons the whole spec (all-or-nothing).
+  EXPECT_FALSE(parse_rules("misuse=log;bogus=abort").has_value());
+}
+
+TEST(ResponseRule, ConditionGating) {
+  Rule r;
+  r.events = 0x0F;
+  r.cond = Condition::kContended;
+  EXPECT_TRUE(r.matches(ResponseEvent::kDoubleUnlock, contended_ctx()));
+  EXPECT_FALSE(r.matches(ResponseEvent::kDoubleUnlock, EventContext{}));
+  EXPECT_FALSE(r.matches(ResponseEvent::kOrderInversion, contended_ctx()));
+  Rule incycle;
+  incycle.cond = Condition::kInCycle;
+  EventContext flagged;
+  flagged.in_flagged_cycle = true;
+  EXPECT_TRUE(incycle.matches(ResponseEvent::kNonOwnerUnlock, flagged));
+  EXPECT_FALSE(incycle.matches(ResponseEvent::kNonOwnerUnlock,
+                               EventContext{}));
+}
+
+// ---------------------------------------------------------------------
+// decide(): ordering, fallback, stats.
+// ---------------------------------------------------------------------
+
+TEST(ResponseEngineDecide, NoRulesReturnsFallback) {
+  ResponseRulesGuard none("");
+  auto& e = ResponseEngine::instance();
+  EXPECT_FALSE(e.has_rules());
+  for (const Action fb : {Action::kPassthrough, Action::kSuppress,
+                          Action::kLog, Action::kAbort}) {
+    EXPECT_EQ(e.decide(ResponseEvent::kUnbalancedUnlock, EventContext{}, fb),
+              fb);
+    EXPECT_EQ(e.decide(ResponseEvent::kDeadlockCycle, contended_ctx(), fb),
+              fb);
+  }
+}
+
+TEST(ResponseEngineDecide, FirstMatchWins) {
+  ResponseRulesGuard rules("misuse@contended=abort;misuse=log");
+  auto& e = ResponseEngine::instance();
+  EXPECT_EQ(e.decide(ResponseEvent::kDoubleUnlock, contended_ctx(),
+                     Action::kSuppress),
+            Action::kAbort);
+  EXPECT_EQ(e.decide(ResponseEvent::kDoubleUnlock, EventContext{},
+                     Action::kSuppress),
+            Action::kLog);
+  // Unmatched event kind falls through to the fallback.
+  EXPECT_EQ(e.decide(ResponseEvent::kOrderInversion, contended_ctx(),
+                     Action::kSuppress),
+            Action::kSuppress);
+}
+
+TEST(ResponseEngineDecide, StatsCountDecisions) {
+  ResponseRulesGuard rules("misuse=passthrough");
+  auto& e = ResponseEngine::instance();
+  const auto before = e.stats();
+  e.decide(ResponseEvent::kDoubleUnlock, EventContext{}, Action::kSuppress);
+  e.decide(ResponseEvent::kOrderInversion, EventContext{}, Action::kLog);
+  const auto after = e.stats();
+  EXPECT_EQ(after.decisions, before.decisions + 2);
+  EXPECT_EQ(after.rule_hits, before.rule_hits + 1);
+  EXPECT_EQ(after.by_action[static_cast<int>(Action::kPassthrough)],
+            before.by_action[static_cast<int>(Action::kPassthrough)] + 1);
+  EXPECT_EQ(after.by_event[static_cast<int>(ResponseEvent::kDoubleUnlock)],
+            before.by_event[static_cast<int>(ResponseEvent::kDoubleUnlock)] +
+                1);
+}
+
+TEST(ResponseEngineConfig, GuardRestoresPreviousRules) {
+  ResponseRulesGuard outer("misuse=log");
+  {
+    ResponseRulesGuard inner("adaptive");
+    EXPECT_GE(ResponseEngine::instance().rules().size(), 4u);
+  }
+  const auto restored = ResponseEngine::instance().rules();
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored[0].action, Action::kLog);
+}
+
+TEST(ResponseEngineConfig, MalformedConfigureRejectedUntouched) {
+  ResponseRulesGuard base("misuse=log");
+  EXPECT_FALSE(ResponseEngine::instance().configure("nope=never"));
+  ASSERT_EQ(ResponseEngine::instance().rules().size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Engine-routed Shield verdicts.
+// ---------------------------------------------------------------------
+
+TEST(ResponseShield, DefaultPolicyShieldFollowsRules) {
+  // Rules turn a (default) suppress into passthrough: the resilient
+  // base sees and refuses the unbalanced unlock.
+  shield::ShieldPolicyGuard dflt(ShieldPolicy::kSuppress);
+  ResponseRulesGuard rules("misuse=passthrough");
+  Shield<TatasLockResilient> s;
+  EXPECT_FALSE(s.release());
+  const auto snap = s.snapshot();
+  EXPECT_EQ(snap.passed_through, 1u);
+  EXPECT_EQ(snap.suppressed, 0u);
+}
+
+TEST(ResponseShield, ExplicitPolicyIgnoresRules) {
+  ResponseRulesGuard rules("misuse=passthrough");
+  Shield<TatasLockResilient> s(ShieldPolicy::kSuppress);
+  EXPECT_FALSE(s.release());
+  const auto snap = s.snapshot();
+  EXPECT_EQ(snap.suppressed, 1u);
+  EXPECT_EQ(snap.passed_through, 0u);
+}
+
+TEST(ResponseShield, SetPolicyPinsInstanceAgainstRules) {
+  ResponseRulesGuard rules("misuse=passthrough");
+  Shield<TatasLockResilient> s;
+  s.set_policy(ShieldPolicy::kSuppress);
+  EXPECT_FALSE(s.release());
+  EXPECT_EQ(s.snapshot().suppressed, 1u);
+}
+
+TEST(ResponseShield, ContendedRuleEscalatesOnLiveWaiters) {
+  shield::ShieldPolicyGuard dflt(ShieldPolicy::kSuppress);
+  ResponseRulesGuard rules("misuse@uncontended=passthrough;misuse=log");
+  Shield<TicketLockResilient> s;
+  // Uncontended: passthrough (base refuses).
+  EXPECT_FALSE(s.release());
+  EXPECT_EQ(s.snapshot().passed_through, 1u);
+  // Contended: a thread parks on the lock, the same misuse now logs.
+  std::atomic<bool> held{false}, go{false};
+  std::thread owner([&] {
+    s.acquire();
+    held.store(true);
+    while (!go.load()) std::this_thread::yield();
+    s.release();
+  });
+  while (!held.load()) std::this_thread::yield();
+  std::thread waiter([&] {
+    s.acquire();
+    s.release();
+  });
+  while (s.waiters() == 0) std::this_thread::yield();
+  EXPECT_FALSE(s.release());  // non-owner unlock: logged + suppressed
+  EXPECT_EQ(s.snapshot().suppressed, 1u);
+  go.store(true);
+  owner.join();
+  waiter.join();
+  EXPECT_GE(s.contended_total(), 1u);
+}
+
+TEST(ResponseShield, AbortVerdictHitsTrapAndDegradesToSuppress) {
+  static std::atomic<int> trapped{0};
+  trapped.store(0);
+  shield::ShieldPolicyGuard dflt(ShieldPolicy::kSuppress);
+  ResponseRulesGuard rules("misuse=abort");
+  response::ScopedAbortHandler trap(
+      [](ResponseEvent, const void*) { trapped.fetch_add(1); });
+  Shield<TatasLockResilient> s;
+  EXPECT_FALSE(s.release());  // abort verdict -> trap -> suppressed
+  EXPECT_EQ(trapped.load(), 1);
+  EXPECT_EQ(s.snapshot().suppressed, 1u);
+  // Still functional.
+  s.acquire();
+  EXPECT_TRUE(s.release());
+}
+
+TEST(ResponseShield, AdaptivePresetAbsorbsReentrantRelock) {
+  // Regression: the uncontended-passthrough tier must NOT forward a
+  // reentrant relock — on a non-reentrant base that is a guaranteed
+  // self-deadlock, not a harmless misuse. The preset pins relocks to
+  // suppress, so the second acquire is absorbed as a depth bump.
+  shield::ShieldPolicyGuard dflt(ShieldPolicy::kSuppress);
+  ResponseRulesGuard rules(response::adaptive_policy_spec());
+  Shield<TatasLock> s;
+  s.acquire();
+  s.acquire();  // would spin forever if passed through
+  EXPECT_EQ(s.held_depth(), 2u);
+  EXPECT_EQ(s.snapshot().reentrant_absorbed, 1u);
+  EXPECT_TRUE(s.release());
+  EXPECT_TRUE(s.release());
+}
+
+TEST(ResponseShield, AdaptivePresetNeverForwardsNonOwnerUnlock) {
+  // A non-owner unlock is the paper's headline corruption even with an
+  // empty waiter queue: the preset logs + suppresses it instead of
+  // forwarding it under the uncontended tier.
+  shield::ShieldPolicyGuard dflt(ShieldPolicy::kSuppress);
+  ResponseRulesGuard rules(response::adaptive_policy_spec());
+  Shield<TatasLock> s;  // ORIGINAL base: a forwarded unlock would free it
+  std::atomic<bool> held{false}, go{false};
+  std::thread owner([&] {
+    s.acquire();
+    held.store(true);
+    while (!go.load()) std::this_thread::yield();
+    s.release();
+  });
+  while (!held.load()) std::this_thread::yield();
+  EXPECT_FALSE(s.release());  // no waiters, still refused
+  EXPECT_TRUE(s.base().is_locked());  // the owner was not dispossessed
+  EXPECT_EQ(s.snapshot().suppressed, 1u);
+  go.store(true);
+  owner.join();
+}
+
+namespace {
+std::atomic<int> g_wedge_trapped{0};
+std::atomic<bool> g_wedge_release{false};
+void wedge_trap(ResponseEvent, const void*) {
+  g_wedge_trapped.fetch_add(1);
+  // Unstick the holder: the verdict fired at the ATTEMPT, before the
+  // caller blocks, so releasing here lets the scenario complete.
+  g_wedge_release.store(true, std::memory_order_release);
+}
+}  // namespace
+
+TEST(ResponseLockdep, OwnedLockCountsAsContendedForCycleVerdict) {
+  // Regression for the canonical two-thread AB/BA wedge: the closing
+  // lock has ZERO queued waiters (its holder is parked on the OTHER
+  // lock), but it is held by another thread — the abort tier must
+  // still fire on the closing edge.
+  g_wedge_trapped.store(0);
+  g_wedge_release.store(false);
+  shield::ShieldPolicyGuard dflt(ShieldPolicy::kSuppress);
+  lockdep::LockdepModeGuard mode(lockdep::LockdepMode::kReport);
+  ResponseRulesGuard rules("lockdep@contended=abort;lockdep=log");
+  Shield<TatasLockResilient> a, b;
+  a.acquire();
+  b.acquire();  // edge A->B
+  EXPECT_TRUE(b.release());
+  EXPECT_TRUE(a.release());
+
+  std::atomic<bool> held{false};
+  std::thread holder([&] {
+    a.acquire();  // holds A — the "parked on the other lock" twin
+    held.store(true);
+    // Released by the trap; the deadline keeps a missed verdict from
+    // hanging the test (it then fails on the trap count instead).
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!g_wedge_release.load(std::memory_order_acquire) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+    a.release();
+  });
+  while (!held.load()) std::this_thread::yield();
+  {
+    response::ScopedAbortHandler trap(wedge_trap);
+    b.acquire();
+    a.acquire();  // closing edge B->A: A owned, 0 waiters -> abort
+    EXPECT_TRUE(a.release());
+    EXPECT_TRUE(b.release());
+  }
+  holder.join();
+  EXPECT_EQ(g_wedge_trapped.load(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Verify layer: the escalation matrix and the compatibility mapping.
+// ---------------------------------------------------------------------
+
+TEST(EscalationMatrix, LegacyCompatMappingHolds) {
+  EXPECT_TRUE(verify::verify_legacy_compat_mapping());
+}
+
+TEST(EscalationMatrix, AllTiersFireAcrossFamilies) {
+  const auto rows = verify::run_escalation_matrix();
+  verify::print_escalation_matrix(rows);
+  ASSERT_EQ(rows.size(), 3u);  // TAS, Ticket, MCS
+  for (const auto& r : rows) {
+    EXPECT_TRUE(r.uncontended_passthrough) << r.lock;
+    EXPECT_TRUE(r.contended_logged) << r.lock;
+    EXPECT_TRUE(r.contended_suppressed) << r.lock;
+    EXPECT_TRUE(r.cycle_abort_verdict) << r.lock;
+    EXPECT_TRUE(r.threads_joined) << r.lock;
+    EXPECT_TRUE(r.all_pass()) << r.lock;
+  }
+}
