@@ -1,21 +1,39 @@
 // Reader-writer lock evaluation (paper §4): throughput of the C-RW
 // variants (NP/RP/WP) over the ReadIndicator implementations, across
 // read/write mixes — including the cost of the CheckedReadIndicator
-// extension that makes the unsolved R-side misuse detectable.
+// extension that makes the unsolved R-side misuse detectable, and the
+// cost of the mode-aware ownership shield (RwShield) that intercepts
+// it generically. `--json out.json` emits every row with base and
+// shielded columns plus the shield_over_base acceptance ratio (2x
+// budget on the read path, like the exclusive shield's budget).
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/rw/crw.hpp"
 #include "harness/evaluation.hpp"
+#include "json_writer.hpp"
 #include "runtime/barrier.hpp"
 #include "runtime/rng.hpp"
 #include "runtime/thread_team.hpp"
 #include "runtime/timer.hpp"
+#include "shield/rw_shield.hpp"
 
 namespace {
 
 using namespace resilock;
 
+struct Row {
+  std::string config;
+  unsigned read_pct = 0;
+  double mops = 0;          // bare lock
+  double shielded_mops = 0; // RwShield<lock>
+  double shield_over_base = 0;
+};
+
+// Drives `rw` through a read_pct mix; Op carries the rlock/runlock/
+// wlock/wunlock spellings so bare locks and shields share one driver.
 template <typename RwLock>
 double run_mix(RwLock& rw, std::uint32_t threads, unsigned read_pct,
                std::uint64_t ops_per_thread) {
@@ -49,26 +67,59 @@ double run_mix(RwLock& rw, std::uint32_t threads, unsigned read_pct,
 
 template <typename RwLock>
 void bench_variant(const char* name, std::uint32_t threads,
-                   std::uint64_t ops) {
+                   std::uint64_t ops, std::uint32_t reps,
+                   std::vector<Row>& rows) {
   std::printf("%-34s", name);
   for (unsigned read_pct : {0u, 50u, 90u, 100u}) {
-    RwLock rw;
-    std::printf("%9.2f", run_mix(rw, threads, read_pct, ops));
+    // Best-of-reps, like the other overhead benches: a shared host's
+    // interference shows up as slow outliers, and best-of filters it
+    // from BOTH columns before the ratio is taken.
+    double base = 0, sh = 0;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      RwLock bare;
+      base = std::max(base, run_mix(bare, threads, read_pct, ops));
+      shield::RwShield<RwLock> shielded;
+      sh = std::max(sh, run_mix(shielded, threads, read_pct, ops));
+    }
+    rows.push_back(Row{name, read_pct, base, sh,
+                       sh > 0.0 ? base / sh : 0.0});
+    std::printf("%9.2f/%-8.2f", base, sh);
     std::fflush(stdout);
   }
-  std::printf("   (Mops at 0/50/90/100%% reads)\n");
+  std::printf("  (bare/shielded Mops at 0/50/90/100%% reads)\n");
+}
+
+bool write_json(const char* path, const std::vector<Row>& rows,
+                std::uint32_t threads, std::uint32_t reps,
+                std::uint64_t ops) {
+  return bench::write_bench_json(
+      path, "rw_throughput", threads, reps, ops,
+      [&](bench::JsonWriter& w) {
+        for (const Row& r : rows) {
+          w.begin_object();
+          w.field("config", r.config);
+          w.field("read_pct", static_cast<std::uint64_t>(r.read_pct));
+          w.field("mops", r.mops);
+          w.field("shielded_mops", r.shielded_mops);
+          w.field("shield_over_base", r.shield_over_base);
+          w.end_object();
+        }
+      });
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace resilock;
+  const char* json_path = bench::json_out_path(argc, argv);
   const std::uint32_t threads =
       std::min(4u, resilock::harness::env_max_threads());
   const auto ops = static_cast<std::uint64_t>(
       30000 * resilock::harness::env_scale());
-  std::printf("=== C-RW lock family throughput (threads=%u) ===\n\n",
-              threads);
+  const std::uint32_t reps = resilock::harness::env_reps();
+  std::printf(
+      "=== C-RW lock family throughput (threads=%u, best of %u) ===\n\n",
+      threads, reps);
 
   using NpSplit =
       CrwLock<kOriginal, SplitReadIndicator, RwPreference::kNeutral>;
@@ -85,17 +136,50 @@ int main() {
   using WpSplit =
       CrwLock<kOriginal, SplitReadIndicator, RwPreference::kWriter>;
 
-  bench_variant<NpSplit>("C-RW-NP  split     original", threads, ops);
-  bench_variant<NpSplitR>("C-RW-NP  split     resilient-W", threads, ops);
-  bench_variant<NpCentral>("C-RW-NP  central   original", threads, ops);
-  bench_variant<NpSnzi>("C-RW-NP  SNZI      original", threads, ops);
-  bench_variant<NpChecked>("C-RW-NP  checked   resilient-RW", threads, ops);
-  bench_variant<RpSplit>("C-RW-RP  split     original", threads, ops);
-  bench_variant<WpSplit>("C-RW-WP  split     original", threads, ops);
+  std::vector<Row> rows;
+  bench_variant<NpSplit>("C-RW-NP  split     original", threads, ops,
+                         reps, rows);
+  bench_variant<NpSplitR>("C-RW-NP  split     resilient-W", threads, ops,
+                          reps, rows);
+  bench_variant<NpCentral>("C-RW-NP  central   original", threads, ops,
+                           reps, rows);
+  bench_variant<NpSnzi>("C-RW-NP  SNZI      original", threads, ops, reps,
+                        rows);
+  bench_variant<NpChecked>("C-RW-NP  checked   resilient-RW", threads,
+                           ops, reps, rows);
+  bench_variant<RpSplit>("C-RW-RP  split     original", threads, ops,
+                         reps, rows);
+  bench_variant<WpSplit>("C-RW-WP  split     original", threads, ops,
+                         reps, rows);
 
+  // The acceptance lines: shielded read-path overhead at the pure-read
+  // mix against the 2x budget. Reported separately for the C-RW-NP
+  // family (the paper's cohort-backed construction — readers serialize
+  // briefly on the cohort, so the shield's fixed ~15ns rides a real
+  // protocol) and for the RP/WP raw-indicator fast paths, whose bare
+  // read is just two uncontended RMWs on a single-core host — there the
+  // shield's essential table work alone is comparable to the whole
+  // base op, and the ratio hovers at the budget boundary.
+  double worst_np = 0, worst_all = 0;
+  for (const Row& r : rows) {
+    if (r.read_pct != 100) continue;
+    worst_all = std::max(worst_all, r.shield_over_base);
+    if (r.config.find("C-RW-NP") != std::string::npos) {
+      worst_np = std::max(worst_np, r.shield_over_base);
+    }
+  }
   std::printf(
       "\nShape to expect: read-heavy mixes gain from reader overlap; the "
       "checked indicator pays an\nO(threads) writer scan — the price of "
-      "making RUnlock misuse detectable (§4 future work).\n");
+      "making RUnlock misuse detectable (§4 future work).\nThe mode-aware "
+      "shield prices the same detection generically: 100%%-read "
+      "shield_over_base worst %.2fx\non C-RW-NP (budget 2x), %.2fx worst "
+      "overall (RP/WP raw-indicator paths included).\n",
+      worst_np, worst_all);
+
+  if (json_path != nullptr &&
+      !write_json(json_path, rows, threads, reps, ops)) {
+    return 1;
+  }
   return 0;
 }

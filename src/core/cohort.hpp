@@ -19,6 +19,17 @@
 // Resilient fix (paper §3.8.4): reuse the local lock's remedy. The
 // cohort release consults the local lock's ownership check *before*
 // touching the global lock, so a misuse leaves both levels untouched.
+//
+// Lockdep attribution: the combinator annotates its internal locks
+// with one shared LockClassKey per LEVEL ("cohort.local",
+// "cohort.global") so that application code acquiring other locks
+// while a cohort lock is held gets its order edges attributed to the
+// right level — and a cross-level inversion in app code names the
+// level, not an anonymous pointer. The combinator's own local→global
+// nesting is edge-free (the global attempt passes the local class as
+// skip_src): the internal protocol order is the combinator's invariant,
+// recording it would let a legal app-level "held global of A, acquire
+// local of B" edge close a false cycle against it.
 #pragma once
 
 #include <atomic>
@@ -33,11 +44,24 @@
 #include "core/tas.hpp"
 #include "core/ticket.hpp"
 #include "core/verify_access.hpp"
+#include "lockdep/class_key.hpp"
 #include "platform/cacheline.hpp"
 #include "platform/thread_registry.hpp"
 #include "platform/topology.hpp"
 
 namespace resilock {
+
+// One shared lockdep class per cohort level, across every cohort
+// instantiation: app-level inversions involving cohort internals are
+// reported against these names.
+inline lockdep::LockClassKey& cohort_local_class_key() {
+  static lockdep::LockClassKey key("cohort.local");
+  return key;
+}
+inline lockdep::LockClassKey& cohort_global_class_key() {
+  static lockdep::LockClassKey key("cohort.global");
+  return key;
+}
 
 // TATAS+backoff local lock augmented with a waiter count, giving the BO
 // lock the cohort detection property it natively lacks (Dice et al. use a
@@ -103,13 +127,39 @@ class CohortLock {
 
   void acquire(Context& ctx) {
     Domain& d = *domains_[topo_.domain_of(platform::self_pid())];
+    const bool dep = lockdep::lockdep_enabled();
+    lockdep::ClassId local_cls = lockdep::kInvalidClass;
+    if (dep) {
+      local_cls = cohort_local_class_key().ensure();
+      // Edges from app-held locks to the local level; attribution is
+      // per level, so every cohort's local lands in one class.
+      lockdep::on_acquire_attempt(&d.local, local_cls);
+    }
     generic_acquire(d.local, ctx.local_);
+    if (dep) lockdep::on_acquired(&d.local, local_cls);
     // Did the previous local holder leave the global lock with us?
     if (d.top_granted.load(std::memory_order_acquire)) {
       d.top_granted.store(false, std::memory_order_relaxed);
+      // Inherited, not acquired — no blocking attempt, no edges — but
+      // this thread now logically HOLDS the global level.
+      if (dep) {
+        lockdep::on_acquired(&global_, cohort_global_class_key().ensure());
+      }
       return;  // global lock inherited
     }
+    if (dep) {
+      // skip_src = the local class: the combinator's own local→global
+      // nesting stays edge-free (see the header comment); app-held
+      // locks still source their edges to the global level.
+      lockdep::on_acquire_attempt(&global_,
+                                  cohort_global_class_key().ensure(), 0,
+                                  false, AccessMode::kExclusive,
+                                  local_cls);
+    }
     generic_acquire(global_, d.global_ctx);
+    if (dep) {
+      lockdep::on_acquired(&global_, cohort_global_class_key().ensure());
+    }
   }
 
   bool release(Context& ctx) {
@@ -119,9 +169,15 @@ class CohortLock {
       // before the global lock can be corrupted.
       if (misuse_checks_enabled() &&
           !generic_owned_by_caller(d.local, ctx.local_)) {
-        return false;
+        return false;  // refused: the caller's held set is unchanged
       }
     }
+    // The caller stops holding both levels whether the global is
+    // passed to the cohort or released for real. Not gated on
+    // lockdep_enabled(): entries pushed while tracking was on must
+    // come off regardless (no-ops when never pushed).
+    lockdep::on_released(&global_);
+    lockdep::on_released(&d.local);
     if (generic_has_waiters(d.local, ctx.local_) &&
         d.pass_count < max_passes_) {
       ++d.pass_count;  // guarded by the local lock

@@ -48,10 +48,15 @@ enum class RwPreference {
   kWriter,   // C-RW-WP
 };
 
+// The cohort backing the writer side is a template parameter so the
+// protection matrix can drive the C-RW construction over different
+// cohort families (C-PTKT-TKT is the paper's choice and the default;
+// C-TKT-TKT and C-BO-BO give the ticket- and TAS-local variants).
 template <Resilience R, typename ReadIndicator = SplitReadIndicator,
-          RwPreference P = RwPreference::kNeutral>
+          RwPreference P = RwPreference::kNeutral,
+          typename CohortT = CPtktTktLock<R>>
 class CrwLock {
-  using Cohort = CPtktTktLock<R>;
+  using Cohort = CohortT;
 
  public:
   using Context = typename Cohort::Context;
@@ -133,6 +138,7 @@ class CrwLock {
   }
 
   ReadIndicator& indicator() { return indicator_; }
+  const ReadIndicator& indicator() const { return indicator_; }
   static constexpr Resilience resilience() { return R; }
   static constexpr RwPreference preference() { return P; }
 

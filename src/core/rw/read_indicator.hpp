@@ -12,7 +12,13 @@
 // extension (its cost appears in bench/ablation_readindr).
 //
 // API: arrive(pid) / depart(pid) -> bool (false iff the call was detected
-// as a misuse; only the checked indicator ever detects), is_empty().
+// as a misuse; only the checked indicator ever detects), is_empty(), and
+// approx_readers() — a relaxed estimate of the live reader population.
+// The estimate is the rw contention signal the response engine keys
+// verdict escalation off (a misuse while readers are inside has a
+// non-zero damage radius); it is approximate by design: counters can be
+// mid-update, and SNZI's root counts nonempty leaves (a lower bound),
+// so treat it as telemetry, never as a correctness input.
 #pragma once
 
 #include <atomic>
@@ -39,6 +45,11 @@ class CentralReadIndicator {
   }
   bool is_empty() const {
     return count_.load(std::memory_order_acquire) == 0;
+  }
+
+  std::uint32_t approx_readers() const {
+    const std::int64_t c = count_.load(std::memory_order_relaxed);
+    return c > 0 ? static_cast<std::uint32_t>(c) : 0;
   }
 
  private:
@@ -75,6 +86,15 @@ class SplitReadIndicator {
     for (std::uint32_t d = 0; d < topo_.num_domains(); ++d)
       ingress += cells_[d].ingress.value.load(std::memory_order_acquire);
     return ingress == egress;
+  }
+
+  std::uint32_t approx_readers() const {
+    std::int64_t diff = 0;
+    for (std::uint32_t d = 0; d < topo_.num_domains(); ++d) {
+      diff += cells_[d].ingress.value.load(std::memory_order_relaxed) -
+              cells_[d].egress.value.load(std::memory_order_relaxed);
+    }
+    return diff > 0 ? static_cast<std::uint32_t>(diff) : 0;
   }
 
  private:
@@ -131,6 +151,14 @@ class SnziReadIndicator {
 
   bool is_empty() const {
     return root_.load(std::memory_order_acquire) == 0;
+  }
+
+  // The root counts leaves with readers, not readers — a lower bound
+  // (that is the whole point of SNZI); good enough as a "readers are
+  // present and roughly how spread out" signal.
+  std::uint32_t approx_readers() const {
+    const std::int64_t c = root_.load(std::memory_order_relaxed);
+    return c > 0 ? static_cast<std::uint32_t>(c) : 0;
   }
 
  private:
@@ -236,6 +264,14 @@ class CheckedReadIndicator {
       if (present_[i].value.load(std::memory_order_acquire)) return false;
     }
     return true;
+  }
+
+  std::uint32_t approx_readers() const {
+    std::uint32_t n = 0;
+    for (std::uint32_t i = 0; i < capacity_; ++i) {
+      if (present_[i].value.load(std::memory_order_relaxed)) ++n;
+    }
+    return n;
   }
 
  private:

@@ -1,12 +1,16 @@
 #include "interpose/pthread_shim.hpp"
 
 #include <cerrno>
+#include <memory>
 #include <string>
+#include <string_view>
 
 #include "core/any_lock.hpp"
 #include "core/lock_registry.hpp"
+#include "core/rw/crw.hpp"
 #include "interpose/transparent_mutex.hpp"
 #include "platform/env.hpp"
+#include "shield/rw_shield.hpp"
 
 namespace resilock::interpose {
 
@@ -65,6 +69,139 @@ int rl_mutex_destroy(rl_mutex_t* m) {
   if (m == nullptr || m->impl == nullptr) return EBUSY;
   delete impl_of(m);
   m->impl = nullptr;
+  return 0;
+}
+
+// ---------------------------------------------------------------------
+// Reader-writer shim.
+// ---------------------------------------------------------------------
+
+namespace {
+
+// Type-erased rw lock with per-thread cohort contexts — the rw
+// analogue of AnyLockAdapter, private to the shim (the registry's
+// AnyLock shape has no read side).
+class RwAny {
+ public:
+  virtual ~RwAny() = default;
+  virtual void rdlock() = 0;
+  virtual void wrlock() = 0;
+  // False iff a misuse was intercepted/detected (EPERM).
+  virtual bool unlock() = 0;
+};
+
+// Shielded adapter: RwShield tracks the caller's mode, so unlock() is
+// the shield's own mode-aware single entry point.
+template <typename Rw>
+class ShieldedRwAdapter final : public RwAny {
+ public:
+  void rdlock() override { rw_.rlock(contexts_.mine()); }
+  void wrlock() override { rw_.wlock(contexts_.mine()); }
+  bool unlock() override { return rw_.unlock(contexts_.mine()); }
+
+ private:
+  shield::RwShield<Rw> rw_;
+  PerPid<typename Rw::Context> contexts_;
+};
+
+// Bare adapter (RESILOCK_SHIELD=0): no interception anywhere, but the
+// single-unlock contract still needs to know which side to call — a
+// per-thread mode note demultiplexes, nothing more. An unlock by a
+// thread holding nothing forwards to runlock: exactly the bogus depart
+// whose §4 consequences the bare protocol faithfully exhibits.
+template <typename Rw>
+class BareRwAdapter final : public RwAny {
+ public:
+  void rdlock() override {
+    rw_.rlock(contexts_.mine());
+    ++holds_.mine().read_depth;
+  }
+  void wrlock() override {
+    rw_.wlock(contexts_.mine());
+    holds_.mine().write = true;
+  }
+  bool unlock() override {
+    Hold& h = holds_.mine();
+    if (h.write) {
+      h.write = false;
+      return rw_.wunlock(contexts_.mine());
+    }
+    if (h.read_depth > 0) --h.read_depth;
+    return rw_.runlock(contexts_.mine());
+  }
+
+ private:
+  struct Hold {
+    std::uint32_t read_depth = 0;
+    bool write = false;
+  };
+  Rw rw_;
+  PerPid<typename Rw::Context> contexts_;
+  PerPid<Hold> holds_;
+};
+
+RwAny* rw_impl_of(rl_rwlock_t* rw) { return static_cast<RwAny*>(rw->impl); }
+
+template <RwPreference P>
+RwAny* make_rw_variant(bool resilient, bool shielded) {
+  if (resilient) {
+    using Rw = CrwLock<kResilient, SplitReadIndicator, P>;
+    if (shielded) return new ShieldedRwAdapter<Rw>();
+    return new BareRwAdapter<Rw>();
+  }
+  using Rw = CrwLock<kOriginal, SplitReadIndicator, P>;
+  if (shielded) return new ShieldedRwAdapter<Rw>();
+  return new BareRwAdapter<Rw>();
+}
+
+}  // namespace
+
+int rl_rwlock_init(rl_rwlock_t* rw, const char* preference,
+                   int resilient) {
+  if (rw == nullptr) return EINVAL;
+  const char* fallback = platform::env_raw("RESILOCK_RW_PREF");
+  const std::string_view pref =
+      preference != nullptr
+          ? std::string_view(preference)
+          : (fallback != nullptr ? std::string_view(fallback)
+                                 : std::string_view("np"));
+  const bool shielded = shield_interposition_enabled();
+  if (pref == "np" || pref == "neutral") {
+    rw->impl = make_rw_variant<RwPreference::kNeutral>(resilient != 0,
+                                                       shielded);
+  } else if (pref == "rp" || pref == "reader") {
+    rw->impl = make_rw_variant<RwPreference::kReader>(resilient != 0,
+                                                      shielded);
+  } else if (pref == "wp" || pref == "writer") {
+    rw->impl = make_rw_variant<RwPreference::kWriter>(resilient != 0,
+                                                      shielded);
+  } else {
+    return EINVAL;
+  }
+  return 0;
+}
+
+int rl_rwlock_rdlock(rl_rwlock_t* rw) {
+  if (rw == nullptr || rw->impl == nullptr) return EINVAL;
+  rw_impl_of(rw)->rdlock();
+  return 0;
+}
+
+int rl_rwlock_wrlock(rl_rwlock_t* rw) {
+  if (rw == nullptr || rw->impl == nullptr) return EINVAL;
+  rw_impl_of(rw)->wrlock();
+  return 0;
+}
+
+int rl_rwlock_unlock(rl_rwlock_t* rw) {
+  if (rw == nullptr || rw->impl == nullptr) return EINVAL;
+  return rw_impl_of(rw)->unlock() ? 0 : EPERM;
+}
+
+int rl_rwlock_destroy(rl_rwlock_t* rw) {
+  if (rw == nullptr || rw->impl == nullptr) return EBUSY;
+  delete rw_impl_of(rw);
+  rw->impl = nullptr;
   return 0;
 }
 

@@ -64,4 +64,43 @@ int rl_mutex_unlock(rl_mutex_t* m);
 // Returns 0; EBUSY if the mutex pointer is null or already destroyed.
 int rl_mutex_destroy(rl_mutex_t* m);
 
+// ---------------------------------------------------------------------
+// pthread_rwlock-shaped shim over the C-RW family (core/rw/crw.hpp).
+//
+// pthread_rwlock_unlock is ONE entry point for both modes; the C-RW
+// protocols have two (runlock/wunlock). The mode-aware shield
+// (RwShield, shield/rw_shield.hpp) is what makes the single-unlock
+// contract implementable: the per-thread held-locks table records
+// whether the caller holds the lock in read or write mode, and the
+// unlock routes to the matching side — or reports EPERM when the
+// caller holds nothing (errorcheck semantics). With RESILOCK_SHIELD=0
+// the bare protocol is exposed; unlock then demultiplexes on the
+// wrapper's own write-owner note and misuse corrupts faithfully, as
+// the paper's §4 analysis describes.
+// ---------------------------------------------------------------------
+
+struct rl_rwlock_t {
+  void* impl;  // owned; opaque to C callers
+};
+
+// `preference` selects the C-RW variant: "np"/"neutral" (default, also
+// the RESILOCK_RW_PREF fallback when NULL), "rp"/"reader",
+// "wp"/"writer". `resilient` selects the base flavor (W-side ticket
+// remedy; the R side is protected by the shield, which is the repo's
+// answer to §4's open problem). Returns 0, or EINVAL for an unknown
+// preference.
+int rl_rwlock_init(rl_rwlock_t* rw, const char* preference, int resilient);
+
+// Return 0. Block until granted.
+int rl_rwlock_rdlock(rl_rwlock_t* rw);
+int rl_rwlock_wrlock(rl_rwlock_t* rw);
+
+// Returns 0 on a balanced unlock of either mode, EPERM when the shield
+// intercepted a misuse (unbalanced read unlock, mode mismatch,
+// non-owner write unlock).
+int rl_rwlock_unlock(rl_rwlock_t* rw);
+
+// Returns 0; EBUSY if the pointer is null or already destroyed.
+int rl_rwlock_destroy(rl_rwlock_t* rw);
+
 }  // namespace resilock::interpose

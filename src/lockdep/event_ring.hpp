@@ -25,8 +25,10 @@
 
 namespace resilock::lockdep {
 
-// One tag space for both layers: the shield's four ownership misuses
-// (values match shield::MisuseKind) plus the lockdep verdicts.
+// One tag space for every layer: the shield's four ownership misuses
+// (values match shield::MisuseKind), the lockdep verdicts, and the
+// reader-writer misuses intercepted by RwShield (values match the
+// response engine's ResponseEvent tail).
 enum class EventKind : std::uint8_t {
   kUnbalancedUnlock = 0,
   kDoubleUnlock = 1,
@@ -34,9 +36,12 @@ enum class EventKind : std::uint8_t {
   kReentrantRelock = 3,
   kOrderInversion = 4,  // AB/BA two-lock order inversion
   kDeadlockCycle = 5,   // order cycle over three or more lock classes
+  kUnbalancedReadUnlock = 6,   // runlock without a matching rlock
+  kRwModeMismatch = 7,         // read hold released as write (or v.v.)
+  kNonOwnerWriteUnlock = 8,    // wunlock while another thread writes
 };
 
-inline constexpr std::size_t kEventKinds = 6;
+inline constexpr std::size_t kEventKinds = 9;
 
 constexpr const char* to_string(EventKind k) noexcept {
   switch (k) {
@@ -46,6 +51,9 @@ constexpr const char* to_string(EventKind k) noexcept {
     case EventKind::kReentrantRelock: return "reentrant-relock";
     case EventKind::kOrderInversion: return "order-inversion";
     case EventKind::kDeadlockCycle: return "deadlock-cycle";
+    case EventKind::kUnbalancedReadUnlock: return "unbalanced-read-unlock";
+    case EventKind::kRwModeMismatch: return "rw-mode-mismatch";
+    case EventKind::kNonOwnerWriteUnlock: return "non-owner-write-unlock";
   }
   return "?";
 }

@@ -50,12 +50,16 @@ void Graph::retire_class(ClassId id) {
   // Clear the class's successor row (seq_cst so a DFS starting after
   // the drain below cannot observe any pre-clear bit) ...
   for (auto& w : rows_[id].bits) w.store(0, std::memory_order_seq_cst);
+  for (auto& w : rows_[id].read_src) w.store(0, std::memory_order_relaxed);
+  for (auto& w : rows_[id].read_dst) w.store(0, std::memory_order_relaxed);
   // ... and its column bit in every other row, so a recycled id starts
   // with no inherited order constraints.
   const std::size_t word = id >> 6;
   const std::uint64_t mask = ~(1ull << (id & 63));
   for (auto& row : rows_) {
     row.bits[word].fetch_and(mask, std::memory_order_seq_cst);
+    row.read_src[word].fetch_and(mask, std::memory_order_relaxed);
+    row.read_dst[word].fetch_and(mask, std::memory_order_relaxed);
   }
   instances_[id].store(nullptr, std::memory_order_release);
   labels_[id].store(nullptr, std::memory_order_release);
@@ -186,9 +190,17 @@ void Graph::report_cycle(const ClassId* path, std::size_t len,
                  waiters, waiters == 1 ? "" : "s");
     for (std::size_t i = 0; i < len; ++i) {
       const char* label = label_of(path[i]);
-      std::fprintf(stderr, "%s%s#%u", i == 0 ? "" : " -> ",
+      // Mode annotation from the edge tag bitmaps: a node prints (r)
+      // when the path traverses it in read mode (as the destination of
+      // the incoming edge or the source of the outgoing one). Plain
+      // exclusive paths carry no annotation.
+      const bool read_here =
+          (i > 0 && edge_dst_was_read(path[i - 1], path[i])) ||
+          (i + 1 < len && edge_src_was_read(path[i], path[i + 1]));
+      std::fprintf(stderr, "%s%s#%u%s", i == 0 ? "" : " -> ",
                    label != nullptr ? label : "lock",
-                   static_cast<unsigned>(path[i]));
+                   static_cast<unsigned>(path[i]),
+                   read_here ? "(r)" : "");
     }
     std::fprintf(stderr,
                  "\n  (flagged on first occurrence of this order; the "
@@ -208,6 +220,7 @@ LockdepStats Graph::stats() const {
   s.classes_live = classes_live_.load(std::memory_order_relaxed);
   s.class_table_full = class_table_full_.load(std::memory_order_relaxed);
   s.edges = edges_.load(std::memory_order_relaxed);
+  s.rr_skipped = rr_skipped_.load(std::memory_order_relaxed);
   s.inversions = inversions_.load(std::memory_order_relaxed);
   s.cycles = cycles_.load(std::memory_order_relaxed);
   s.stack_overflow = stack_overflow_.load(std::memory_order_relaxed);

@@ -35,6 +35,16 @@
 // Trylocks never add edges: an acquisition that cannot block cannot
 // contribute to a deadlock cycle (it can only be held while someone
 // else blocks, which the blocking side's edge records).
+//
+// Mode-tagged edges (the rw refactor): every acquisition-stack entry
+// and every edge records its AccessMode. Read/read dependencies add NO
+// edges — readers never block readers, so holding A in read mode while
+// read-acquiring B can never be a deadlock ingredient (Linux lockdep's
+// recursive-read rule) — and therefore every edge the graph stores has
+// a write-mode (or exclusive) acquisition on at least one end, which is
+// exactly the "cycle detection only fires when a write participates"
+// property. The first-occurrence mode of each endpoint is kept in
+// side bitmaps so reports can annotate the path (A(r) -> B(w)).
 #pragma once
 
 #include <atomic>
@@ -46,6 +56,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/access_mode.hpp"
 #include "lockdep/event_ring.hpp"
 #include "platform/env.hpp"
 
@@ -136,6 +147,7 @@ struct LockdepStats {
   std::uint64_t classes_live = 0;        // currently registered
   std::uint64_t class_table_full = 0;    // registrations refused
   std::uint64_t edges = 0;               // distinct order edges recorded
+  std::uint64_t rr_skipped = 0;          // read/read pairs taken edge-free
   std::uint64_t inversions = 0;          // two-class AB/BA reports
   std::uint64_t cycles = 0;              // reports with cycle length >= 3
   std::uint64_t stack_overflow = 0;      // held-set entries not tracked
@@ -195,15 +207,24 @@ class Graph {
             (to & 63)) & 1u;
   }
 
-  // Records "held `from` while acquiring `to`" and, when the edge is
-  // new, runs cycle detection and the response-engine verdict. `lock`
-  // is the lock being acquired (for the report only); `waiters` is its
-  // live waiter count at the attempt and `owned` whether another
-  // thread currently holds it — together the contention signal the
-  // engine keys cycle-with-waiters escalation off.
+  // Records "held `from` (in `from_mode`) while acquiring `to` (in
+  // `to_mode`)" and, when the edge is new, runs cycle detection and the
+  // response-engine verdict. `lock` is the lock being acquired (for the
+  // report only); `waiters` is its live waiter count at the attempt and
+  // `owned` whether another thread currently holds it — together the
+  // contention signal the engine keys cycle-with-waiters escalation
+  // off. A read/read pair adds NO edge (counted in rr_skipped): readers
+  // never block readers, so the dependency cannot wedge — which leaves
+  // every stored edge write-involved by construction.
   void ensure_edge(ClassId from, ClassId to, const void* lock,
-                   std::uint32_t waiters = 0, bool owned = false) {
+                   std::uint32_t waiters = 0, bool owned = false,
+                   AccessMode from_mode = AccessMode::kExclusive,
+                   AccessMode to_mode = AccessMode::kExclusive) {
     if (from >= kMaxClasses || to >= kMaxClasses || from == to) return;
+    if (from_mode == AccessMode::kRead && to_mode == AccessMode::kRead) {
+      rr_skipped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     auto& word = rows_[from].bits[to >> 6];
     const std::uint64_t mask = 1ull << (to & 63);
     if (word.load(std::memory_order_acquire) & mask) return;
@@ -211,8 +232,32 @@ class Graph {
     // flip. seq_cst so two threads inserting the two halves of a cycle
     // cannot both miss each other in the DFS below (store-buffering).
     if (word.fetch_or(mask, std::memory_order_seq_cst) & mask) return;
+    // Mode tags for this first occurrence; readers of the tags only
+    // consult them for edges whose bit they have already observed.
+    if (from_mode == AccessMode::kRead) {
+      rows_[from].read_src[to >> 6].fetch_or(mask,
+                                             std::memory_order_release);
+    }
+    if (to_mode == AccessMode::kRead) {
+      rows_[from].read_dst[to >> 6].fetch_or(mask,
+                                             std::memory_order_release);
+    }
     edges_.fetch_add(1, std::memory_order_relaxed);
     check_cycle(from, to, lock, waiters, owned);
+  }
+
+  // First-occurrence mode tags of a recorded edge: whether the source
+  // hold / destination acquisition was read-mode. False for unrecorded
+  // edges and write/exclusive endpoints.
+  bool edge_src_was_read(ClassId from, ClassId to) const {
+    if (from >= kMaxClasses || to >= kMaxClasses) return false;
+    return (rows_[from].read_src[to >> 6].load(std::memory_order_acquire) >>
+            (to & 63)) & 1u;
+  }
+  bool edge_dst_was_read(ClassId from, ClassId to) const {
+    if (from >= kMaxClasses || to >= kMaxClasses) return false;
+    return (rows_[from].read_dst[to >> 6].load(std::memory_order_acquire) >>
+            (to & 63)) & 1u;
   }
 
   const char* label_of(ClassId id) const {
@@ -262,6 +307,10 @@ class Graph {
   static constexpr std::size_t kWords = kMaxClasses / 64;
   struct Row {
     std::atomic<std::uint64_t> bits[kWords] = {};
+    // Mode tags, valid only where the corresponding `bits` bit is set:
+    // the endpoint was read-mode at the edge's first occurrence.
+    std::atomic<std::uint64_t> read_src[kWords] = {};
+    std::atomic<std::uint64_t> read_dst[kWords] = {};
   };
 
   // The edge relation, sharded by source class: row r is the successor
@@ -294,6 +343,7 @@ class Graph {
   std::atomic<std::uint64_t> classes_live_{0};
   std::atomic<std::uint64_t> class_table_full_{0};
   std::atomic<std::uint64_t> edges_{0};
+  std::atomic<std::uint64_t> rr_skipped_{0};
   std::atomic<std::uint64_t> inversions_{0};
   std::atomic<std::uint64_t> cycles_{0};
 
@@ -315,6 +365,7 @@ class AcqStack {
   struct Entry {
     const void* lock = nullptr;
     ClassId cls = kInvalidClass;
+    AccessMode mode = AccessMode::kExclusive;
   };
 
   static AcqStack& mine() {
@@ -322,13 +373,14 @@ class AcqStack {
     return s;
   }
 
-  bool push(const void* lock, ClassId cls) {
+  bool push(const void* lock, ClassId cls,
+            AccessMode mode = AccessMode::kExclusive) {
     if (n_ == kMaxDepth) {
       Graph::instance().stack_overflow_.fetch_add(
           1, std::memory_order_relaxed);
       return false;
     }
-    e_[n_++] = Entry{lock, cls};
+    e_[n_++] = Entry{lock, cls, mode};
     return true;
   }
 
@@ -374,10 +426,17 @@ class AcqStack {
 // inversion is flagged before the caller can wedge. Callers gate on
 // lockdep_enabled(). `waiters` (the acquired lock's live waiter count)
 // and `owned` (held by another thread right now) are forwarded to the
-// response engine with any report.
+// response engine with any report. `mode` is the AccessMode of THIS
+// acquisition; each held entry contributes its own recorded mode, and
+// read/read pairs are edge-free (Graph::ensure_edge). `skip_src`
+// suppresses edges sourced at one class: combinators whose internal
+// levels nest by construction (cohort local -> global) pass the inner
+// level here so their own protocol never pollutes the order graph.
 inline void on_acquire_attempt(const void* lock, ClassId cls,
                                std::uint32_t waiters = 0,
-                               bool owned = false) {
+                               bool owned = false,
+                               AccessMode mode = AccessMode::kExclusive,
+                               ClassId skip_src = kInvalidClass) {
   if (cls >= kMaxClasses) return;
   AcqStack& st = AcqStack::mine();
   if (st.depth() == 0) return;  // single-lock hot path: no edges
@@ -397,25 +456,36 @@ inline void on_acquire_attempt(const void* lock, ClassId cls,
     // A SHARED (keyed) class maps many instances to one id, so neither
     // mirror can identify this entry; the only check left is that the
     // key itself is still registered. Stale keyed entries are instead
-    // bounded by release() removing them by lock pointer.
+    // bounded by release() removing them by lock pointer. Read/write
+    // holds of rw shields are shared-class by construction (many
+    // concurrent readers), so they take this branch too.
     if (shared ? g.instance_of(held.cls) == nullptr
                : (g.instance_of(held.cls) != held.lock ||
                   g.owner_of(held.cls) != me)) {
       st.remove_at(i);
       continue;
     }
-    g.ensure_edge(held.cls, cls, lock, waiters, owned);
+    if (held.cls != skip_src) {
+      g.ensure_edge(held.cls, cls, lock, waiters, owned, held.mode, mode);
+    }
     ++i;
   }
 }
 
 // After the base protocol actually granted the lock (blocking or try
-// path). Callers gate on lockdep_enabled().
-inline void on_acquired(const void* lock, ClassId cls) {
+// path). Callers gate on lockdep_enabled(). `check_contains` guards
+// against double-pushing a pass-through relock; callers that KNOW the
+// acquisition is fresh (their held-table probe just said "not held")
+// pass false and skip the scan — the rw read fast path cares.
+inline void on_acquired(const void* lock, ClassId cls,
+                        AccessMode mode = AccessMode::kExclusive,
+                        bool check_contains = true) {
   if (cls >= kMaxClasses) return;
   AcqStack& st = AcqStack::mine();
-  if (st.contains(lock)) return;  // pass-through relock: held set, not depth
-  st.push(lock, cls);
+  if (check_contains && st.contains(lock)) {
+    return;  // pass-through relock: held set, not depth
+  }
+  st.push(lock, cls, mode);
 }
 
 // After the base protocol was released (or the entry went stale through

@@ -3,10 +3,12 @@
 // dispatch.
 #include "response/response.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
 #include "platform/env.hpp"
+#include "runtime/timer.hpp"
 
 namespace resilock::response {
 
@@ -23,11 +25,15 @@ namespace {
 //   * the remaining release misuses (unbalanced/double unlock of a
 //     free lock) forward faithfully when nobody is queued, escalate to
 //     log once waiters exist;
+//   * every reader-writer misuse is logged + suppressed regardless of
+//     contention: an unbalanced read unlock skews the ReadIndicator
+//     FOREVER (§4's writer-starvation corruption), so there is no
+//     "harmless radius" tier for the rw family;
 //   * lockdep reports abort when the flagged order closes against a
 //     contended lock (waiters queued or held by another thread — the
 //     imminent-wedge shape), otherwise log.
 constexpr std::string_view kAdaptiveSpec =
-    "reentrant-relock=suppress;non-owner-unlock=log;"
+    "reentrant-relock=suppress;non-owner-unlock|rw=log;"
     "misuse@uncontended=passthrough;misuse@contended=log;"
     "lockdep@contended=abort;lockdep=log;misuse=suppress";
 
@@ -42,41 +48,76 @@ std::string_view trim(std::string_view s) {
 }
 
 // One event token -> bitmask over ResponseEvent values; 0 on error.
-std::uint8_t event_mask(std::string_view tok) {
-  if (tok == "*" || tok == "any") return 0x3F;
-  if (tok == "misuse") return 0x0F;   // the four shield ownership kinds
+std::uint16_t event_mask(std::string_view tok) {
+  if (tok == "*" || tok == "any") return 0x1FF;
+  // "misuse" is every intercepted caller mistake — the four exclusive
+  // ownership kinds plus the three rw kinds; "rw" names just the
+  // reader-writer tail; "lockdep" the order-graph reports.
+  if (tok == "misuse") return 0x1CF;
+  if (tok == "rw") return 0x1C0;
   if (tok == "lockdep") return 0x30;  // inversion + cycle
   for (std::size_t i = 0; i < kResponseEvents; ++i) {
     const auto ev = static_cast<ResponseEvent>(i);
-    if (tok == to_string(ev)) return static_cast<std::uint8_t>(1u << i);
+    if (tok == to_string(ev)) return static_cast<std::uint16_t>(1u << i);
   }
-  // Long-form lockdep aliases (the EventKind names).
+  // Long-form lockdep aliases (the EventKind names) and short rw
+  // aliases.
   if (tok == "order-inversion") return 0x10;
   if (tok == "deadlock-cycle") return 0x20;
+  if (tok == "read-unlock") return 0x40;
+  if (tok == "mode-mismatch") return 0x80;
   return 0;
 }
 
-std::optional<Condition> cond_from_name(std::string_view tok) {
-  if (tok == "uncontended") return Condition::kUncontended;
-  if (tok == "contended" || tok == "waiters") return Condition::kContended;
-  if (tok == "incycle" || tok == "in-cycle") return Condition::kInCycle;
-  return std::nullopt;
+// Fills cond (and threshold) from the text after '@'; false on error.
+bool parse_cond(std::string_view tok, Rule& r) {
+  if (tok == "uncontended") {
+    r.cond = Condition::kUncontended;
+    return true;
+  }
+  if (tok == "contended" || tok == "waiters") {
+    r.cond = Condition::kContended;
+    return true;
+  }
+  if (tok == "incycle" || tok == "in-cycle") {
+    r.cond = Condition::kInCycle;
+    return true;
+  }
+  // Threshold form: waiters>=N (N a positive decimal integer).
+  constexpr std::string_view kPrefix = "waiters>=";
+  if (tok.size() > kPrefix.size() &&
+      tok.substr(0, kPrefix.size()) == kPrefix) {
+    std::string_view num = trim(tok.substr(kPrefix.size()));
+    if (num.empty()) return false;
+    std::uint64_t n = 0;
+    for (const char c : num) {
+      if (c < '0' || c > '9') return false;
+      n = n * 10 + static_cast<std::uint64_t>(c - '0');
+      if (n > 0xFFFFFFFFull) return false;
+    }
+    if (n == 0) return false;  // "waiters>=0" is just kAlways — reject
+    r.cond = Condition::kWaitersAtLeast;
+    r.threshold = static_cast<std::uint32_t>(n);
+    return true;
+  }
+  return false;
 }
 
 std::optional<Rule> parse_rule(std::string_view text) {
   const std::size_t eq = text.find('=');
   if (eq == std::string_view::npos) return std::nullopt;
-  const auto action = action_from_name(trim(text.substr(eq + 1)));
+  // The condition may itself contain '=' ("waiters>=3"): the
+  // action's '=' is the LAST one.
+  const std::size_t last_eq = text.rfind('=');
+  const auto action = action_from_name(trim(text.substr(last_eq + 1)));
   if (!action) return std::nullopt;
 
-  std::string_view lhs = trim(text.substr(0, eq));
+  std::string_view lhs = trim(text.substr(0, last_eq));
   Rule r;
   r.action = *action;
   const std::size_t at = lhs.find('@');
   if (at != std::string_view::npos) {
-    const auto cond = cond_from_name(trim(lhs.substr(at + 1)));
-    if (!cond) return std::nullopt;
-    r.cond = *cond;
+    if (!parse_cond(trim(lhs.substr(at + 1)), r)) return std::nullopt;
     lhs = trim(lhs.substr(0, at));
   }
   // Event list: tok['|'tok...].
@@ -84,7 +125,7 @@ std::optional<Rule> parse_rule(std::string_view text) {
   while (!lhs.empty()) {
     const std::size_t bar = lhs.find('|');
     const std::string_view tok = trim(lhs.substr(0, bar));
-    const std::uint8_t mask = event_mask(tok);
+    const std::uint16_t mask = event_mask(tok);
     if (mask == 0) return std::nullopt;
     r.events |= mask;
     if (bar == std::string_view::npos) break;
@@ -131,6 +172,8 @@ ResponseEngine& ResponseEngine::instance() {
 }
 
 ResponseEngine::ResponseEngine() {
+  log_rate_.store(platform::env_u32("RESILOCK_LOG_RATE", 0),
+                  std::memory_order_relaxed);
   const char* spec = platform::env_raw("RESILOCK_POLICY");
   if (spec == nullptr) return;
   if (!configure(spec)) {
@@ -154,6 +197,9 @@ Action ResponseEngine::decide(ResponseEvent ev, const EventContext& ctx,
       }
     }
   }
+  // Rate-limit the diagnostic, never the protection: an over-budget
+  // log verdict still suppresses the misuse, it just stays quiet.
+  if (a == Action::kLog && !take_log_token(ev)) a = Action::kSuppress;
   decisions_.fetch_add(1, std::memory_order_relaxed);
   by_action_[static_cast<std::size_t>(a)].fetch_add(
       1, std::memory_order_relaxed);
@@ -182,10 +228,41 @@ std::vector<Rule> ResponseEngine::rules() const {
   return rules_;
 }
 
+bool ResponseEngine::take_log_token(ResponseEvent ev) noexcept {
+  const std::uint32_t rate = log_rate_.load(std::memory_order_acquire);
+  if (rate == 0) return true;  // limiting disabled
+  std::lock_guard<std::mutex> g(bucket_mutex_);
+  LogBucket& b = buckets_[static_cast<std::size_t>(ev)];
+  const std::uint64_t now = runtime::now_ns();
+  if (b.last_refill_ns == 0) {
+    b.tokens = static_cast<double>(rate);  // fresh bucket: full burst
+  } else if (now > b.last_refill_ns) {
+    const double refill = static_cast<double>(now - b.last_refill_ns) *
+                          1e-9 * static_cast<double>(rate);
+    b.tokens = std::min(b.tokens + refill, static_cast<double>(rate));
+  }
+  b.last_refill_ns = now;
+  if (b.tokens >= 1.0) {
+    b.tokens -= 1.0;
+    return true;
+  }
+  log_rate_limited_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void ResponseEngine::set_log_rate_limit(std::uint32_t per_sec) noexcept {
+  std::lock_guard<std::mutex> g(bucket_mutex_);
+  log_rate_.store(per_sec, std::memory_order_release);
+  // Restart every bucket at full burst under the new rate so a guard
+  // entering/leaving a scope gives deterministic budgets.
+  for (auto& b : buckets_) b = LogBucket{};
+}
+
 ResponseStats ResponseEngine::stats() const {
   ResponseStats s;
   s.decisions = decisions_.load(std::memory_order_relaxed);
   s.rule_hits = rule_hits_.load(std::memory_order_relaxed);
+  s.log_rate_limited = log_rate_limited_.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < kActions; ++i) {
     s.by_action[i] = by_action_[i].load(std::memory_order_relaxed);
   }
@@ -198,6 +275,7 @@ ResponseStats ResponseEngine::stats() const {
 void ResponseEngine::reset_stats() {
   decisions_.store(0, std::memory_order_relaxed);
   rule_hits_.store(0, std::memory_order_relaxed);
+  log_rate_limited_.store(0, std::memory_order_relaxed);
   for (auto& a : by_action_) a.store(0, std::memory_order_relaxed);
   for (auto& e : by_event_) e.store(0, std::memory_order_relaxed);
 }

@@ -25,15 +25,24 @@
 //
 //   RESILOCK_POLICY = rule[;rule...] | "adaptive" | "legacy"
 //   rule   = events[@cond]=action
-//   events = *|misuse|lockdep|unbalanced-unlock|double-unlock|
-//            non-owner-unlock|reentrant-relock|inversion|cycle
+//   events = *|misuse|rw|lockdep|unbalanced-unlock|double-unlock|
+//            non-owner-unlock|reentrant-relock|inversion|cycle|
+//            unbalanced-read-unlock|rw-mode-mismatch|
+//            non-owner-write-unlock
 //            (several joined with '|')
-//   cond   = uncontended | contended (alias: waiters) | incycle
+//   cond   = uncontended | contended (alias: waiters) | incycle |
+//            waiters>=N (live-waiter threshold, N a positive integer)
 //   action = passthrough | suppress | log | abort
 //
 // "adaptive" expands to the ROADMAP escalation ladder:
+//   reentrant-relock=suppress; non-owner-unlock|rw=log;
 //   misuse@uncontended=passthrough; misuse@contended=log;
 //   lockdep@contended=abort; lockdep=log; misuse=suppress
+//
+// Log verdicts can additionally be rate-limited (token bucket per
+// event kind, RESILOCK_LOG_RATE tokens/second): a log verdict with the
+// bucket empty degrades to suppress, so noisy production misuse cannot
+// flood stderr or the trace ring.
 //
 // Backward compatibility: with no rules installed (no RESILOCK_POLICY,
 // "legacy", or an empty spec) every decision returns the caller's
@@ -53,8 +62,9 @@
 namespace resilock::response {
 
 // One tag space across layers. Values 0..3 mirror shield::MisuseKind,
-// 4..5 the lockdep half of lockdep::EventKind (static_asserts at the
-// call sites keep them in lock step).
+// 4..5 the lockdep half of lockdep::EventKind, 6..8 the reader-writer
+// misuses RwShield intercepts (static_asserts at the call sites keep
+// them in lock step).
 enum class ResponseEvent : std::uint8_t {
   kUnbalancedUnlock = 0,
   kDoubleUnlock = 1,
@@ -62,9 +72,12 @@ enum class ResponseEvent : std::uint8_t {
   kReentrantRelock = 3,
   kOrderInversion = 4,
   kDeadlockCycle = 5,
+  kUnbalancedReadUnlock = 6,
+  kRwModeMismatch = 7,
+  kNonOwnerWriteUnlock = 8,
 };
 
-inline constexpr std::size_t kResponseEvents = 6;
+inline constexpr std::size_t kResponseEvents = 9;
 
 constexpr const char* to_string(ResponseEvent e) noexcept {
   switch (e) {
@@ -74,6 +87,11 @@ constexpr const char* to_string(ResponseEvent e) noexcept {
     case ResponseEvent::kReentrantRelock: return "reentrant-relock";
     case ResponseEvent::kOrderInversion: return "inversion";
     case ResponseEvent::kDeadlockCycle: return "cycle";
+    case ResponseEvent::kUnbalancedReadUnlock:
+      return "unbalanced-read-unlock";
+    case ResponseEvent::kRwModeMismatch: return "rw-mode-mismatch";
+    case ResponseEvent::kNonOwnerWriteUnlock:
+      return "non-owner-write-unlock";
   }
   return "?";
 }
@@ -113,15 +131,17 @@ struct EventContext {
 
 enum class Condition : std::uint8_t {
   kAlways,
-  kUncontended,  // !contended
-  kContended,    // contended (env alias: "waiters")
-  kInCycle,      // in_flagged_cycle
+  kUncontended,     // !contended
+  kContended,       // contended (env alias: "waiters")
+  kInCycle,         // in_flagged_cycle
+  kWaitersAtLeast,  // waiters >= threshold ("waiters>=N")
 };
 
 struct Rule {
-  std::uint8_t events = 0x3F;  // bitmask over ResponseEvent values
+  std::uint16_t events = 0x1FF;  // bitmask over ResponseEvent values
   Condition cond = Condition::kAlways;
   Action action = Action::kSuppress;
+  std::uint32_t threshold = 0;  // kWaitersAtLeast only
 
   bool matches(ResponseEvent ev, const EventContext& ctx) const noexcept {
     if ((events & (1u << static_cast<unsigned>(ev))) == 0) return false;
@@ -130,6 +150,7 @@ struct Rule {
       case Condition::kUncontended: return !ctx.contended;
       case Condition::kContended: return ctx.contended;
       case Condition::kInCycle: return ctx.in_flagged_cycle;
+      case Condition::kWaitersAtLeast: return ctx.waiters >= threshold;
     }
     return false;
   }
@@ -146,6 +167,7 @@ std::string_view adaptive_policy_spec() noexcept;
 struct ResponseStats {
   std::uint64_t decisions = 0;
   std::uint64_t rule_hits = 0;  // decisions answered by a rule (not fallback)
+  std::uint64_t log_rate_limited = 0;  // log verdicts degraded to suppress
   std::uint64_t by_action[kActions] = {};
   std::uint64_t by_event[kResponseEvents] = {};
 };
@@ -176,17 +198,40 @@ class ResponseEngine {
   ResponseStats stats() const;
   void reset_stats();
 
+  // -- log-verdict rate limiting (token bucket per event kind) ---------
+  // `per_sec` tokens refill per second with an equal burst capacity;
+  // 0 disables limiting (the default). Seeded from RESILOCK_LOG_RATE.
+  // When the bucket for an event kind is empty, a kLog decision
+  // degrades to kSuppress and counts in stats().log_rate_limited —
+  // the misuse is still intercepted and traced, just not printed.
+  void set_log_rate_limit(std::uint32_t per_sec) noexcept;
+  std::uint32_t log_rate_limit() const noexcept {
+    return log_rate_.load(std::memory_order_acquire);
+  }
+
  private:
-  ResponseEngine();  // reads RESILOCK_POLICY
+  ResponseEngine();  // reads RESILOCK_POLICY, RESILOCK_LOG_RATE
   ResponseEngine(const ResponseEngine&) = delete;
   ResponseEngine& operator=(const ResponseEngine&) = delete;
+
+  // True when the calling kLog decision may print; false degrades it.
+  bool take_log_token(ResponseEvent ev) noexcept;
 
   mutable std::mutex mutex_;   // guards rules_ (cold path only)
   std::vector<Rule> rules_;
   std::atomic<bool> has_rules_{false};
 
+  struct LogBucket {  // guarded by bucket_mutex_
+    double tokens = 0.0;
+    std::uint64_t last_refill_ns = 0;
+  };
+  mutable std::mutex bucket_mutex_;  // cold path: log verdicts only
+  LogBucket buckets_[kResponseEvents] = {};
+  std::atomic<std::uint32_t> log_rate_{0};  // tokens/sec; 0 = unlimited
+
   std::atomic<std::uint64_t> decisions_{0};
   std::atomic<std::uint64_t> rule_hits_{0};
+  std::atomic<std::uint64_t> log_rate_limited_{0};
   std::atomic<std::uint64_t> by_action_[kActions] = {};
   std::atomic<std::uint64_t> by_event_[kResponseEvents] = {};
 };
@@ -235,6 +280,23 @@ class ScopedAbortHandler {
 
  private:
   AbortHandler prev_;
+};
+
+// RAII pin for the log-verdict rate limit (tests, measurement runs).
+class LogRateLimitGuard {
+ public:
+  explicit LogRateLimitGuard(std::uint32_t per_sec)
+      : previous_(ResponseEngine::instance().log_rate_limit()) {
+    ResponseEngine::instance().set_log_rate_limit(per_sec);
+  }
+  ~LogRateLimitGuard() {
+    ResponseEngine::instance().set_log_rate_limit(previous_);
+  }
+  LogRateLimitGuard(const LogRateLimitGuard&) = delete;
+  LogRateLimitGuard& operator=(const LogRateLimitGuard&) = delete;
+
+ private:
+  const std::uint32_t previous_;
 };
 
 }  // namespace resilock::response

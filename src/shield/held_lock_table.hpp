@@ -19,12 +19,20 @@
 // common "a thread holds a handful of locks" case with zero allocation);
 // deeper nests spill into a per-thread hash map, so the table is exact
 // at any depth. Everything is thread-local: no atomics, no sharing.
+//
+// Every entry carries the AccessMode it was acquired under (exclusive
+// for plain mutexes, read/write for the rw family), so the release path
+// can detect mode mismatches — releasing a read hold as a write and
+// vice versa — in addition to unbalanced releases. Recursion bumps keep
+// the mode of the first acquisition.
 #pragma once
 
 #include <array>
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
+
+#include "core/access_mode.hpp"
 
 namespace resilock::shield {
 
@@ -37,6 +45,10 @@ class HeldLockTable {
   // Sentinel returned by note_released() when the calling thread does
   // not hold the lock at all.
   static constexpr int kNotHeld = -1;
+  // Sentinel returned by note_released_in_mode() when the lock is held
+  // but under a DIFFERENT AccessMode than the release names (the entry
+  // is left untouched — the caller decides the misuse consequence).
+  static constexpr int kWrongMode = -2;
 
   // The calling thread's table (lazily constructed thread-local).
   static HeldLockTable& mine() {
@@ -51,16 +63,31 @@ class HeldLockTable {
     }
     if (!spill_.empty()) {
       auto it = spill_.find(lock);
-      if (it != spill_.end()) return it->second;
+      if (it != spill_.end()) return it->second.depth;
     }
     return 0;
   }
 
   bool holds(const void* lock) const { return depth(lock) > 0; }
 
-  // Records one acquisition: inserts with depth 1, or bumps the
-  // recursion count when already held (absorbed reentrant acquire).
-  void note_acquired(const void* lock) {
+  // AccessMode the calling thread holds `lock` under. Only meaningful
+  // while holds(lock); kExclusive when the lock is not held.
+  AccessMode mode_of(const void* lock) const {
+    for (std::size_t i = 0; i < fast_count_; ++i) {
+      if (fast_[i].lock == lock) return fast_[i].mode;
+    }
+    if (!spill_.empty()) {
+      auto it = spill_.find(lock);
+      if (it != spill_.end()) return it->second.mode;
+    }
+    return AccessMode::kExclusive;
+  }
+
+  // Records one acquisition in `mode`: inserts with depth 1, or bumps
+  // the recursion count when already held (absorbed reentrant acquire —
+  // the entry keeps the mode of the FIRST acquisition).
+  void note_acquired(const void* lock,
+                     AccessMode mode = AccessMode::kExclusive) {
     for (std::size_t i = 0; i < fast_count_; ++i) {
       if (fast_[i].lock == lock) {
         ++fast_[i].depth;
@@ -70,14 +97,16 @@ class HeldLockTable {
     if (!spill_.empty()) {
       auto it = spill_.find(lock);
       if (it != spill_.end()) {
-        ++it->second;
+        ++it->second.depth;
         return;
       }
     }
     if (fast_count_ < kFastSlots) {  // strict <: the exemplar's OOB fix
-      fast_[fast_count_++] = Entry{lock, 1};
+      fast_[fast_count_++] = Entry{lock, 1, mode};
     } else {
-      ++spill_[lock];
+      auto& cell = spill_[lock];
+      cell.mode = mode;
+      ++cell.depth;
     }
   }
 
@@ -94,7 +123,8 @@ class HeldLockTable {
       fast_[i] = fast_[--fast_count_];
       if (!spill_.empty()) {
         auto it = spill_.begin();
-        fast_[fast_count_++] = Entry{it->first, it->second};
+        fast_[fast_count_++] =
+            Entry{it->first, it->second.depth, it->second.mode};
         spill_.erase(it);
       }
       return 0;
@@ -102,7 +132,41 @@ class HeldLockTable {
     if (!spill_.empty()) {
       auto it = spill_.find(lock);
       if (it != spill_.end()) {
-        if (it->second > 1) return static_cast<int>(--it->second);
+        if (it->second.depth > 1) {
+          return static_cast<int>(--it->second.depth);
+        }
+        spill_.erase(it);
+        return 0;
+      }
+    }
+    return kNotHeld;
+  }
+
+  // Mode-checked release in ONE table scan (the rw shield's release
+  // fast path): kNotHeld when absent, kWrongMode when held under a
+  // different mode (entry untouched), otherwise the remaining depth
+  // exactly like note_released().
+  int note_released_in_mode(const void* lock, AccessMode mode) {
+    for (std::size_t i = 0; i < fast_count_; ++i) {
+      if (fast_[i].lock != lock) continue;
+      if (fast_[i].mode != mode) return kWrongMode;
+      if (fast_[i].depth > 1) return static_cast<int>(--fast_[i].depth);
+      fast_[i] = fast_[--fast_count_];
+      if (!spill_.empty()) {
+        auto it = spill_.begin();
+        fast_[fast_count_++] =
+            Entry{it->first, it->second.depth, it->second.mode};
+        spill_.erase(it);
+      }
+      return 0;
+    }
+    if (!spill_.empty()) {
+      auto it = spill_.find(lock);
+      if (it != spill_.end()) {
+        if (it->second.mode != mode) return kWrongMode;
+        if (it->second.depth > 1) {
+          return static_cast<int>(--it->second.depth);
+        }
         spill_.erase(it);
         return 0;
       }
@@ -120,11 +184,17 @@ class HeldLockTable {
   struct Entry {
     const void* lock = nullptr;
     std::uint32_t depth = 0;
+    AccessMode mode = AccessMode::kExclusive;
+  };
+
+  struct SpillCell {
+    std::uint32_t depth = 0;
+    AccessMode mode = AccessMode::kExclusive;
   };
 
   std::array<Entry, kFastSlots> fast_{};
   std::size_t fast_count_ = 0;
-  std::unordered_map<const void*, std::uint32_t> spill_;
+  std::unordered_map<const void*, SpillCell> spill_;
 };
 
 }  // namespace resilock::shield

@@ -150,4 +150,13 @@ inline void report_misuse(MisuseKind kind, const void* lock) {
                static_cast<unsigned>(platform::self_pid()));
 }
 
+// Same line for the event kinds with no MisuseKind value (the rw
+// misuses RwShield intercepts).
+inline void report_misuse(response::ResponseEvent kind, const void* lock) {
+  std::fprintf(stderr,
+               "resilock[shield]: %s on lock %p by thread pid %u\n",
+               response::to_string(kind), lock,
+               static_cast<unsigned>(platform::self_pid()));
+}
+
 }  // namespace resilock::shield

@@ -139,7 +139,8 @@ class Shield {
         holder != kNoOwner && holder != platform::self_pid() + 1;
     if (lockdep::lockdep_enabled()) {
       lockdep::on_acquire_attempt(this, lockdep_ensure_class(),
-                                  contention_.waiters(), owned_by_other);
+                                  contention_.waiters(), owned_by_other,
+                                  AccessMode::kExclusive);
     }
     // Contention telemetry: one relaxed load on the uncontended path;
     // threads that observed the lock held register as live waiters for
@@ -283,6 +284,13 @@ class Shield {
     return HeldLockTable::mine().depth(this);
   }
 
+  // Every exclusive-shield hold is tagged kExclusive in the (now
+  // mode-aware) held-locks table; the rw family records kRead/kWrite
+  // through RwShield (shield/rw_shield.hpp).
+  AccessMode held_mode() const {
+    return HeldLockTable::mine().mode_of(this);
+  }
+
   Base& base() { return base_; }
   const Base& base() const { return base_; }
 
@@ -415,7 +423,7 @@ class Shield {
       // by then); shared keyed classes have no usable mirror and skip
       // it.
       const lockdep::ClassId cls = lockdep_ensure_class();
-      lockdep::on_acquired(this, cls);
+      lockdep::on_acquired(this, cls, AccessMode::kExclusive);
       if (lockdep_key_ == nullptr) {
         lockdep::Graph::instance().note_owner(
             cls, platform::self_pid() + 1);
@@ -429,7 +437,7 @@ class Shield {
     } else {
       (void)ctx;
     }
-    HeldLockTable::mine().note_acquired(this);
+    HeldLockTable::mine().note_acquired(this, AccessMode::kExclusive);
     counters_.bump_acquisition();
   }
 

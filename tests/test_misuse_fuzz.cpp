@@ -18,10 +18,12 @@
 #include <tuple>
 
 #include "core/lock_registry.hpp"
+#include "core/rw/crw.hpp"
 #include "lock_test_util.hpp"
 #include "runtime/rng.hpp"
 #include "runtime/thread_team.hpp"
 #include "runtime/timer.hpp"
+#include "shield/rw_shield.hpp"
 #include "verify/checkers.hpp"
 
 using namespace resilock;
@@ -82,6 +84,90 @@ TEST_P(MisuseFuzz, RandomScheduleKeepsInvariants) {
   lock->acquire();
   EXPECT_TRUE(lock->release());
 }
+
+// ---------------------------------------------------------------------
+// Reader-writer misuse fuzzing over the mode-aware shield: racing
+// threads interleave legitimate read/write episodes with injected
+// unbalanced read unlocks (the §4 misuse that silently corrupts every
+// compact indicator) and bogus write unlocks. Invariants:
+//   R1 — writers always mutually exclusive (MutexChecker on the W CS);
+//   R2 — balanced runlock/wunlock never refused;
+//   R3 — every injected misuse refused (shield interception);
+//   R4 — the indicator balances out at the end (no §4 skew) and the
+//        lock stays functional for both sides.
+// ---------------------------------------------------------------------
+
+class RwMisuseFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RwMisuseFuzz, RandomScheduleKeepsInvariants) {
+  const std::uint64_t seed = GetParam();
+  shield::ShieldPolicyGuard policy(shield::ShieldPolicy::kSuppress);
+  response::ResponseRulesGuard rules("");
+  using Rw = CrwLock<kOriginal, SplitReadIndicator, RwPreference::kNeutral>;
+  shield::RwShield<Rw> rw;
+  rv::MutexChecker wchk;
+  std::atomic<std::uint64_t> balanced_failures{0};
+  std::atomic<std::uint64_t> misuse_accepted{0};
+  constexpr std::uint32_t kThreads = 4;
+  constexpr int kSteps = 300;
+
+  runtime::ThreadTeam::run(kThreads, [&, seed](std::uint32_t tid) {
+    runtime::Xoshiro256ss rng(seed * 7777777 + tid);
+    Rw::Context ctx;
+    for (int step = 0; step < kSteps; ++step) {
+      switch (rng.bounded(6)) {
+        case 0:
+        case 1: {  // legitimate read episode
+          rw.rlock(ctx);
+          runtime::busy_work(rng.bounded(32));
+          if (!rw.runlock(ctx)) balanced_failures.fetch_add(1);
+          break;
+        }
+        case 2: {  // legitimate write episode
+          rw.wlock(ctx);
+          wchk.enter();
+          runtime::busy_work(rng.bounded(32));
+          wchk.exit();
+          if (!rw.wunlock(ctx)) balanced_failures.fetch_add(1);
+          break;
+        }
+        case 3: {  // nested (recursive) read, absorbed by the shield
+          rw.rlock(ctx);
+          rw.rlock(ctx);
+          if (!rw.runlock(ctx)) balanced_failures.fetch_add(1);
+          if (!rw.runlock(ctx)) balanced_failures.fetch_add(1);
+          break;
+        }
+        case 4: {  // injected misuse: unbalanced read unlock
+          if (rw.runlock(ctx)) misuse_accepted.fetch_add(1);
+          break;
+        }
+        case 5: {  // injected misuse: bogus write unlock
+          if (rw.wunlock(ctx)) misuse_accepted.fetch_add(1);
+          break;
+        }
+      }
+    }
+  });
+
+  EXPECT_EQ(wchk.max_simultaneous(), 1)
+      << "writer mutual exclusion violated under rw misuse fuzzing";
+  EXPECT_EQ(balanced_failures.load(), 0u)
+      << "a balanced rw release was refused";
+  EXPECT_EQ(misuse_accepted.load(), 0u)
+      << "an injected rw misuse was accepted";
+  // R4: no §4 skew — the indicator balanced out, both sides functional.
+  EXPECT_TRUE(rw.base().indicator().is_empty());
+  Rw::Context c;
+  rw.rlock(c);
+  EXPECT_TRUE(rw.runlock(c));
+  rw.wlock(c);
+  EXPECT_TRUE(rw.wunlock(c));
+  EXPECT_GT(rw.snapshot().total_misuses(), 0u);  // the fuzz really misused
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RwMisuseFuzz,
+                         ::testing::Values(1ull, 2ull, 3ull));
 
 namespace {
 

@@ -51,7 +51,8 @@ TEST(ResponseParser, SingleRule) {
   const auto rules = parse_rules("misuse@contended=log");
   ASSERT_TRUE(rules.has_value());
   ASSERT_EQ(rules->size(), 1u);
-  EXPECT_EQ((*rules)[0].events, 0x0F);
+  // "misuse" covers the four exclusive ownership kinds AND the rw tail.
+  EXPECT_EQ((*rules)[0].events, 0x1CF);
   EXPECT_EQ((*rules)[0].cond, Condition::kContended);
   EXPECT_EQ((*rules)[0].action, Action::kLog);
 }
@@ -64,9 +65,37 @@ TEST(ResponseParser, EventGroupsAndAliases) {
   ASSERT_EQ(rules->size(), 4u);
   EXPECT_EQ((*rules)[0].events, 0x03);
   EXPECT_EQ((*rules)[1].events, 0x30);
-  EXPECT_EQ((*rules)[2].events, 0x3F);
+  EXPECT_EQ((*rules)[2].events, 0x1FF);
   EXPECT_EQ((*rules)[3].events, 0x30);
   EXPECT_EQ((*rules)[3].cond, Condition::kContended);  // waiters alias
+}
+
+TEST(ResponseParser, RwEventTokens) {
+  const auto rules = parse_rules(
+      "rw=log;unbalanced-read-unlock=suppress;"
+      "rw-mode-mismatch|non-owner-write-unlock=abort;"
+      "read-unlock|mode-mismatch=log");
+  ASSERT_TRUE(rules.has_value());
+  ASSERT_EQ(rules->size(), 4u);
+  EXPECT_EQ((*rules)[0].events, 0x1C0);  // the three rw kinds
+  EXPECT_EQ((*rules)[1].events, 0x040);
+  EXPECT_EQ((*rules)[2].events, 0x180);
+  EXPECT_EQ((*rules)[3].events, 0x0C0);  // short aliases
+}
+
+TEST(ResponseParser, WaitersThresholdCondition) {
+  const auto rules =
+      parse_rules("misuse@waiters>=3=abort;lockdep@waiters>=10=abort");
+  ASSERT_TRUE(rules.has_value());
+  ASSERT_EQ(rules->size(), 2u);
+  EXPECT_EQ((*rules)[0].cond, Condition::kWaitersAtLeast);
+  EXPECT_EQ((*rules)[0].threshold, 3u);
+  EXPECT_EQ((*rules)[1].threshold, 10u);
+  // Malformed thresholds poison the spec.
+  EXPECT_FALSE(parse_rules("misuse@waiters>==log").has_value());
+  EXPECT_FALSE(parse_rules("misuse@waiters>=x=log").has_value());
+  EXPECT_FALSE(parse_rules("misuse@waiters>=0=log").has_value());
+  EXPECT_FALSE(parse_rules("misuse@waiters>=-1=log").has_value());
 }
 
 TEST(ResponseParser, WhitespaceTolerated) {
@@ -95,6 +124,33 @@ TEST(ResponseParser, MalformedSpecsRejectedWhole) {
   EXPECT_FALSE(parse_rules("misuse").has_value());           // no '='
   // One bad rule poisons the whole spec (all-or-nothing).
   EXPECT_FALSE(parse_rules("misuse=log;bogus=abort").has_value());
+}
+
+TEST(ResponseRule, WaitersThresholdGating) {
+  Rule r;
+  r.cond = Condition::kWaitersAtLeast;
+  r.threshold = 3;
+  EXPECT_FALSE(r.matches(ResponseEvent::kDoubleUnlock, contended_ctx(2)));
+  EXPECT_TRUE(r.matches(ResponseEvent::kDoubleUnlock, contended_ctx(3)));
+  EXPECT_TRUE(r.matches(ResponseEvent::kDoubleUnlock, contended_ctx(7)));
+}
+
+TEST(ResponseEngineDecide, ThresholdEscalatesAboveContended) {
+  // A three-tier ladder: quiet -> log, some waiters -> log, a crowd ->
+  // abort. The threshold rule must outrank the plain contended rule by
+  // ordering, not by specificity magic.
+  ResponseRulesGuard rules(
+      "misuse@waiters>=4=abort;misuse@contended=log;misuse=suppress");
+  auto& e = ResponseEngine::instance();
+  EXPECT_EQ(e.decide(ResponseEvent::kUnbalancedUnlock, EventContext{},
+                     Action::kPassthrough),
+            Action::kSuppress);
+  EXPECT_EQ(e.decide(ResponseEvent::kUnbalancedUnlock, contended_ctx(1),
+                     Action::kPassthrough),
+            Action::kLog);
+  EXPECT_EQ(e.decide(ResponseEvent::kUnbalancedUnlock, contended_ctx(4),
+                     Action::kPassthrough),
+            Action::kAbort);
 }
 
 TEST(ResponseRule, ConditionGating) {
@@ -159,6 +215,54 @@ TEST(ResponseEngineDecide, StatsCountDecisions) {
   EXPECT_EQ(after.by_event[static_cast<int>(ResponseEvent::kDoubleUnlock)],
             before.by_event[static_cast<int>(ResponseEvent::kDoubleUnlock)] +
                 1);
+}
+
+TEST(ResponseEngineDecide, LogRateLimitDegradesToSuppress) {
+  ResponseRulesGuard rules("misuse=log");
+  auto& e = ResponseEngine::instance();
+  response::LogRateLimitGuard limit(1);  // burst 1, refill 1/sec
+  const auto before = e.stats();
+  int logged = 0, suppressed = 0;
+  for (int i = 0; i < 5; ++i) {
+    const Action a = e.decide(ResponseEvent::kUnbalancedUnlock,
+                              EventContext{}, Action::kPassthrough);
+    if (a == Action::kLog) ++logged;
+    if (a == Action::kSuppress) ++suppressed;
+  }
+  // The first verdict spends the burst token; later ones degrade
+  // unless a slow run refilled the bucket — never to passthrough.
+  EXPECT_GE(logged, 1);
+  EXPECT_GE(suppressed, 1);
+  EXPECT_EQ(logged + suppressed, 5);
+  const auto after = e.stats();
+  EXPECT_EQ(after.log_rate_limited,
+            before.log_rate_limited + static_cast<std::uint64_t>(suppressed));
+}
+
+TEST(ResponseEngineDecide, RateLimitBucketsArePerEventKind) {
+  ResponseRulesGuard rules("*=log");
+  auto& e = ResponseEngine::instance();
+  response::LogRateLimitGuard limit(1);
+  // One kind exhausting its bucket must not silence another kind.
+  EXPECT_EQ(e.decide(ResponseEvent::kUnbalancedUnlock, EventContext{},
+                     Action::kSuppress),
+            Action::kLog);
+  EXPECT_EQ(e.decide(ResponseEvent::kUnbalancedUnlock, EventContext{},
+                     Action::kSuppress),
+            Action::kSuppress);  // bucket drained
+  EXPECT_EQ(e.decide(ResponseEvent::kNonOwnerUnlock, EventContext{},
+                     Action::kSuppress),
+            Action::kLog);  // separate bucket, still full
+}
+
+TEST(ResponseEngineDecide, RateLimitOffByDefaultAndRestoredByGuard) {
+  auto& e = ResponseEngine::instance();
+  const std::uint32_t outer = e.log_rate_limit();
+  {
+    response::LogRateLimitGuard limit(7);
+    EXPECT_EQ(e.log_rate_limit(), 7u);
+  }
+  EXPECT_EQ(e.log_rate_limit(), outer);
 }
 
 TEST(ResponseEngineConfig, GuardRestoresPreviousRules) {
