@@ -10,11 +10,16 @@
 //              layer + acquisition stack + order-graph probes;
 //   engine   — the lockdep configuration plus the adaptive
 //              RESILOCK_POLICY rule set: the full engine-routed stack.
-// Two workloads:
-//   single — one shared lock, empty held set at every acquire: the
-//            hot path the 2x acceptance bound is stated over;
-//   nested — an outer/inner pair taken in consistent order: every
-//            inner acquire probes one (always-known) order edge.
+// Three workloads:
+//   single    — one shared lock, empty held set at every acquire: the
+//               hot path the 2x acceptance bound is stated over;
+//   nested    — an outer/inner pair taken in consistent order: every
+//               inner acquire probes one (always-known) order edge;
+//   hmcs-tree — a 3-level fanout HMCS tree behind the shield: every
+//               acquisition climbs the hierarchy, so the per-level
+//               class hooks (attempt/acquired per level, the skip-set
+//               scan, the per-level release pops) sit directly on the
+//               hand-off hot path this row prices.
 //
 // `--json out.json` additionally emits the table machine-readably for
 // BENCH_*.json trajectory tracking.
@@ -26,8 +31,10 @@
 #include <string>
 #include <vector>
 
+#include "core/hmcs.hpp"
 #include "core/lock_registry.hpp"
 #include "core/resilience.hpp"
+#include "shield/shield.hpp"
 #include "harness/evaluation.hpp"
 #include "json_writer.hpp"
 #include "lockdep/lockdep.hpp"
@@ -81,8 +88,48 @@ double best_mops(const std::vector<std::string>& names,
   return best;
 }
 
+// The hmcs-tree workload drives the typed tree directly (the registry's
+// HMCS entry is the two-level topology shape; the per-level hooks are
+// priced on a deeper climb).
+template <typename Lock>
+double tree_mops(std::uint32_t threads, std::uint64_t iters,
+                 std::uint32_t reps) {
+  double best = 0.0;
+  for (std::uint32_t rep = 0; rep < reps; ++rep) {
+    Lock lock(std::vector<std::uint32_t>{2, 2});
+    runtime::SenseBarrier start(threads);
+    std::atomic<std::uint64_t> start_ns{0};
+    std::vector<std::uint64_t> end_ns(threads, 0);
+    runtime::ThreadTeam::run(threads, [&](std::uint32_t tid) {
+      typename Lock::Context ctx;
+      std::uint64_t sink = 0;
+      start.arrive_and_wait();
+      if (tid == 0) {
+        start_ns.store(runtime::now_ns(), std::memory_order_relaxed);
+      }
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        lock.acquire(ctx);
+        sink ^= runtime::busy_work(4, sink + i);  // short CS
+        lock.release(ctx);
+      }
+      end_ns[tid] = runtime::now_ns();
+      (void)sink;
+    });
+    std::uint64_t last = 0;
+    for (auto e : end_ns) last = std::max(last, e);
+    const double seconds =
+        static_cast<double>(last -
+                            start_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    const double mops =
+        static_cast<double>(iters) * threads / seconds * 1e-6;
+    if (mops > best) best = mops;
+  }
+  return best;
+}
+
 struct Row {
-  std::string workload;  // "single" | "nested"
+  std::string workload;  // "single" | "nested" | "hmcs-tree"
   std::string lock;
   std::uint32_t threads = 0;
   double raw_mops = 0;
@@ -127,6 +174,29 @@ Row measure(const std::string& workload, const std::string& name,
         response::adaptive_policy_spec());
     r.engine_mops =
         best_mops(config(shielded_name(name)), threads, iters, reps);
+  }
+  return r;
+}
+
+Row measure_hmcs_tree(std::uint32_t threads, std::uint64_t iters,
+                      std::uint32_t reps) {
+  using Tree = BasicHmcsLock<kOriginal>;
+  using Shielded = Shield<Tree>;
+  Row r;
+  r.workload = "hmcs-tree";
+  r.lock = "HMCS{2,2}";
+  r.threads = threads;
+  {
+    lockdep::LockdepModeGuard off(lockdep::LockdepMode::kOff);
+    r.raw_mops = tree_mops<Tree>(threads, iters, reps);
+    r.shield_mops = tree_mops<Shielded>(threads, iters, reps);
+  }
+  {
+    lockdep::LockdepModeGuard on(lockdep::LockdepMode::kReport);
+    r.lockdep_mops = tree_mops<Shielded>(threads, iters, reps);
+    response::ResponseRulesGuard adaptive(
+        response::adaptive_policy_spec());
+    r.engine_mops = tree_mops<Shielded>(threads, iters, reps);
   }
   return r;
 }
@@ -205,6 +275,7 @@ int main(int argc, char** argv) {
     for (const auto& name : nested_locks) {
       rows.push_back(measure("nested", name, threads, iters, reps));
     }
+    rows.push_back(measure_hmcs_tree(threads, iters, reps));
   }
   print_rows(rows);
 

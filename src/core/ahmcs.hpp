@@ -17,6 +17,13 @@
 // HMCS remedy, which (as the paper argues) is level-agnostic. The full
 // AHMCS hysteresis machinery (per-level hot paths, HTM fast paths) is
 // beyond the paper's use of it and is not reproduced.
+//
+// Lockdep attribution rides the underlying HMCS tree's per-level class
+// keys, re-labeled "ahmcs.level0..N": a full-path entry tags every
+// level it climbs, an adaptive root entry joins mid-tree and tags ONLY
+// from its entry level (the root) — it never held the leaf, so it must
+// not claim it — and a refused misused release is attributed to the
+// class of the level the context entered at.
 #pragma once
 
 #include <atomic>
@@ -36,6 +43,7 @@ template <Resilience R>
 class BasicAhmcsLock {
   using Base = BasicHmcsLock<R>;
   using QNode = typename Base::QNode;
+  using HNode = typename Base::HNode;
   static constexpr std::uint32_t kFastStreak = 8;
 
  public:
@@ -57,7 +65,18 @@ class BasicAhmcsLock {
   explicit BasicAhmcsLock(
       const platform::Topology& topo = platform::Topology::host_default(),
       std::uint64_t passing_threshold = 64)
-      : tree_(topo, passing_threshold) {}
+      : tree_(topo, passing_threshold) {
+    tree_.level_labels_ = kAhmcsLevelLabels;  // before any key registers
+  }
+
+  // Arbitrary-depth tree (fanouts from the root down), matching the
+  // BasicHmcsLock builder: the adaptive fast path then skips the whole
+  // multi-level climb, not just one leaf hop.
+  explicit BasicAhmcsLock(const std::vector<std::uint32_t>& fanouts,
+                          std::uint64_t passing_threshold = 64)
+      : tree_(fanouts, passing_threshold) {
+    tree_.level_labels_ = kAhmcsLevelLabels;
+  }
 
   BasicAhmcsLock(const BasicAhmcsLock&) = delete;
   BasicAhmcsLock& operator=(const BasicAhmcsLock&) = delete;
@@ -84,16 +103,36 @@ class BasicAhmcsLock {
 
   bool release(Context& ctx) {
     if constexpr (R == kResilient) {
-      if (misuse_checks_enabled() && !ctx.acquired_) return false;
+      if (misuse_checks_enabled() && !ctx.acquired_) {
+        // Attributed to the class of the level this context entered at
+        // (the root for an adaptive entry, the leaf otherwise) and
+        // routed through the response engine like the HMCS remedy; a
+        // passthrough verdict corrupts faithfully.
+        if (tree_.misuse_refused(ctx.entered_at_root_
+                                     ? root()
+                                     : tree_.leaf_of_self())) {
+          return false;
+        }
+      }
       ctx.acquired_ = false;
     }
     if (ctx.entered_at_root_) {
-      // Root entry unwinds as a plain MCS release at the root.
+      // Root entry unwinds as a plain MCS release at the root — and
+      // sheds exactly the one level entry the adaptive entry tagged.
+      tree_.pop_level_entries(root());
       tree_.release_mcs_style(root(), &ctx.node_, Base::kCohortStart);
     } else {
-      tree_.release_at(tree_.leaf_of_self(), &ctx.node_);
+      HNode* const leaf = tree_.leaf_of_self();
+      tree_.pop_level_entries(leaf);
+      tree_.release_at(leaf, &ctx.node_);
     }
     return true;
+  }
+
+  // Per-level lockdep surface (see BasicHmcsLock): "ahmcs.level0..N".
+  std::uint32_t tracked_levels() const { return tree_.tracked_levels(); }
+  lockdep::ClassId level_class(std::uint32_t level) const {
+    return tree_.level_class(level);
   }
 
   static constexpr Resilience resilience() { return R; }

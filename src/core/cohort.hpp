@@ -78,6 +78,8 @@ class BoCohortLocal {
     }
   }
 
+  bool try_acquire() { return base_.try_acquire(); }
+
   bool release() { return base_.release(); }
 
   bool has_waiters() const {
@@ -160,6 +162,32 @@ class CohortLock {
     if (dep) {
       lockdep::on_acquired(&global_, cohort_global_class_key().ensure());
     }
+  }
+
+  // Non-blocking acquire of BOTH levels, for trylock-shaped callers
+  // (the C-RW trylock paths): the local level is tried first, an
+  // inherited global grant is honored, and a failed global try rolls
+  // the local acquisition back — EBUSY leaves no level held. Trylocks
+  // add no lockdep order edges (they cannot wedge), but a successful
+  // try still enters the held set at both levels.
+  bool try_acquire(Context& ctx)
+    requires(generic_has_trylock<GlobalLock>() &&
+             generic_has_trylock<LocalLock>())
+  {
+    Domain& d = *domains_[topo_.domain_of(platform::self_pid())];
+    if (!generic_try_acquire(d.local, ctx.local_)) return false;
+    const bool dep = lockdep::lockdep_enabled();
+    if (d.top_granted.load(std::memory_order_acquire)) {
+      d.top_granted.store(false, std::memory_order_relaxed);
+    } else if (!generic_try_acquire(global_, d.global_ctx)) {
+      generic_release(d.local, ctx.local_);
+      return false;
+    }
+    if (dep) {
+      lockdep::on_acquired(&d.local, cohort_local_class_key().ensure());
+      lockdep::on_acquired(&global_, cohort_global_class_key().ensure());
+    }
+    return true;
   }
 
   bool release(Context& ctx) {

@@ -24,6 +24,18 @@
 // in principle be observed by a very stale local-queue reader; the splice
 // here resets the local queue (CAS to null) to shrink that window. See
 // tests/test_hierarchical.cpp for the bounded-stress validation.
+//
+// Lockdep attribution: the two levels of the queue hierarchy get one
+// shared LockClassKey each per lock instance — "hclh.level0" (the
+// global queue, root) and "hclh.level1" (the per-cluster local queues,
+// which all share the level's class). A granted thread logically holds
+// BOTH levels (its batch position and the global lock), so both enter
+// the acquisition stack; the cluster master's local→global splice is
+// edge-free (the local class rides the skip set), and a within-cluster
+// grant inherits the global level with no blocking attempt and no
+// edges — the exact analogue of the cohort combinator's top_granted
+// path, one level down the generalization ladder from the
+// arbitrary-depth HMCS trees.
 #pragma once
 
 #include <atomic>
@@ -33,12 +45,17 @@
 
 #include "core/resilience.hpp"
 #include "core/verify_access.hpp"
+#include "lockdep/class_key.hpp"
 #include "platform/cacheline.hpp"
 #include "platform/spin.hpp"
 #include "platform/thread_registry.hpp"
 #include "platform/topology.hpp"
 
 namespace resilock {
+
+// Per-level class labels for the two-level HCLH queue hierarchy.
+inline constexpr const char* kHclhLevelLabels[] = {"hclh.level0",
+                                                   "hclh.level1"};
 
 template <Resilience R>
 class BasicHclhLock {
@@ -79,12 +96,25 @@ class BasicHclhLock {
       local_tails_[d].value.store(nullptr, std::memory_order_relaxed);
   }
 
-  ~BasicHclhLock() { delete global_tail_.load(std::memory_order_relaxed); }
+  ~BasicHclhLock() {
+    delete global_tail_.load(std::memory_order_relaxed);
+    local_key_.retire();
+    global_key_.retire();
+  }
   BasicHclhLock(const BasicHclhLock&) = delete;
   BasicHclhLock& operator=(const BasicHclhLock&) = delete;
 
   void acquire(Context& ctx) {
     const std::uint32_t cluster = topo_.domain_of(platform::self_pid());
+    const bool dep = lockdep::lockdep_enabled();
+    const void* const local_id = &local_tails_[cluster];
+    lockdep::ClassId local_cls = lockdep::kInvalidClass;
+    if (dep) {
+      // Edges from app-held locks to the local level, before the
+      // enqueue can block on a predecessor's grant.
+      local_cls = local_key_.ensure(kHclhLevelLabels[1]);
+      lockdep::on_acquire_attempt(local_id, local_cls);
+    }
     QNode* const my = ctx.curr_;
     my->state.store(kSuccMustWait | cluster, std::memory_order_relaxed);
     auto& local = local_tails_[cluster].value;
@@ -92,10 +122,29 @@ class BasicHclhLock {
     if (my_pred != nullptr) {
       if (wait_for_grant_or_cluster_master(my_pred, cluster)) {
         ctx.pred_ = my_pred;  // lock handed over within the cluster
+        if (dep) {
+          // Granted within the cluster: the thread holds its batch
+          // position AND the global lock — the latter inherited with
+          // no blocking attempt, hence no edges (cohort top_granted
+          // analogue).
+          lockdep::on_acquired(local_id, local_cls);
+          lockdep::on_acquired(&global_tail_,
+                               global_key_.ensure(kHclhLevelLabels[0]));
+        }
         return;
       }
     }
     // Cluster master: splice the local batch into the global queue.
+    if (dep) {
+      lockdep::on_acquired(local_id, local_cls);
+      // The splice is the internal child→parent climb: edge-free (the
+      // local class rides the skip set); app-held locks still source
+      // their edges to the global level.
+      lockdep::on_acquire_attempt(&global_tail_,
+                                  global_key_.ensure(kHclhLevelLabels[0]),
+                                  0, false, AccessMode::kExclusive,
+                                  local_cls);
+    }
     QNode* const local_tail = local.load(std::memory_order_acquire);
     // Reset the local queue if nobody arrived after the batch tail, so
     // later arrivals start a fresh batch instead of chaining onto a
@@ -113,9 +162,19 @@ class BasicHclhLock {
       w.pause();
     }
     ctx.pred_ = global_pred;
+    if (dep) {
+      lockdep::on_acquired(&global_tail_,
+                           global_key_.ensure(kHclhLevelLabels[0]));
+    }
   }
 
   bool release(Context& ctx) {
+    // The caller stops holding both levels. Not gated on
+    // lockdep_enabled(): entries pushed while tracking was on must come
+    // off regardless (no-ops when never pushed).
+    lockdep::on_released(&global_tail_);
+    lockdep::on_released(
+        &local_tails_[topo_.domain_of(platform::self_pid())]);
     // A single store — HCLH returns the predecessor node from acquire(),
     // so release has no queue surgery left to do (§3.8.2).
     ctx.curr_->state.fetch_and(~kSuccMustWait, std::memory_order_release);
@@ -124,6 +183,15 @@ class BasicHclhLock {
       ctx.pred_ = nullptr;
     }
     return true;
+  }
+
+  // Per-level lockdep surface: level 0 = the global queue, level 1 =
+  // the per-cluster local queues (one shared class across clusters).
+  // kInvalidClass before the level's first tracked acquisition.
+  static constexpr std::uint32_t kTrackedLevels = 2;
+  std::uint32_t tracked_levels() const { return kTrackedLevels; }
+  lockdep::ClassId level_class(std::uint32_t level) const {
+    return level == 0 ? global_key_.id() : local_key_.id();
   }
 
   static constexpr Resilience resilience() { return R; }
@@ -151,6 +219,11 @@ class BasicHclhLock {
   std::atomic<QNode*> global_tail_;
   std::unique_ptr<platform::CacheLineAligned<std::atomic<QNode*>>[]>
       local_tails_;
+  // Per-level shared lockdep classes, owned by the lock (see the
+  // header comment); &global_tail_ / &local_tails_[cluster] serve as
+  // the levels' stack identities.
+  lockdep::LockClassKey global_key_;
+  lockdep::LockClassKey local_key_;
 };
 
 using HclhLock = BasicHclhLock<kOriginal>;

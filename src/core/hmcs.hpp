@@ -21,24 +21,60 @@
 // when the acquisition protocol completes, check and clear it in
 // release(). The AHMCS refinement keeps per-thread qnodes too, so the
 // same remedy applies (§3.8.1).
+//
+// Lockdep attribution: every tree owns one shared LockClassKey per
+// LEVEL ("hmcs.level0" = root downwards; the nodes of a level share the
+// level's class slot), registered lazily on first tracked acquire. The
+// acquisition protocol emits on_acquire_attempt/on_acquired at each
+// level transition — including the implicit grants, where a cohort
+// hand-off or passing count hands a thread every ancestor level without
+// a blocking attempt — so app code acquiring other locks while an HMCS
+// tree is held gets its order edges attributed to the level, and a
+// same-level AB/BA across two trees is reported against "hmcs.levelK",
+// not an anonymous pointer. The internal child→parent climb is
+// edge-free: every attempt passes the tree's own level classes as the
+// skip set (the arbitrary-depth generalization of cohort's skip_src),
+// because the climb order is the protocol's invariant, not an
+// app-level fact. A refused misused release is likewise attributed to
+// the entry-level class and routed through the response engine, which
+// is what lets @class=-scoped rules target the level where the damage
+// would have happened.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <vector>
 
 #include "core/resilience.hpp"
 #include "core/verify_access.hpp"
+#include "lockdep/class_key.hpp"
+#include "lockdep/event_ring.hpp"
 #include "platform/cacheline.hpp"
 #include "platform/spin.hpp"
 #include "platform/thread_registry.hpp"
 #include "platform/topology.hpp"
+#include "response/response.hpp"
 
 namespace resilock {
 
 template <Resilience R>
 class BasicAhmcsLock;
+
+// Per-level class labels, root first. Trees deeper than the table share
+// the last slot's key (one class for "level 7 and below" — far beyond
+// any real memory hierarchy).
+inline constexpr const char* kHmcsLevelLabels[] = {
+    "hmcs.level0", "hmcs.level1", "hmcs.level2", "hmcs.level3",
+    "hmcs.level4", "hmcs.level5", "hmcs.level6", "hmcs.level7"};
+// The AHMCS refinement drives the same tree but is its own protocol
+// family for attribution purposes (reports and @class= scopes should
+// name what the application instantiated).
+inline constexpr const char* kAhmcsLevelLabels[] = {
+    "ahmcs.level0", "ahmcs.level1", "ahmcs.level2", "ahmcs.level3",
+    "ahmcs.level4", "ahmcs.level5", "ahmcs.level6", "ahmcs.level7"};
 
 template <Resilience R>
 class BasicHmcsLock {
@@ -66,6 +102,14 @@ class BasicHmcsLock {
     bool acquired_ = false;  // the resilient "I.locked" marker
   };
 
+  // Trees deeper than this fold their tail levels into one shared
+  // class (matches the label tables above).
+  static constexpr std::uint32_t kMaxTrackedLevels = 8;
+  static_assert(sizeof(kHmcsLevelLabels) / sizeof(const char*) ==
+                    kMaxTrackedLevels &&
+                sizeof(kAhmcsLevelLabels) / sizeof(const char*) ==
+                    kMaxTrackedLevels);
+
   // Two-level tree mirroring the topology: one leaf per NUMA domain
   // under a single root (the paper's evaluation shape).
   explicit BasicHmcsLock(
@@ -76,6 +120,7 @@ class BasicHmcsLock {
     for (std::uint32_t d = 0; d < topo.num_domains(); ++d) {
       leaves_.push_back(new_node(root, passing_threshold));
     }
+    init_level_keys(2);
   }
 
   // Arbitrary-depth tree: `fanouts` gives the child count per level from
@@ -97,10 +142,19 @@ class BasicHmcsLock {
       frontier = std::move(next);
     }
     leaves_ = std::move(frontier);  // deepest level (== root if empty)
+    init_level_keys(static_cast<std::uint32_t>(fanouts.size()) + 1);
   }
 
   BasicHmcsLock(const BasicHmcsLock&) = delete;
   BasicHmcsLock& operator=(const BasicHmcsLock&) = delete;
+
+  ~BasicHmcsLock() {
+    // The level keys are owned by the tree (unlike static app-declared
+    // keys); destruction returns their shared class slots.
+    for (std::uint32_t i = 0; i < tracked_levels_; ++i) {
+      level_keys_[i].retire();
+    }
+  }
 
   void acquire(Context& ctx) {
     acquire_at(leaf_of_self(), &ctx.node_);
@@ -108,17 +162,37 @@ class BasicHmcsLock {
   }
 
   bool release(Context& ctx) {
+    HNode* const leaf = leaf_of_self();
     if constexpr (R == kResilient) {
-      if (misuse_checks_enabled() && !ctx.acquired_) return false;
+      if (misuse_checks_enabled() && !ctx.acquired_) {
+        // Intercepted BEFORE release_at can walk up and free a parent
+        // level out from under the legitimate cohort leader — and
+        // attributed to the entry level's class, so per-class response
+        // rules can target misuse at this depth. A passthrough verdict
+        // falls through and corrupts faithfully, like the original.
+        if (misuse_refused(leaf)) return false;
+      }
       ctx.acquired_ = false;
     }
-    release_at(leaf_of_self(), &ctx.node_);
+    pop_level_entries(leaf);
+    release_at(leaf, &ctx.node_);
     return true;
   }
 
   std::uint32_t num_leaves() const {
     return static_cast<std::uint32_t>(leaves_.size());
   }
+
+  // Tree depth in levels (root == level 0); capped at
+  // kMaxTrackedLevels for class-key purposes.
+  std::uint32_t tracked_levels() const { return tracked_levels_; }
+
+  // The shared lockdep class of one tree level; kInvalidClass before
+  // the level's first tracked acquisition. Verify/test surface.
+  lockdep::ClassId level_class(std::uint32_t level) const {
+    return level_keys_[key_index(level)].id();
+  }
+
   static constexpr Resilience resilience() { return R; }
 
  private:
@@ -131,6 +205,7 @@ class BasicHmcsLock {
     QNode node;  // used by this level's queue head to compete at parent
     HNode* parent{nullptr};
     std::uint64_t threshold{64};
+    std::uint32_t level{0};  // root == 0, leaves deepest
   };
 
   HNode* new_node(HNode* parent, std::uint64_t threshold) {
@@ -138,7 +213,97 @@ class BasicHmcsLock {
     HNode* n = nodes_.back().get();
     n->parent = parent;
     n->threshold = threshold;
+    n->level = parent != nullptr ? parent->level + 1 : 0;
     return n;
+  }
+
+  void init_level_keys(std::uint32_t depth) {
+    tracked_levels_ = std::min(depth, kMaxTrackedLevels);
+    level_keys_ =
+        std::make_unique<lockdep::LockClassKey[]>(tracked_levels_);
+  }
+
+  std::uint32_t key_index(std::uint32_t level) const {
+    return std::min(level, tracked_levels_ - 1);
+  }
+
+  // The level's shared class, registering it (under the family's label)
+  // on first use.
+  lockdep::ClassId ensure_level_class(const HNode* n) {
+    const std::uint32_t i = key_index(n->level);
+    return level_keys_[i].ensure(level_labels_[i]);
+  }
+
+  // Already-registered level classes of THIS tree — the skip set that
+  // keeps the internal child→parent climb edge-free.
+  std::size_t own_level_classes(lockdep::ClassId* out) const {
+    std::size_t n = 0;
+    for (std::uint32_t i = 0; i < tracked_levels_; ++i) {
+      const lockdep::ClassId id = level_keys_[i].id();
+      if (id < lockdep::kMaxClasses) out[n++] = id;
+    }
+    return n;
+  }
+
+  // Order edges from app-held locks to this level, with the tree's own
+  // levels excluded (the climb is the protocol's invariant).
+  void hier_attempt(HNode* level) {
+    // Single-lock hot path: an empty acquisition stack records no
+    // edges, so skip the class ensure and the skip-set scan entirely
+    // (the on_acquired that follows registers the class regardless).
+    // Mirrors RwShield::lockdep_attempt.
+    if (lockdep::AcqStack::mine().depth() == 0) return;
+    const lockdep::ClassId cls = ensure_level_class(level);
+    lockdep::ClassId skip[kMaxTrackedLevels];
+    const std::size_t n = own_level_classes(skip);
+    lockdep::on_acquire_attempt(level, cls, 0, false,
+                                AccessMode::kExclusive, skip, n);
+  }
+
+  // The caller ceases to hold EVERY level on its path whether the
+  // release passes within the cohort or walks up — the successor
+  // inherits the ancestors either way (not gated on lockdep_enabled():
+  // entries pushed while tracking was on must come off regardless).
+  void pop_level_entries(HNode* from) {
+    for (HNode* n = from; n != nullptr; n = n->parent) {
+      lockdep::on_released(n);
+    }
+  }
+
+  // A refused release, attributed to `entry`'s level class and routed
+  // through the response engine (fallback: suppress — the bespoke
+  // remedy's native behavior). Returns false only for a passthrough
+  // verdict, telling the caller to corrupt faithfully.
+  bool misuse_refused(HNode* entry) {
+    response::EventContext rctx;
+    lockdep::ClassId cls = lockdep::kInvalidClass;
+    if (lockdep::lockdep_enabled()) {
+      cls = ensure_level_class(entry);
+      rctx.cls = cls;
+      rctx.cls_label = lockdep::Graph::instance().label_of(cls);
+      rctx.in_flagged_cycle = lockdep::Graph::instance().is_flagged(cls);
+    }
+    const auto ev = response::ResponseEvent::kUnbalancedUnlock;
+    const response::Action action =
+        response::ResponseEngine::instance().decide(
+            ev, rctx, response::Action::kSuppress);
+    lockdep::TraceBuffer::instance().emit(
+        lockdep::EventKind::kUnbalancedUnlock, entry, cls,
+        lockdep::kNoClassTag, static_cast<std::uint8_t>(action));
+    if (action == response::Action::kAbort ||
+        action == response::Action::kLog) {
+      std::fprintf(stderr,
+                   "resilock[hmcs]: unbalanced release refused by "
+                   "thread pid %u at %s (node %p)\n",
+                   static_cast<unsigned>(platform::self_pid()),
+                   rctx.cls_label != nullptr ? rctx.cls_label : "?",
+                   static_cast<void*>(entry));
+    }
+    if (action == response::Action::kAbort) {
+      response::dispatch_abort(ev, entry);
+      return true;  // an abort trap survived: refuse
+    }
+    return action != response::Action::kPassthrough;
   }
 
   HNode* leaf_of_self() const {
@@ -151,6 +316,11 @@ class BasicHmcsLock {
   // Returns true iff the acquisition was uncontended at this level and
   // every ancestor (the signal the adaptive AHMCS refinement feeds on).
   bool acquire_at(HNode* level, QNode* I) {
+    const bool dep = lockdep::lockdep_enabled();
+    // The attempt hook runs BEFORE the exchange can block, so an
+    // imminent cross-tree inversion is flagged (or aborted) while the
+    // thread can still back out; the tree's own classes are skipped.
+    if (dep) hier_attempt(level);
     I->next.store(nullptr, std::memory_order_relaxed);
     I->status.store(kWait, std::memory_order_relaxed);
     QNode* const pred = level->tail.exchange(I, std::memory_order_acq_rel);
@@ -158,6 +328,7 @@ class BasicHmcsLock {
       // Head of this level's queue: compete at the parent (or, at the
       // root, the lock is ours).
       I->status.store(kCohortStart, std::memory_order_relaxed);
+      if (dep) lockdep::on_acquired(level, ensure_level_class(level));
       if (level->parent != nullptr) {
         return acquire_at(level->parent, &level->node);
       }
@@ -171,11 +342,18 @@ class BasicHmcsLock {
     if (st == kAcquireParent) {
       // Predecessor exhausted the cohort-passing budget: we own this
       // level but must compete at the parent ourselves.
+      if (dep) lockdep::on_acquired(level, ensure_level_class(level));
       I->status.store(kCohortStart, std::memory_order_relaxed);
       acquire_at(level->parent, &level->node);
+    } else if (dep) {
+      // st is a passing count — this level AND every ancestor were
+      // handed to us implicitly. Inherited, not attempted: the holds
+      // enter the acquisition stack with no blocking attempt and hence
+      // no edges, mirroring the cohort combinator's top_granted path.
+      for (HNode* n = level; n != nullptr; n = n->parent) {
+        lockdep::on_acquired(n, ensure_level_class(n));
+      }
     }
-    // else: st is a passing count — the lock and all ancestors were
-    // handed to us implicitly.
     return false;  // we waited: contended
   }
 
@@ -221,6 +399,11 @@ class BasicHmcsLock {
   const bool map_by_domain_;
   std::vector<std::unique_ptr<HNode>> nodes_;  // whole tree, root first
   std::vector<HNode*> leaves_;
+  // One shared lockdep class per level (root first); the AHMCS wrapper
+  // re-labels the family before first use (it is a friend).
+  std::uint32_t tracked_levels_ = 1;
+  std::unique_ptr<lockdep::LockClassKey[]> level_keys_;
+  const char* const* level_labels_ = kHmcsLevelLabels;
 };
 
 using HmcsLock = BasicHmcsLock<kOriginal>;

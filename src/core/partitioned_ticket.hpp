@@ -59,6 +59,27 @@ class BasicPartitionedTicketLock {
     }
   }
 
+  // A ticket is claimable without waiting only while its grant slot
+  // already shows it being served: CAS the dispenser forward iff the
+  // next ticket would be granted immediately. A lost CAS means another
+  // thread took that ticket first — EBUSY, faithfully.
+  bool try_acquire() {
+    std::uint64_t t = next_ticket_.load(std::memory_order_acquire);
+    if (grants_[t & mask_].value.load(std::memory_order_acquire) != t) {
+      return false;
+    }
+    if (!next_ticket_.compare_exchange_strong(t, t + 1,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed)) {
+      return false;
+    }
+    holder_ticket_.store(t, std::memory_order_relaxed);
+    if constexpr (R == kResilient) {
+      owner_.store(platform::self_pid() + 1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
   bool release() {
     if constexpr (R == kResilient) {
       if (misuse_checks_enabled() &&

@@ -99,6 +99,37 @@ class CrwLock {
   // only; the compact indicators silently corrupt, as the paper states).
   bool runlock(Context&) { return indicator_.depart(platform::self_pid()); }
 
+  // Non-blocking read acquisition (pthread_rwlock_tryrdlock shape):
+  // false means EBUSY and no observable state change — an arrived
+  // indicator presence is departed again before returning. Needs a
+  // trylock-capable cohort only on the neutral path (readers there
+  // serialize briefly on the cohort lock).
+  bool try_rlock(Context& ctx)
+    requires(generic_has_trylock<Cohort>())
+  {
+    if constexpr (P == RwPreference::kNeutral) {
+      if (!cohort_.try_acquire(ctx)) return false;
+      indicator_.arrive(platform::self_pid());
+      cohort_.release(ctx);
+      return true;
+    } else if constexpr (P == RwPreference::kReader) {
+      indicator_.arrive(platform::self_pid());
+      if (!writer_active_.load(std::memory_order_seq_cst)) return true;
+      indicator_.depart(platform::self_pid());
+      return false;
+    } else {  // writer preference: defer to pending writers, once
+      if (writers_pending_.load(std::memory_order_acquire) != 0) {
+        return false;
+      }
+      indicator_.arrive(platform::self_pid());
+      if (writers_pending_.load(std::memory_order_seq_cst) == 0) {
+        return true;
+      }
+      indicator_.depart(platform::self_pid());
+      return false;
+    }
+  }
+
   void wlock(Context& ctx) {
     if constexpr (P == RwPreference::kWriter) {
       writers_pending_.fetch_add(1, std::memory_order_seq_cst);
@@ -113,6 +144,43 @@ class CrwLock {
     }
     platform::SpinWait w;
     while (!indicator_.is_empty()) w.pause();
+  }
+
+  // Non-blocking write acquisition (pthread_rwlock_trywrlock shape):
+  // the cohort lock is tried, and a non-empty ReadIndicator — where the
+  // blocking wlock would spin — backs the whole acquisition out
+  // instead. The WP pending count is raised around the attempt exactly
+  // as wlock raises it, so readers observe the same deference window.
+  bool try_wlock(Context& ctx)
+    requires(generic_has_trylock<Cohort>())
+  {
+    if constexpr (P == RwPreference::kWriter) {
+      writers_pending_.fetch_add(1, std::memory_order_seq_cst);
+    }
+    if (!cohort_.try_acquire(ctx)) {
+      if constexpr (P == RwPreference::kWriter) {
+        writers_pending_.fetch_sub(1, std::memory_order_seq_cst);
+      }
+      return false;
+    }
+    if constexpr (P == RwPreference::kReader) {
+      writer_active_.store(true, std::memory_order_seq_cst);
+    }
+    if (!indicator_.is_empty()) {  // readers live: would block — EBUSY
+      if constexpr (P == RwPreference::kReader) {
+        writer_active_.store(false, std::memory_order_seq_cst);
+      }
+      cohort_.release(ctx);
+      if constexpr (P == RwPreference::kWriter) {
+        writers_pending_.fetch_sub(1, std::memory_order_seq_cst);
+      }
+      return false;
+    }
+    if constexpr (R == kResilient) {
+      writer_pid_.store(platform::self_pid() + 1,
+                        std::memory_order_relaxed);
+    }
+    return true;
   }
 
   bool wunlock(Context& ctx) {

@@ -86,6 +86,9 @@ class RwAny {
   virtual ~RwAny() = default;
   virtual void rdlock() = 0;
   virtual void wrlock() = 0;
+  // False iff the acquisition would have blocked (EBUSY).
+  virtual bool tryrdlock() = 0;
+  virtual bool trywrlock() = 0;
   // False iff a misuse was intercepted/detected (EPERM).
   virtual bool unlock() = 0;
 };
@@ -97,6 +100,8 @@ class ShieldedRwAdapter final : public RwAny {
  public:
   void rdlock() override { rw_.rlock(contexts_.mine()); }
   void wrlock() override { rw_.wlock(contexts_.mine()); }
+  bool tryrdlock() override { return rw_.try_rlock(contexts_.mine()); }
+  bool trywrlock() override { return rw_.try_wlock(contexts_.mine()); }
   bool unlock() override { return rw_.unlock(contexts_.mine()); }
 
  private:
@@ -119,6 +124,16 @@ class BareRwAdapter final : public RwAny {
   void wrlock() override {
     rw_.wlock(contexts_.mine());
     holds_.mine().write = true;
+  }
+  bool tryrdlock() override {
+    if (!rw_.try_rlock(contexts_.mine())) return false;
+    ++holds_.mine().read_depth;
+    return true;
+  }
+  bool trywrlock() override {
+    if (!rw_.try_wlock(contexts_.mine())) return false;
+    holds_.mine().write = true;
+    return true;
   }
   bool unlock() override {
     Hold& h = holds_.mine();
@@ -191,6 +206,16 @@ int rl_rwlock_wrlock(rl_rwlock_t* rw) {
   if (rw == nullptr || rw->impl == nullptr) return EINVAL;
   rw_impl_of(rw)->wrlock();
   return 0;
+}
+
+int rl_rwlock_tryrdlock(rl_rwlock_t* rw) {
+  if (rw == nullptr || rw->impl == nullptr) return EINVAL;
+  return rw_impl_of(rw)->tryrdlock() ? 0 : EBUSY;
+}
+
+int rl_rwlock_trywrlock(rl_rwlock_t* rw) {
+  if (rw == nullptr || rw->impl == nullptr) return EINVAL;
+  return rw_impl_of(rw)->trywrlock() ? 0 : EBUSY;
 }
 
 int rl_rwlock_unlock(rl_rwlock_t* rw) {

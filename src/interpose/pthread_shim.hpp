@@ -95,6 +95,15 @@ int rl_rwlock_init(rl_rwlock_t* rw, const char* preference, int resilient);
 int rl_rwlock_rdlock(rl_rwlock_t* rw);
 int rl_rwlock_wrlock(rl_rwlock_t* rw);
 
+// Return 0 if granted, EBUSY if the acquisition would have blocked
+// (pthread_rwlock_tryrdlock/trywrlock semantics). Trylocks add no
+// lockdep order edges — an acquisition that cannot block cannot
+// contribute to a deadlock cycle — but a granted trylock still enters
+// the caller's held set, so the mode-aware unlock routing and misuse
+// interception see it exactly like a blocking acquisition.
+int rl_rwlock_tryrdlock(rl_rwlock_t* rw);
+int rl_rwlock_trywrlock(rl_rwlock_t* rw);
+
 // Returns 0 on a balanced unlock of either mode, EPERM when the shield
 // intercepted a misuse (unbalanced read unlock, mode mismatch,
 // non-owner write unlock).

@@ -60,18 +60,36 @@ constexpr const char* to_string(EventKind k) noexcept {
 
 // TraceEvent.verdict when the response engine was not consulted.
 inline constexpr std::uint8_t kNoVerdict = 0xFF;
+// TraceEvent.mode when the emitting layer tracks no AccessMode (the
+// lockdep report path, hand-rolled test events). Real values are the
+// AccessMode enum (core/access_mode.hpp).
+inline constexpr std::uint8_t kNoMode = 0xFF;
+// TraceEvent.a / .b when the event carries no class attribution
+// (mirrors lockdep::kInvalidClass; a static_assert in lockdep.cpp
+// keeps them in lock step).
+inline constexpr std::uint16_t kNoClassTag = 0xFFFF;
 
 struct TraceEvent {
   std::uint64_t ns = 0;         // runtime::now_ns() at emission
   const void* lock = nullptr;   // the lock the misbehaving op targeted
   std::uint32_t pid = 0;        // dense thread id of the emitter
-  std::uint16_t a = 0;          // lockdep: source class of the new edge
-  std::uint16_t b = 0;          // lockdep: destination class
+  // Lockdep reports: source/destination class of the new edge. Misuse
+  // events: `a` is the class the misuse is attributed to (the shield's
+  // class, or the entry-level class of a hierarchical lock) and `b` is
+  // unused. kNoClassTag when unattributed.
+  std::uint16_t a = kNoClassTag;
+  std::uint16_t b = kNoClassTag;
   EventKind kind = EventKind::kUnbalancedUnlock;
   // response::Action the engine returned for this event (kNoVerdict
   // when none was taken), so post-mortem traces show not just what
   // happened but what the engine decided to do about it.
   std::uint8_t verdict = kNoVerdict;
+  // Reader-writer payload: the AccessMode of the caller's hold at
+  // interception (kNoMode outside the rw family) and the lock's
+  // ReadIndicator estimate of live readers at that instant — the §4
+  // damage radius a post-mortem wants next to each rw misuse.
+  std::uint8_t mode = kNoMode;
+  std::uint32_t readers = 0;
 };
 
 // Lamport SPSC ring. The producer is whichever thread currently owns
@@ -132,8 +150,10 @@ class TraceBuffer {
 
   // Emit from the calling thread (wait-free; the ring is allocated on
   // the thread's first event, never on the lock fast path).
-  void emit(EventKind kind, const void* lock, std::uint16_t a = 0,
-            std::uint16_t b = 0, std::uint8_t verdict = kNoVerdict) {
+  void emit(EventKind kind, const void* lock,
+            std::uint16_t a = kNoClassTag, std::uint16_t b = kNoClassTag,
+            std::uint8_t verdict = kNoVerdict,
+            std::uint8_t mode = kNoMode, std::uint32_t readers = 0) {
     TraceEvent e;
     e.ns = runtime::now_ns();
     e.lock = lock;
@@ -142,6 +162,8 @@ class TraceBuffer {
     e.b = b;
     e.kind = kind;
     e.verdict = verdict;
+    e.mode = mode;
+    e.readers = readers;
     ring_for(e.pid).push(e);
   }
 

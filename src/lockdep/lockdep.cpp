@@ -15,6 +15,9 @@ static_assert(static_cast<int>(response::ResponseEvent::kOrderInversion) ==
               static_cast<int>(EventKind::kOrderInversion));
 static_assert(static_cast<int>(response::ResponseEvent::kDeadlockCycle) ==
               static_cast<int>(EventKind::kDeadlockCycle));
+// The trace ring's "no class attribution" tag is the class table's
+// invalid id: exporters may resolve any other value against the table.
+static_assert(kNoClassTag == kInvalidClass);
 
 ClassId Graph::register_class(const void* instance, const char* label) {
   std::lock_guard<std::mutex> g(class_mutex_);
@@ -77,6 +80,17 @@ void Graph::retire_class(ClassId id) {
   }
   free_ids_.push_back(id);
   classes_live_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+ClassId Graph::find_class(std::string_view label) const {
+  for (ClassId id = 0; id < kMaxClasses; ++id) {
+    const char* l = labels_[id].load(std::memory_order_acquire);
+    if (l != nullptr && label == l &&
+        instances_[id].load(std::memory_order_acquire) != nullptr) {
+      return id;
+    }
+  }
+  return kInvalidClass;
 }
 
 void Graph::check_cycle(ClassId from, ClassId to, const void* lock,
@@ -168,6 +182,12 @@ void Graph::report_cycle(const ClassId* path, std::size_t len,
   // imminent — exactly what the abort tier exists for.
   ctx.contended = waiters > 0 || owned;
   ctx.in_flagged_cycle = true;
+  // The report is attributed to the class of the lock whose acquisition
+  // closed the cycle (path[1] — the destination of the new edge), which
+  // is what @class=<name>-scoped rules key on: a per-level hierarchy
+  // class lets "abort on inversion at hmcs.level1" fire only there.
+  ctx.cls = path[1];
+  ctx.cls_label = label_of(path[1]);
   const auto ev = static_cast<response::ResponseEvent>(kind);
   const response::Action fallback =
       lockdep_mode() == LockdepMode::kAbort ? response::Action::kAbort

@@ -265,6 +265,11 @@ class Graph {
     return labels_[id].load(std::memory_order_acquire);
   }
 
+  // First live class registered under `label` (string compare), or
+  // kInvalidClass. Cold path only: response-rule installation resolves
+  // @class=<name> scopes through here.
+  ClassId find_class(std::string_view label) const;
+
   // Lock instance currently registered under `id`; nullptr when the
   // class is retired (or the id is a sentinel).
   const void* instance_of(ClassId id) const {
@@ -428,15 +433,18 @@ class AcqStack {
 // and `owned` (held by another thread right now) are forwarded to the
 // response engine with any report. `mode` is the AccessMode of THIS
 // acquisition; each held entry contributes its own recorded mode, and
-// read/read pairs are edge-free (Graph::ensure_edge). `skip_src`
-// suppresses edges sourced at one class: combinators whose internal
-// levels nest by construction (cohort local -> global) pass the inner
-// level here so their own protocol never pollutes the order graph.
+// read/read pairs are edge-free (Graph::ensure_edge). `skip_src` /
+// `skip_n` suppress edges sourced at the listed classes: combinators
+// whose internal levels nest by construction (cohort local -> global,
+// the HMCS/HCLH child -> parent climb) pass their own level classes
+// here so their internal protocol order never pollutes the graph — an
+// arbitrary-depth hierarchy holds EVERY level below the one it is
+// climbing into, so the skip set must cover the whole tree, not one
+// class.
 inline void on_acquire_attempt(const void* lock, ClassId cls,
-                               std::uint32_t waiters = 0,
-                               bool owned = false,
-                               AccessMode mode = AccessMode::kExclusive,
-                               ClassId skip_src = kInvalidClass) {
+                               std::uint32_t waiters, bool owned,
+                               AccessMode mode, const ClassId* skip_src,
+                               std::size_t skip_n) {
   if (cls >= kMaxClasses) return;
   AcqStack& st = AcqStack::mine();
   if (st.depth() == 0) return;  // single-lock hot path: no edges
@@ -465,11 +473,28 @@ inline void on_acquire_attempt(const void* lock, ClassId cls,
       st.remove_at(i);
       continue;
     }
-    if (held.cls != skip_src) {
+    bool skipped = false;
+    for (std::size_t s = 0; s < skip_n; ++s) {
+      if (held.cls == skip_src[s]) {
+        skipped = true;
+        break;
+      }
+    }
+    if (!skipped) {
       g.ensure_edge(held.cls, cls, lock, waiters, owned, held.mode, mode);
     }
     ++i;
   }
+}
+
+// Single-skip convenience (the two-level cohort shape).
+inline void on_acquire_attempt(const void* lock, ClassId cls,
+                               std::uint32_t waiters = 0,
+                               bool owned = false,
+                               AccessMode mode = AccessMode::kExclusive,
+                               ClassId skip_src = kInvalidClass) {
+  on_acquire_attempt(lock, cls, waiters, owned, mode, &skip_src,
+                     skip_src == kInvalidClass ? 0u : 1u);
 }
 
 // After the base protocol actually granted the lock (blocking or try

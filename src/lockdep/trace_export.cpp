@@ -27,6 +27,22 @@ std::size_t write_trace_jsonl(std::FILE* f) {
       if (const char* lb = g.label_of(e.b)) {
         std::fprintf(f, ",\"b_label\":\"%s\"", lb);
       }
+    } else if (e.a != kNoClassTag) {
+      // Misuse events attribute to one class (`a`): the shield's own
+      // class, or the entry-level class of a hierarchical lock — which
+      // is what makes a per-level key like "hmcs.level1" show up next
+      // to the misuse that happened at that depth.
+      std::fprintf(f, ",\"cls\":%u", static_cast<unsigned>(e.a));
+      if (const char* lc = g.label_of(e.a)) {
+        std::fprintf(f, ",\"cls_label\":\"%s\"", lc);
+      }
+    }
+    if (e.mode != kNoMode) {
+      // Reader-writer payload: the hold's AccessMode at interception
+      // and the indicator's live-reader estimate.
+      std::fprintf(f, ",\"mode\":\"%s\",\"readers\":%u",
+                   to_string(static_cast<AccessMode>(e.mode)),
+                   static_cast<unsigned>(e.readers));
     }
     if (e.verdict != kNoVerdict &&
         e.verdict < response::kActions) {

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "lockdep/lockdep.hpp"
 #include "platform/env.hpp"
 #include "runtime/timer.hpp"
 
@@ -81,6 +82,19 @@ bool parse_cond(std::string_view tok, Rule& r) {
   }
   if (tok == "incycle" || tok == "in-cycle") {
     r.cond = Condition::kInCycle;
+    return true;
+  }
+  // Per-class scope: class=<name> (a LockClassKey label, e.g.
+  // "hmcs.level1"). Resolution to a ClassId happens at rule-install
+  // time (ResponseEngine::install); an unresolved scope matches by
+  // label instead, so rules may precede the class's first acquire.
+  constexpr std::string_view kClassPrefix = "class=";
+  if (tok.size() > kClassPrefix.size() &&
+      tok.substr(0, kClassPrefix.size()) == kClassPrefix) {
+    const std::string_view name = trim(tok.substr(kClassPrefix.size()));
+    if (name.empty()) return false;
+    r.cond = Condition::kClassScope;
+    r.cls_name = std::string(name);
     return true;
   }
   // Threshold form: waiters>=N (N a positive decimal integer).
@@ -216,6 +230,15 @@ bool ResponseEngine::configure(std::string_view spec) {
 }
 
 void ResponseEngine::install(std::vector<Rule> rules) {
+  // Resolve @class= scopes against the live lockdep class table once,
+  // at install time; a scope whose class is not yet registered keeps
+  // matching by label (Rule::matches) until reinstalled.
+  static_assert(kNoClass == lockdep::kInvalidClass);
+  for (Rule& r : rules) {
+    if (r.cond == Condition::kClassScope && r.cls == kNoClass) {
+      r.cls = lockdep::Graph::instance().find_class(r.cls_name);
+    }
+  }
   std::lock_guard<std::mutex> g(mutex_);
   rules_ = std::move(rules);
   has_rules_.store(!rules_.empty(), std::memory_order_release);

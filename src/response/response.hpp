@@ -31,7 +31,12 @@
 //            non-owner-write-unlock
 //            (several joined with '|')
 //   cond   = uncontended | contended (alias: waiters) | incycle |
-//            waiters>=N (live-waiter threshold, N a positive integer)
+//            waiters>=N (live-waiter threshold, N a positive integer) |
+//            class=<name> (per-class scope: the rule matches only
+//            events attributed to the lockdep class named <name> — a
+//            LockClassKey label such as "hmcs.level1", resolved to a
+//            ClassId at rule-install time when the class is already
+//            registered, by label comparison from then on otherwise)
 //   action = passthrough | suppress | log | abort
 //
 // "adaptive" expands to the ROADMAP escalation ladder:
@@ -56,6 +61,7 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -122,11 +128,22 @@ constexpr const char* to_string(Action a) noexcept {
 
 std::optional<Action> action_from_name(std::string_view name) noexcept;
 
+// Mirrors lockdep::kInvalidClass without pulling the lockdep headers in
+// (response sits below lockdep in the include order).
+inline constexpr std::uint16_t kNoClass = 0xFFFF;
+
 // Telemetry snapshot the reporting layer hands to decide().
 struct EventContext {
   std::uint32_t waiters = 0;      // threads blocked on the lock now
   bool contended = false;         // waiters > 0
   bool in_flagged_cycle = false;  // lock's class is on a reported cycle
+  // Lockdep class the event is attributed to (and its label), when the
+  // reporting layer knows one: the shield's own class for a misuse, the
+  // closing-edge destination for an inversion/cycle, the entry-level
+  // class for a hierarchical-lock misuse. kNoClass/nullptr disables
+  // @class= rule scoping for the event.
+  std::uint16_t cls = kNoClass;
+  const char* cls_label = nullptr;
 };
 
 enum class Condition : std::uint8_t {
@@ -135,6 +152,7 @@ enum class Condition : std::uint8_t {
   kContended,       // contended (env alias: "waiters")
   kInCycle,         // in_flagged_cycle
   kWaitersAtLeast,  // waiters >= threshold ("waiters>=N")
+  kClassScope,      // event attributed to the named class ("class=<name>")
 };
 
 struct Rule {
@@ -142,6 +160,12 @@ struct Rule {
   Condition cond = Condition::kAlways;
   Action action = Action::kSuppress;
   std::uint32_t threshold = 0;  // kWaitersAtLeast only
+  // kClassScope only: the LockClassKey label the rule is scoped to, and
+  // the ClassId it resolved to at install time (kNoClass when the class
+  // was not yet registered — the rule then matches by label, so a scope
+  // installed before the first acquire of its class still works).
+  std::string cls_name;
+  std::uint16_t cls = kNoClass;
 
   bool matches(ResponseEvent ev, const EventContext& ctx) const noexcept {
     if ((events & (1u << static_cast<unsigned>(ev))) == 0) return false;
@@ -151,6 +175,13 @@ struct Rule {
       case Condition::kContended: return ctx.contended;
       case Condition::kInCycle: return ctx.in_flagged_cycle;
       case Condition::kWaitersAtLeast: return ctx.waiters >= threshold;
+      case Condition::kClassScope:
+        // The install-time id pin distinguishes same-label classes
+        // (two trees both labeled "hmcs.level1"), but ids recycle when
+        // classes retire — the label must still corroborate the pin,
+        // or a recycled id would silently retarget the rule.
+        if (cls != kNoClass && ctx.cls != cls) return false;
+        return ctx.cls_label != nullptr && cls_name == ctx.cls_label;
     }
     return false;
   }

@@ -146,7 +146,7 @@ class RwShield {
       const Event ev = held == AccessMode::kRead
                            ? Event::kReentrantRelock
                            : Event::kRwModeMismatch;  // read-under-write
-      if (apply_policy(ev)) {  // absorbed as a depth bump
+      if (apply_policy(ev, held)) {  // absorbed as a depth bump
         counters_.absorbed.fetch_add(1, std::memory_order_relaxed);
         tbl.note_acquired(this, held);
         return;
@@ -195,11 +195,15 @@ class RwShield {
       // The §4 headline: depart-without-arrive. Intercepted HERE, the
       // indicator never skews — no mutex violation, no writer
       // starvation — even over indicators that cannot detect it.
-      if (apply_policy(Event::kUnbalancedReadUnlock)) return false;
+      if (apply_policy(Event::kUnbalancedReadUnlock, AccessMode::kRead)) {
+        return false;
+      }
       return base_.runlock(ctx);  // kPassthrough: corrupt faithfully
     }
     // kWrongMode: a write hold released as a read.
-    if (apply_policy(Event::kRwModeMismatch)) return false;
+    if (apply_policy(Event::kRwModeMismatch, AccessMode::kWrite)) {
+      return false;
+    }
     return base_.runlock(ctx);
   }
 
@@ -215,7 +219,7 @@ class RwShield {
       const Event ev = held == AccessMode::kRead
                            ? Event::kRwModeMismatch  // upgrade: deadlock bait
                            : Event::kReentrantRelock;
-      if (apply_policy(ev)) {
+      if (apply_policy(ev, held)) {
         counters_.absorbed.fetch_add(1, std::memory_order_relaxed);
         tbl.note_acquired(this, held);
         return;
@@ -265,11 +269,68 @@ class RwShield {
     }
     if (remaining == HeldLockTable::kWrongMode) {
       // A read hold released as a write.
-      if (apply_policy(Event::kRwModeMismatch)) return false;
+      if (apply_policy(Event::kRwModeMismatch, AccessMode::kRead)) {
+        return false;
+      }
       return base_.wunlock(ctx);
     }
-    if (apply_policy(classify_wunlock(me))) return false;
+    if (apply_policy(classify_wunlock(me), AccessMode::kWrite)) {
+      return false;
+    }
     return base_.wunlock(ctx);  // kPassthrough: faithful
+  }
+
+  // ---------------------------------------------------------------- //
+  //  Trylock entry points (pthread_rwlock_tryrdlock/trywrlock shapes).
+  //  A trylock cannot block, so it adds NO lockdep order edges — only
+  //  the held-set entry on success (mirroring Shield::try_acquire); the
+  //  reentrant/mode-mismatch interceptions behave exactly as on the
+  //  blocking paths, because an absorbed re-acquire succeeds without
+  //  touching the base either way.
+  // ---------------------------------------------------------------- //
+
+  bool try_rlock(Context& ctx)
+    requires requires(Base& b, Context& c) { b.try_rlock(c); }
+  {
+    auto& tbl = HeldLockTable::mine();
+    const bool fresh = !tbl.holds(this);  // see rlock
+    if (!fresh && misuse_checks_enabled()) {
+      const AccessMode held = tbl.mode_of(this);
+      const Event ev = held == AccessMode::kRead
+                           ? Event::kReentrantRelock
+                           : Event::kRwModeMismatch;  // read-under-write
+      if (apply_policy(ev, held)) {  // absorbed as a depth bump
+        counters_.absorbed.fetch_add(1, std::memory_order_relaxed);
+        tbl.note_acquired(this, held);
+        return true;
+      }
+      // kPassthrough: forward to the base, faithfully.
+    }
+    if (!base_.try_rlock(ctx)) return false;
+    note_acquired(tbl, AccessMode::kRead, ctx, fresh);
+    return true;
+  }
+
+  bool try_wlock(Context& ctx)
+    requires requires(Base& b, Context& c) { b.try_wlock(c); }
+  {
+    auto& tbl = HeldLockTable::mine();
+    const bool fresh = !tbl.holds(this);  // see rlock
+    if (!fresh && misuse_checks_enabled()) {
+      const AccessMode held = tbl.mode_of(this);
+      const Event ev = held == AccessMode::kRead
+                           ? Event::kRwModeMismatch  // upgrade: deadlock bait
+                           : Event::kReentrantRelock;
+      if (apply_policy(ev, held)) {
+        counters_.absorbed.fetch_add(1, std::memory_order_relaxed);
+        tbl.note_acquired(this, held);
+        return true;
+      }
+      // kPassthrough: forward to the base, faithfully.
+    }
+    if (!base_.try_wlock(ctx)) return false;
+    note_acquired(tbl, AccessMode::kWrite, ctx, fresh);
+    return true;
   }
 
   // ---------------------------------------------------------------- //
@@ -293,7 +354,8 @@ class RwShield {
     }
     // Not held at all: classify on the write side (the read side has
     // no ownership to misattribute) and suppress/forward per verdict.
-    if (apply_policy(classify_wunlock(platform::self_pid() + 1))) {
+    if (apply_policy(classify_wunlock(platform::self_pid() + 1),
+                     AccessMode::kWrite)) {
       return false;
     }
     return base_.runlock(ctx);  // faithful: behaves like a bogus depart
@@ -439,25 +501,35 @@ class RwShield {
 
   // The shared verdict pipeline (mirrors Shield::apply_policy): true
   // means the misuse is suppressed and the caller must not touch the
-  // base; false means kPassthrough.
-  bool apply_policy(Event ev) {
+  // base; false means kPassthrough. `mode` is the caller's hold mode at
+  // interception (or the side of the misbehaving operation when the
+  // caller holds nothing) — it rides into the trace event together with
+  // the indicator's reader estimate, the §4 "who else is exposed"
+  // payload a post-mortem wants next to each rw misuse.
+  bool apply_policy(Event ev, AccessMode mode) {
     counters_.misuse[static_cast<std::size_t>(ev)].fetch_add(
         1, std::memory_order_relaxed);
+    const lockdep::ClassId cls =
+        lockdep_class_.load(std::memory_order_relaxed);
+    const std::uint32_t readers = base_.indicator().approx_readers();
     response::Action action;
     if (policy_explicit_.load(std::memory_order_relaxed)) {
       action = to_action(policy());
     } else {
       response::EventContext ctx;
-      ctx.waiters = rw_stake();
+      ctx.waiters = contention_.waiters() + readers;
       ctx.contended = ctx.waiters > 0 || write_owned_by_other();
-      ctx.in_flagged_cycle = lockdep::Graph::instance().is_flagged(
-          lockdep_class_.load(std::memory_order_relaxed));
+      ctx.in_flagged_cycle = lockdep::Graph::instance().is_flagged(cls);
+      ctx.cls = cls;
+      ctx.cls_label = lockdep::Graph::instance().label_of(cls);
       action = response::ResponseEngine::instance().decide(
           ev, ctx, to_action(policy()));
     }
     lockdep::TraceBuffer::instance().emit(
         static_cast<lockdep::EventKind>(static_cast<std::uint8_t>(ev)),
-        this, 0, 0, static_cast<std::uint8_t>(action));
+        this, cls, lockdep::kNoClassTag,
+        static_cast<std::uint8_t>(action),
+        static_cast<std::uint8_t>(mode), readers);
     switch (action) {
       case response::Action::kAbort:
         report_misuse(ev, this);

@@ -312,6 +312,8 @@ class Shield {
     counters_.bump_misuse(kind);
     const auto ev =
         static_cast<response::ResponseEvent>(static_cast<std::uint8_t>(kind));
+    const lockdep::ClassId cls =
+        lockdep_class_.load(std::memory_order_relaxed);
     response::Action action;
     if (policy_explicit_.load(std::memory_order_relaxed)) {
       action = to_action(policy());
@@ -319,18 +321,21 @@ class Shield {
       response::EventContext ctx;
       ctx.waiters = contention_.waiters();
       ctx.contended = ctx.waiters > 0;
-      ctx.in_flagged_cycle = lockdep::Graph::instance().is_flagged(
-          lockdep_class_.load(std::memory_order_relaxed));
+      ctx.in_flagged_cycle = lockdep::Graph::instance().is_flagged(cls);
+      ctx.cls = cls;
+      ctx.cls_label = lockdep::Graph::instance().label_of(cls);
       action = response::ResponseEngine::instance().decide(
           ev, ctx, to_action(policy()));
     }
     // Every caught misuse also becomes a timestamped trace event
     // (src/lockdep/event_ring.hpp); MisuseKind values map one-to-one
-    // onto the low EventKind values, and the verdict rides along so
-    // post-mortem traces show what the engine decided.
+    // onto the low EventKind values, and the shield's lockdep class and
+    // the verdict ride along so post-mortem traces show both what the
+    // engine decided and which class the misuse is attributed to.
     lockdep::TraceBuffer::instance().emit(
         static_cast<lockdep::EventKind>(static_cast<std::uint8_t>(kind)),
-        this, 0, 0, static_cast<std::uint8_t>(action));
+        this, cls, lockdep::kNoClassTag,
+        static_cast<std::uint8_t>(action));
     switch (action) {
       case response::Action::kAbort:
         report_misuse(kind, this);

@@ -17,10 +17,14 @@
 #include <thread>
 #include <vector>
 
+#include "core/rw/crw.hpp"
+#include "core/tas.hpp"
 #include "lockdep/event_ring.hpp"
 #include "lockdep/lockdep.hpp"
 #include "lockdep/trace_export.hpp"
 #include "response/response.hpp"
+#include "shield/rw_shield.hpp"
+#include "shield/shield.hpp"
 
 using namespace resilock;
 using lockdep::EventKind;
@@ -197,6 +201,101 @@ TEST(TraceExport, WritesOneWellFormedLinePerEvent) {
   std::size_t count = 0;
   for (std::string line; std::getline(again, line);) ++count;
   EXPECT_EQ(count, 3u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Rw trace payloads: every intercepted rw misuse carries the hold's
+// AccessMode and the indicator's reader estimate, and misuse events
+// carry the class they are attributed to.
+// ---------------------------------------------------------------------
+
+TEST(TracePayload, RwMisuseCarriesModeAndReaderEstimate) {
+  clear_trace();
+  shield::ShieldPolicyGuard policy(shield::ShieldPolicy::kSuppress);
+  response::ResponseRulesGuard rules("");
+  using Rw = CrwLock<kOriginal, SplitReadIndicator, RwPreference::kNeutral>;
+  RwShield<Rw> rw;
+  Rw::Context reader_ctx, bogus_ctx;
+  rw.rlock(reader_ctx);  // one live reader: the estimate at interception
+  std::thread misuser([&] {
+    Rw::Context t_bogus;
+    EXPECT_FALSE(rw.wunlock(t_bogus));  // not held: write-side misuse
+  });
+  misuser.join();
+  EXPECT_TRUE(rw.runlock(reader_ctx));
+  EXPECT_FALSE(rw.runlock(bogus_ctx));  // §4 depart-without-arrive
+
+  bool saw_write_side = false, saw_read_side = false;
+  for (const auto& e : TraceBuffer::instance().drain_all()) {
+    if (e.lock != &rw) continue;
+    if (e.kind == EventKind::kUnbalancedUnlock) {
+      // wunlock misuse: write-side op, one reader live at interception.
+      EXPECT_EQ(e.mode, static_cast<std::uint8_t>(AccessMode::kWrite));
+      EXPECT_EQ(e.readers, 1u);
+      // Attributed to the shield's (shared) lockdep class.
+      EXPECT_EQ(e.a, rw.lockdep_class());
+      saw_write_side = true;
+    }
+    if (e.kind == EventKind::kUnbalancedReadUnlock) {
+      EXPECT_EQ(e.mode, static_cast<std::uint8_t>(AccessMode::kRead));
+      EXPECT_EQ(e.readers, 0u);  // the indicator never skewed
+      EXPECT_EQ(e.a, rw.lockdep_class());
+      saw_read_side = true;
+    }
+  }
+  EXPECT_TRUE(saw_write_side);
+  EXPECT_TRUE(saw_read_side);
+}
+
+TEST(TracePayload, ExclusiveShieldMisuseCarriesItsClass) {
+  clear_trace();
+  shield::ShieldPolicyGuard policy(shield::ShieldPolicy::kSuppress);
+  response::ResponseRulesGuard rules("");
+  Shield<TasLock> lock;
+  lock.acquire();
+  lock.release();
+  EXPECT_FALSE(lock.release());  // double unlock, intercepted
+  bool saw = false;
+  for (const auto& e : TraceBuffer::instance().drain_all()) {
+    if (e.lock != &lock) continue;
+    EXPECT_EQ(e.kind, EventKind::kDoubleUnlock);
+    EXPECT_EQ(e.a, lock.lockdep_class());
+    EXPECT_EQ(e.mode, lockdep::kNoMode);  // exclusive family: no payload
+    saw = true;
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(TraceExport, RwPayloadAndClassFieldsInJsonl) {
+  clear_trace();
+  auto& tb = TraceBuffer::instance();
+  int lock_a = 0;
+  // Hand-rolled rw misuse event: class 3, read-mode hold, 5 readers.
+  tb.emit(EventKind::kUnbalancedReadUnlock, &lock_a, 3,
+          lockdep::kNoClassTag,
+          static_cast<std::uint8_t>(response::Action::kSuppress),
+          static_cast<std::uint8_t>(AccessMode::kRead), 5);
+  // Payload-free exclusive event: no mode/readers/cls fields.
+  tb.emit(EventKind::kDoubleUnlock, &lock_a);
+
+  const std::string path =
+      ::testing::TempDir() + "resilock_trace_payload.jsonl";
+  std::remove(path.c_str());
+  std::size_t written = 0;
+  ASSERT_TRUE(lockdep::export_trace_jsonl(path.c_str(), &written));
+  EXPECT_EQ(written, 2u);
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"kind\":\"unbalanced-read-unlock\""),
+            std::string::npos);
+  EXPECT_NE(lines[0].find("\"cls\":3"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"mode\":\"read\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"readers\":5"), std::string::npos);
+  EXPECT_EQ(lines[1].find("\"mode\""), std::string::npos) << lines[1];
+  EXPECT_EQ(lines[1].find("\"cls\""), std::string::npos) << lines[1];
   std::remove(path.c_str());
 }
 

@@ -17,9 +17,13 @@
 #include <string>
 #include <tuple>
 
+#include "core/ahmcs.hpp"
+#include "core/hclh.hpp"
+#include "core/hmcs.hpp"
 #include "core/lock_registry.hpp"
 #include "core/rw/crw.hpp"
 #include "lock_test_util.hpp"
+#include "shield/shield.hpp"
 #include "runtime/rng.hpp"
 #include "runtime/thread_team.hpp"
 #include "runtime/timer.hpp"
@@ -168,6 +172,112 @@ TEST_P(RwMisuseFuzz, RandomScheduleKeepsInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RwMisuseFuzz,
                          ::testing::Values(1ull, 2ull, 3ull));
+
+// ---------------------------------------------------------------------
+// Hierarchical misuse fuzzing under churn: deep fanout trees behind the
+// ownership shield, with threads spread across leaves (so injected
+// bogus releases land at random depths/paths of the hierarchy) and the
+// AHMCS adaptive streak naturally flipping contexts between leaf-path
+// and mid-tree root entry. Invariants:
+//   H1 — mutual exclusion never violated;
+//   H2 — balanced episodes never refused;
+//   H3 — every injected unbalanced/non-owner release refused before
+//        the base tree sees it;
+//   H4 — shield counters reconcile after the storm: every injection is
+//        accounted as an intercepted misuse and every interception was
+//        suppressed (nothing leaked through to corrupt a parent-level
+//        hand-off), and the tree still round-trips.
+// ---------------------------------------------------------------------
+
+using HierFuzzParam = std::tuple<std::string, std::uint64_t>;
+
+class HierMisuseFuzz : public ::testing::TestWithParam<HierFuzzParam> {};
+
+namespace {
+
+template <typename L, typename... Args>
+void hier_fuzz_storm(std::uint64_t seed, Args&&... args) {
+  // The explicit per-instance policy pins the verdict (no engine
+  // override), so the counter reconciliation below is exact.
+  shield::Shield<L> lock(shield::ShieldPolicy::kSuppress,
+                         std::forward<Args>(args)...);
+  rv::MutexChecker chk;
+  std::atomic<std::uint64_t> balanced_failures{0};
+  std::atomic<std::uint64_t> misuse_accepted{0};
+  std::atomic<std::uint64_t> injected{0};
+  constexpr std::uint32_t kThreads = 4;
+  constexpr int kSteps = 250;
+
+  runtime::ThreadTeam::run(kThreads, [&, seed](std::uint32_t tid) {
+    runtime::Xoshiro256ss rng(seed * 600011 + tid);
+    typename shield::Shield<L>::Context ctx;
+    for (int step = 0; step < kSteps; ++step) {
+      switch (rng.bounded(3)) {
+        case 0:
+        case 1: {  // legitimate episode (the pid picks the leaf/depth)
+          lock.acquire(ctx);
+          chk.enter();
+          runtime::busy_work(rng.bounded(48));
+          chk.exit();
+          if (!lock.release(ctx)) balanced_failures.fetch_add(1);
+          break;
+        }
+        case 2: {  // injected misuse: unbalanced/non-owner release
+          typename shield::Shield<L>::Context bogus;
+          if (lock.release(bogus)) {
+            misuse_accepted.fetch_add(1);
+          } else {
+            injected.fetch_add(1);
+          }
+          break;
+        }
+      }
+    }
+  });
+
+  EXPECT_EQ(chk.max_simultaneous(), 1)
+      << "hierarchical mutual exclusion violated under misuse fuzzing";
+  EXPECT_EQ(balanced_failures.load(), 0u)
+      << "a balanced hierarchical release was refused";
+  EXPECT_EQ(misuse_accepted.load(), 0u)
+      << "an injected hierarchical misuse was accepted";
+  // H4: counters reconciled — every injection intercepted, every
+  // interception suppressed, nothing passed through to the tree.
+  const auto snap = lock.snapshot();
+  EXPECT_GT(injected.load(), 0u);  // the storm really injected
+  EXPECT_EQ(snap.total_misuses(), injected.load());
+  EXPECT_EQ(snap.suppressed, injected.load());
+  EXPECT_EQ(snap.passed_through, 0u);
+  EXPECT_EQ(snap.acquisitions, snap.releases);
+  typename shield::Shield<L>::Context fin;
+  lock.acquire(fin);
+  EXPECT_TRUE(lock.release(fin));
+}
+
+}  // namespace
+
+TEST_P(HierMisuseFuzz, DeepTreeKeepsInvariantsUnderChurn) {
+  const auto& [family, seed] = GetParam();
+  const std::vector<std::uint32_t> fanouts{2, 2};
+  if (family == "HMCS") {
+    hier_fuzz_storm<HmcsLock>(seed, fanouts);
+  } else if (family == "AHMCS") {
+    hier_fuzz_storm<AhmcsLock>(seed, fanouts);
+  } else {
+    hier_fuzz_storm<HclhLock>(seed, platform::Topology::uniform(2, 2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, HierMisuseFuzz,
+    ::testing::Combine(::testing::Values(std::string("HMCS"),
+                                         std::string("HCLH"),
+                                         std::string("AHMCS")),
+                       ::testing::Values(1ull, 2ull)),
+    [](const ::testing::TestParamInfo<HierFuzzParam>& info) {
+      return std::get<0>(info.param) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
 
 namespace {
 

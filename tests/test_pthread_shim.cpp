@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "interpose/pthread_shim.hpp"
+#include "lockdep/lockdep.hpp"
 #include "runtime/thread_team.hpp"
 
 using namespace resilock::interpose;
@@ -60,6 +61,98 @@ TEST(PthreadShim, UseAfterDestroyRejected) {
   EXPECT_EQ(rl_mutex_lock(&m), EINVAL);
   EXPECT_EQ(rl_mutex_unlock(&m), EINVAL);
   EXPECT_EQ(rl_mutex_destroy(&m), EBUSY);
+}
+
+// ---------------------------------------------------------------------
+// pthread_rwlock-shaped trylocks (EBUSY semantics; no lockdep edges).
+// ---------------------------------------------------------------------
+
+TEST(RwlockShim, TrylocksUncontendedSucceedAndUnlockRoutes) {
+  rl_rwlock_t rw{};
+  ASSERT_EQ(rl_rwlock_init(&rw, "np", 1), 0);
+  EXPECT_EQ(rl_rwlock_tryrdlock(&rw), 0);
+  EXPECT_EQ(rl_rwlock_unlock(&rw), 0);
+  EXPECT_EQ(rl_rwlock_trywrlock(&rw), 0);
+  EXPECT_EQ(rl_rwlock_unlock(&rw), 0);
+  // Post-trylock misuse is still errorcheck'd.
+  EXPECT_EQ(rl_rwlock_unlock(&rw), EPERM);
+  EXPECT_EQ(rl_rwlock_destroy(&rw), 0);
+}
+
+TEST(RwlockShim, TrylockEBUSYAgainstAWriter) {
+  rl_rwlock_t rw{};
+  ASSERT_EQ(rl_rwlock_init(&rw, "np", 1), 0);
+  ASSERT_EQ(rl_rwlock_wrlock(&rw), 0);
+  std::thread t([&] {
+    EXPECT_EQ(rl_rwlock_tryrdlock(&rw), EBUSY);
+    EXPECT_EQ(rl_rwlock_trywrlock(&rw), EBUSY);
+  });
+  t.join();
+  EXPECT_EQ(rl_rwlock_unlock(&rw), 0);
+  EXPECT_EQ(rl_rwlock_destroy(&rw), 0);
+}
+
+TEST(RwlockShim, TrywrlockEBUSYAgainstReadersAndBacksOutCleanly) {
+  rl_rwlock_t rw{};
+  ASSERT_EQ(rl_rwlock_init(&rw, "np", 1), 0);
+  ASSERT_EQ(rl_rwlock_rdlock(&rw), 0);
+  std::thread t([&] {
+    // A live reader: the write attempt would spin on the indicator —
+    // EBUSY instead, with the cohort lock released on the way out.
+    EXPECT_EQ(rl_rwlock_trywrlock(&rw), EBUSY);
+    // The backout left the lock fully takeable for readers.
+    EXPECT_EQ(rl_rwlock_tryrdlock(&rw), 0);
+    EXPECT_EQ(rl_rwlock_unlock(&rw), 0);
+  });
+  t.join();
+  EXPECT_EQ(rl_rwlock_unlock(&rw), 0);
+  // ...and for a writer once the readers drained.
+  EXPECT_EQ(rl_rwlock_trywrlock(&rw), 0);
+  EXPECT_EQ(rl_rwlock_unlock(&rw), 0);
+  EXPECT_EQ(rl_rwlock_destroy(&rw), 0);
+}
+
+TEST(RwlockShim, TrylocksAddNoLockdepEdges) {
+  using resilock::lockdep::Graph;
+  resilock::lockdep::LockdepModeGuard mode(
+      resilock::lockdep::LockdepMode::kReport);
+  rl_mutex_t m{};
+  rl_rwlock_t rw{};
+  ASSERT_EQ(rl_mutex_init(&m, "MCS", 1), 0);
+  ASSERT_EQ(rl_rwlock_init(&rw, "np", 1), 0);
+  // Prime both classes (first acquires register them).
+  ASSERT_EQ(rl_mutex_lock(&m), 0);
+  ASSERT_EQ(rl_mutex_unlock(&m), 0);
+  ASSERT_EQ(rl_rwlock_tryrdlock(&rw), 0);
+  ASSERT_EQ(rl_rwlock_unlock(&rw), 0);
+  const std::uint64_t edges_before = Graph::instance().stats().edges;
+  ASSERT_EQ(rl_mutex_lock(&m), 0);
+  // Held-while-trylocking: a blocking rdlock would record an order
+  // edge here; the trylock must not.
+  ASSERT_EQ(rl_rwlock_tryrdlock(&rw), 0);
+  ASSERT_EQ(rl_rwlock_unlock(&rw), 0);
+  ASSERT_EQ(rl_rwlock_trywrlock(&rw), 0);
+  ASSERT_EQ(rl_rwlock_unlock(&rw), 0);
+  ASSERT_EQ(rl_mutex_unlock(&m), 0);
+  EXPECT_EQ(Graph::instance().stats().edges, edges_before);
+  EXPECT_EQ(rl_rwlock_destroy(&rw), 0);
+  EXPECT_EQ(rl_mutex_destroy(&m), 0);
+}
+
+TEST(RwlockShim, TrylocksAcrossPreferences) {
+  // The rp/wp variants route their preference barriers through the try
+  // paths too (pending-writer deference, reader backoff).
+  for (const char* pref : {"rp", "wp"}) {
+    rl_rwlock_t rw{};
+    ASSERT_EQ(rl_rwlock_init(&rw, pref, 0), 0) << pref;
+    ASSERT_EQ(rl_rwlock_trywrlock(&rw), 0) << pref;
+    std::thread t([&] { EXPECT_EQ(rl_rwlock_trywrlock(&rw), EBUSY); });
+    t.join();
+    EXPECT_EQ(rl_rwlock_unlock(&rw), 0) << pref;
+    EXPECT_EQ(rl_rwlock_tryrdlock(&rw), 0) << pref;
+    EXPECT_EQ(rl_rwlock_unlock(&rw), 0) << pref;
+    EXPECT_EQ(rl_rwlock_destroy(&rw), 0) << pref;
+  }
 }
 
 TEST(PthreadShim, MutualExclusionThroughShim) {

@@ -98,6 +98,37 @@ TEST(ResponseParser, WaitersThresholdCondition) {
   EXPECT_FALSE(parse_rules("misuse@waiters>=-1=log").has_value());
 }
 
+TEST(ResponseParser, ClassScopeCondition) {
+  const auto rules = parse_rules(
+      "inversion@class=hmcs.level1=abort;misuse@class=app.cache=log");
+  ASSERT_TRUE(rules.has_value());
+  ASSERT_EQ(rules->size(), 2u);
+  EXPECT_EQ((*rules)[0].cond, Condition::kClassScope);
+  EXPECT_EQ((*rules)[0].cls_name, "hmcs.level1");
+  EXPECT_EQ((*rules)[0].cls, resilock::response::kNoClass);  // unresolved
+  EXPECT_EQ((*rules)[0].action, Action::kAbort);
+  EXPECT_EQ((*rules)[1].cls_name, "app.cache");
+  // An empty scope poisons the spec.
+  EXPECT_FALSE(parse_rules("inversion@class==abort").has_value());
+
+  // Matching: unresolved scopes compare labels; resolved scopes
+  // require the id AND a corroborating label (ids recycle — a recycled
+  // id alone must never re-trigger a pinned rule). An event with no
+  // attribution matches neither.
+  EventContext ctx;
+  EXPECT_FALSE((*rules)[0].matches(ResponseEvent::kOrderInversion, ctx));
+  ctx.cls = 11;
+  ctx.cls_label = "hmcs.level1";
+  EXPECT_TRUE((*rules)[0].matches(ResponseEvent::kOrderInversion, ctx));
+  Rule pinned = (*rules)[0];
+  pinned.cls = 12;  // resolved to a different id: label no longer enough
+  EXPECT_FALSE(pinned.matches(ResponseEvent::kOrderInversion, ctx));
+  ctx.cls = 12;
+  EXPECT_TRUE(pinned.matches(ResponseEvent::kOrderInversion, ctx));
+  ctx.cls_label = "recycled.tenant";  // id reused by an unrelated class
+  EXPECT_FALSE(pinned.matches(ResponseEvent::kOrderInversion, ctx));
+}
+
 TEST(ResponseParser, WhitespaceTolerated) {
   const auto rules =
       parse_rules(" misuse @ uncontended = passthrough ; lockdep = log ");
