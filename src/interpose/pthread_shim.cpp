@@ -11,6 +11,7 @@
 #include "interpose/transparent_mutex.hpp"
 #include "platform/env.hpp"
 #include "shield/rw_shield.hpp"
+#include "telemetry/collector.hpp"
 
 namespace resilock::interpose {
 
@@ -39,6 +40,11 @@ std::string interposed_lock_name(std::string_view base) {
 
 int rl_mutex_init(rl_mutex_t* m, const char* algorithm, int resilient) {
   if (m == nullptr) return EINVAL;
+  // Cold path (one call per lock, not per operation): the right place
+  // to bring up the RESILOCK_TELEMETRY collector for interposed
+  // programs that never emit a misuse event but still want hold/wait
+  // spans and periodic metrics.
+  telemetry::autostart_from_env();
   const std::string_view base =
       algorithm != nullptr ? std::string_view(algorithm)
                            : std::string_view(default_algorithm());
@@ -174,6 +180,7 @@ RwAny* make_rw_variant(bool resilient, bool shielded) {
 int rl_rwlock_init(rl_rwlock_t* rw, const char* preference,
                    int resilient) {
   if (rw == nullptr) return EINVAL;
+  telemetry::autostart_from_env();  // see rl_mutex_init
   const char* fallback = platform::env_raw("RESILOCK_RW_PREF");
   const std::string_view pref =
       preference != nullptr

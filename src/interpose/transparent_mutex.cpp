@@ -2,6 +2,7 @@
 
 #include "interpose/pthread_shim.hpp"
 #include "platform/env.hpp"
+#include "telemetry/collector.hpp"
 
 namespace resilock::interpose {
 
@@ -31,11 +32,15 @@ const std::string& default_interposed_algorithm() {
 }
 }  // namespace
 
+// Construction is the interpose cold path (one call per lock): bring
+// up the RESILOCK_TELEMETRY collector here like rl_mutex_init does, so
+// programs whose locks never misuse still get spans and metrics.
 TransparentMutex::TransparentMutex()
-    : impl_(make_lock(default_interposed_algorithm(),
-                      default_resilience())) {}
+    : impl_((telemetry::autostart_from_env(),
+             make_lock(default_interposed_algorithm(),
+                       default_resilience()))) {}
 
 TransparentMutex::TransparentMutex(std::string_view algorithm, Resilience r)
-    : impl_(make_lock(algorithm, r)) {}
+    : impl_((telemetry::autostart_from_env(), make_lock(algorithm, r))) {}
 
 }  // namespace resilock::interpose

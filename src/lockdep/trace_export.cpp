@@ -8,49 +8,52 @@
 
 namespace resilock::lockdep {
 
-std::size_t write_trace_jsonl(std::FILE* f) {
+void write_event_jsonl(std::FILE* f, const TraceEvent& e) {
   Graph& g = Graph::instance();
-  return TraceBuffer::instance().drain([&](const TraceEvent& e) {
-    std::fprintf(f,
-                 "{\"ns\":%llu,\"kind\":\"%s\",\"lock\":\"%p\",\"pid\":%u",
-                 static_cast<unsigned long long>(e.ns), to_string(e.kind),
-                 e.lock, static_cast<unsigned>(e.pid));
-    if (e.kind == EventKind::kOrderInversion ||
-        e.kind == EventKind::kDeadlockCycle) {
-      std::fprintf(f, ",\"a\":%u,\"b\":%u", static_cast<unsigned>(e.a),
-                   static_cast<unsigned>(e.b));
-      // Labels resolve against the LIVE class table; a class retired
-      // between emission and drain simply drops its label.
-      if (const char* la = g.label_of(e.a)) {
-        std::fprintf(f, ",\"a_label\":\"%s\"", la);
-      }
-      if (const char* lb = g.label_of(e.b)) {
-        std::fprintf(f, ",\"b_label\":\"%s\"", lb);
-      }
-    } else if (e.a != kNoClassTag) {
-      // Misuse events attribute to one class (`a`): the shield's own
-      // class, or the entry-level class of a hierarchical lock — which
-      // is what makes a per-level key like "hmcs.level1" show up next
-      // to the misuse that happened at that depth.
-      std::fprintf(f, ",\"cls\":%u", static_cast<unsigned>(e.a));
-      if (const char* lc = g.label_of(e.a)) {
-        std::fprintf(f, ",\"cls_label\":\"%s\"", lc);
-      }
+  std::fprintf(f,
+               "{\"ns\":%llu,\"kind\":\"%s\",\"lock\":\"%p\",\"pid\":%u",
+               static_cast<unsigned long long>(e.ns), to_string(e.kind),
+               e.lock, static_cast<unsigned>(e.pid));
+  if (e.kind == EventKind::kOrderInversion ||
+      e.kind == EventKind::kDeadlockCycle) {
+    std::fprintf(f, ",\"a\":%u,\"b\":%u", static_cast<unsigned>(e.a),
+                 static_cast<unsigned>(e.b));
+    // Labels resolve against the LIVE class table; a class retired
+    // between emission and drain simply drops its label.
+    if (const char* la = g.label_of(e.a)) {
+      std::fprintf(f, ",\"a_label\":\"%s\"", la);
     }
-    if (e.mode != kNoMode) {
-      // Reader-writer payload: the hold's AccessMode at interception
-      // and the indicator's live-reader estimate.
-      std::fprintf(f, ",\"mode\":\"%s\",\"readers\":%u",
-                   to_string(static_cast<AccessMode>(e.mode)),
-                   static_cast<unsigned>(e.readers));
+    if (const char* lb = g.label_of(e.b)) {
+      std::fprintf(f, ",\"b_label\":\"%s\"", lb);
     }
-    if (e.verdict != kNoVerdict &&
-        e.verdict < response::kActions) {
-      std::fprintf(f, ",\"verdict\":\"%s\"",
-                   to_string(static_cast<response::Action>(e.verdict)));
+  } else if (e.a != kNoClassTag) {
+    // Misuse events attribute to one class (`a`): the shield's own
+    // class, or the entry-level class of a hierarchical lock — which
+    // is what makes a per-level key like "hmcs.level1" show up next
+    // to the misuse that happened at that depth.
+    std::fprintf(f, ",\"cls\":%u", static_cast<unsigned>(e.a));
+    if (const char* lc = g.label_of(e.a)) {
+      std::fprintf(f, ",\"cls_label\":\"%s\"", lc);
     }
-    std::fputs("}\n", f);
-  });
+  }
+  if (e.mode != kNoMode) {
+    // Reader-writer payload: the hold's AccessMode at interception
+    // and the indicator's live-reader estimate.
+    std::fprintf(f, ",\"mode\":\"%s\",\"readers\":%u",
+                 to_string(static_cast<AccessMode>(e.mode)),
+                 static_cast<unsigned>(e.readers));
+  }
+  if (e.verdict != kNoVerdict &&
+      e.verdict < response::kActions) {
+    std::fprintf(f, ",\"verdict\":\"%s\"",
+                 to_string(static_cast<response::Action>(e.verdict)));
+  }
+  std::fputs("}\n", f);
+}
+
+std::size_t write_trace_jsonl(std::FILE* f) {
+  return TraceBuffer::instance().drain(
+      [&](const TraceEvent& e) { write_event_jsonl(f, e); });
 }
 
 bool export_trace_jsonl(const char* path, std::size_t* written) {

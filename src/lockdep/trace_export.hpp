@@ -14,17 +14,28 @@
 //     drain whatever is queued right now;
 //   * atexit   — with RESILOCK_TRACE_FILE=<path> set, a process-exit
 //     dump is registered automatically the first time any event is
-//     emitted (note: std::abort() exits do not run atexit handlers —
-//     an aborting verdict leaves only what earlier dumps captured).
+//     emitted. std::abort() exits skip atexit handlers, but the
+//     telemetry plane's flush-before-abort hook (telemetry/collector)
+//     drains the rings to RESILOCK_TRACE_FILE on the engine's abort
+//     path, so aborting verdicts no longer lose the trace.
 //
 // Draining consumes: events written by an exporter are gone from the
-// ring. The single-consumer contract of TraceBuffer::drain applies.
+// ring. The single-consumer contract of TraceBuffer::drain applies —
+// and is now enforced: a drain racing the background collector's
+// returns 0 rather than interleaving.
 #pragma once
 
 #include <cstddef>
 #include <cstdio>
 
 namespace resilock::lockdep {
+
+struct TraceEvent;
+
+// Formats one event as a single JSONL line (no drain). Shared by the
+// on-demand exporters below and the telemetry plane's JsonlSink so the
+// line schema cannot fork.
+void write_event_jsonl(std::FILE* f, const TraceEvent& e);
 
 // Drains every ring into `f` as JSONL; returns events written.
 std::size_t write_trace_jsonl(std::FILE* f);

@@ -309,10 +309,15 @@ void ResponseEngine::reset_stats() {
 
 namespace {
 std::atomic<AbortHandler> g_abort_handler{nullptr};
+std::atomic<AbortFlushHook> g_abort_flush_hook{nullptr};
 }  // namespace
 
 AbortHandler set_abort_handler(AbortHandler h) noexcept {
   return g_abort_handler.exchange(h, std::memory_order_acq_rel);
+}
+
+AbortFlushHook set_abort_flush_hook(AbortFlushHook h) noexcept {
+  return g_abort_flush_hook.exchange(h, std::memory_order_acq_rel);
 }
 
 void dispatch_abort(ResponseEvent ev, const void* lock) {
@@ -320,6 +325,13 @@ void dispatch_abort(ResponseEvent ev, const void* lock) {
   if (h != nullptr) {
     h(ev, lock);
     return;  // the handler chose to survive; caller degrades to suppress
+  }
+  // Genuinely dying: give telemetry one chance to get the queued trace
+  // (including the event that earned this verdict — every caller emits
+  // before dispatching) out of the process.
+  if (AbortFlushHook flush =
+          g_abort_flush_hook.load(std::memory_order_acquire)) {
+    flush();
   }
   std::abort();
 }

@@ -284,6 +284,17 @@ AbortHandler set_abort_handler(AbortHandler h) noexcept;
 // chose not to die.
 void dispatch_abort(ResponseEvent ev, const void* lock);
 
+// Flush hook run on the DEFAULT (dying) abort path, immediately before
+// std::abort(). std::abort() skips atexit handlers, so without this an
+// aborting verdict — the engine's strongest response — lost the very
+// trace that justified it. The telemetry plane installs a hook that
+// stops the collector (final drain included) and dumps any queued
+// events to RESILOCK_TRACE_FILE. Not invoked when a custom
+// AbortHandler intercepts the abort (the process survives; the normal
+// pipeline keeps running). Returns the previous hook.
+using AbortFlushHook = void (*)();
+AbortFlushHook set_abort_flush_hook(AbortFlushHook h) noexcept;
+
 // RAII pins, mirroring ShieldPolicyGuard / LockdepModeGuard.
 class ResponseRulesGuard {
  public:

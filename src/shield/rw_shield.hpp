@@ -158,9 +158,12 @@ class RwShield {
     // not contention for an arriving reader.
     const bool contended = write_owner_.load(std::memory_order_relaxed) !=
                            kNoOwner;
+    const bool span = contended && lockdep::span_tracing_enabled();
+    if (span) emit_span(lockdep::EventKind::kWaitBegin, AccessMode::kRead);
     if (contended) contention_.begin_wait();
     base_.rlock(ctx);
     if (contended) contention_.end_wait();
+    if (span) emit_span(lockdep::EventKind::kWaitEnd, AccessMode::kRead);
     note_acquired(tbl, AccessMode::kRead, ctx, fresh);
   }
 
@@ -181,6 +184,9 @@ class RwShield {
         // the base verbatim (the caller asked for raw behavior).
         if (misuse_checks_enabled()) return true;
         return base_.runlock(ctx);
+      }
+      if (lockdep::span_tracing_enabled()) {
+        emit_span(lockdep::EventKind::kHoldEnd, AccessMode::kRead);
       }
       lockdep::on_released(this);
       return base_.runlock(ctx);
@@ -230,9 +236,12 @@ class RwShield {
     const bool contended =
         write_owner_.load(std::memory_order_relaxed) != kNoOwner ||
         !base_.indicator().is_empty();
+    const bool span = contended && lockdep::span_tracing_enabled();
+    if (span) emit_span(lockdep::EventKind::kWaitBegin, AccessMode::kWrite);
     if (contended) contention_.begin_wait();
     base_.wlock(ctx);
     if (contended) contention_.end_wait();
+    if (span) emit_span(lockdep::EventKind::kWaitEnd, AccessMode::kWrite);
     note_acquired(tbl, AccessMode::kWrite, ctx, fresh);
   }
 
@@ -249,6 +258,9 @@ class RwShield {
         // escape hatch is open (forward every call verbatim).
         if (misuse_checks_enabled()) return true;
         return base_.wunlock(ctx);
+      }
+      if (lockdep::span_tracing_enabled()) {
+        emit_span(lockdep::EventKind::kHoldEnd, AccessMode::kWrite);
       }
       lockdep::on_released(this);
       last_writer_.store(me, std::memory_order_relaxed);
@@ -571,7 +583,21 @@ class RwShield {
     // recorded: the base saw the extra acquire, so the base must see
     // the matching extra release too — a depth bump would swallow it
     // and skew a counting ReadIndicator forever.
-    if (fresh) tbl.note_acquired(this, mode);
+    if (fresh) {
+      tbl.note_acquired(this, mode);
+      if (lockdep::span_tracing_enabled()) {
+        emit_span(lockdep::EventKind::kHoldBegin, mode);
+      }
+    }
+  }
+
+  // Hold/wait span marker for the telemetry timeline; the mode payload
+  // lets the perfetto sink label read vs write slices.
+  void emit_span(lockdep::EventKind kind, AccessMode mode) {
+    lockdep::TraceBuffer::instance().emit(
+        kind, this, lockdep_class_.load(std::memory_order_relaxed),
+        lockdep::kNoClassTag, lockdep::kNoVerdict,
+        static_cast<std::uint8_t>(mode));
   }
 
   // Lazily registers this shield's lockdep class — SHARED, because a

@@ -146,9 +146,15 @@ class Shield {
     // threads that observed the lock held register as live waiters for
     // the duration of the blocking acquire.
     const bool contended = holder != kNoOwner;
+    // Telemetry wait spans (opt-in): bracket only the CONTENDED window
+    // — an uncontended acquire costs one relaxed flag load and emits
+    // nothing, keeping the default fast path identical to before.
+    const bool span = contended && lockdep::span_tracing_enabled();
+    if (span) emit_span(lockdep::EventKind::kWaitBegin);
     if (contended) contention_.begin_wait();
     generic_acquire(base_, ctx);
     if (contended) contention_.end_wait();
+    if (span) emit_span(lockdep::EventKind::kWaitEnd);
     note_base_acquired(ctx);
   }
 
@@ -187,6 +193,9 @@ class Shield {
       return true;
     }
     if (remaining == 0) {  // balanced: the base really gets released
+      if (lockdep::span_tracing_enabled()) {
+        emit_span(lockdep::EventKind::kHoldEnd);
+      }
       lockdep::on_released(this);
       clear_owner_mirror();
       last_owner_.store(me, std::memory_order_relaxed);
@@ -444,6 +453,17 @@ class Shield {
     }
     HeldLockTable::mine().note_acquired(this, AccessMode::kExclusive);
     counters_.bump_acquisition();
+    if (lockdep::span_tracing_enabled()) {
+      emit_span(lockdep::EventKind::kHoldBegin);
+    }
+  }
+
+  // Hold/wait span marker for the telemetry timeline (paired into
+  // slices by the perfetto sink). The class tag rides along so traces
+  // group by lock class, not just instance address.
+  void emit_span(lockdep::EventKind kind) {
+    lockdep::TraceBuffer::instance().emit(
+        kind, this, lockdep_class_.load(std::memory_order_relaxed));
   }
 
   MisuseKind classify_release(std::uint32_t me) const {

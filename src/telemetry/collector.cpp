@@ -1,0 +1,301 @@
+#include "telemetry/collector.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "lockdep/event_ring.hpp"
+#include "lockdep/lockdep.hpp"
+#include "lockdep/trace_export.hpp"
+#include "platform/env.hpp"
+#include "response/response.hpp"
+#include "runtime/timer.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace {
+
+// Adaptive duty cycle bounds: the floor keeps a hot producer's queue
+// latency in the tens of microseconds; the ceiling bounds an idle
+// process to ~200 wakeups/sec worst case, near zero once backed off.
+constexpr std::uint64_t kMinSleepUs = 50;
+constexpr std::uint64_t kMaxSleepUs = 5000;
+// A cycle that pulls this many events means producers are hot: skip
+// the sleep entirely and re-drain ("drain hard when they fill").
+constexpr std::size_t kHardBatch = 1024;
+
+std::atomic<bool> g_hook_fired{false};
+
+// Both only touched by the thread running Collector's constructor
+// (the magic-static guard serializes initializers).
+bool g_in_ctor = false;
+bool g_autostart_pending = false;
+
+}  // namespace
+
+namespace resilock::telemetry {
+
+struct Collector::Impl {
+  // Lifecycle (start/stop) serialization.
+  std::mutex lifecycle;
+  std::thread worker;
+
+  // Worker wakeup.
+  std::mutex cv_mu;
+  std::condition_variable cv;
+  bool stop_requested = false;  // guarded by cv_mu
+
+  std::atomic<bool> running{false};
+  std::atomic<bool> in_start{false};
+
+  // Sink set; drained into under this mutex by exactly one thread at a
+  // time (the TraceBuffer drain guard already enforces one drainer,
+  // this one covers add_sink/close racing a drain).
+  std::mutex sink_mu;
+  std::vector<std::unique_ptr<Sink>> sinks;
+
+  // Stats, all lock-free for MetricsRegistry::snapshot.
+  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<std::uint64_t> written{0};
+  std::atomic<std::uint64_t> drain_cycles{0};
+  std::atomic<std::uint64_t> empty_cycles{0};
+  std::atomic<std::uint64_t> hard_drains{0};
+  std::atomic<std::uint64_t> sleep_us{kMinSleepUs};
+  std::atomic<std::uint64_t> metrics_dumps{0};
+
+  // Periodic metrics dump (read from env at start()).
+  const char* metrics_path = nullptr;
+  MetricsFormat metrics_fmt = MetricsFormat::kText;
+  std::uint64_t metrics_interval_ns = 0;
+  std::uint64_t last_metrics_ns = 0;  // worker/stop thread only
+
+  // One drain of every ring into every sink, one flush per sink.
+  // With no sinks attached the rings are left untouched so the atexit
+  // JSONL exporter (and the abort-flush fallback) still find the
+  // events.
+  std::size_t drain_cycle() {
+    std::lock_guard<std::mutex> lk(sink_mu);
+    if (sinks.empty()) return 0;
+    const std::size_t n = lockdep::TraceBuffer::instance().drain(
+        [this](const lockdep::TraceEvent& e) {
+          for (auto& s : sinks) s->consume(e);
+        });
+    drain_cycles.fetch_add(1, std::memory_order_relaxed);
+    if (n == 0) {
+      empty_cycles.fetch_add(1, std::memory_order_relaxed);
+      return 0;
+    }
+    delivered.fetch_add(n, std::memory_order_relaxed);
+    std::uint64_t w = 0;
+    for (auto& s : sinks) {
+      s->flush();
+      if (s->written() > w) w = s->written();
+    }
+    written.store(w, std::memory_order_relaxed);
+    return n;
+  }
+
+  void maybe_dump_metrics(bool force) {
+    if (metrics_path == nullptr) return;
+    const std::uint64_t now = runtime::now_ns();
+    if (!force && now - last_metrics_ns < metrics_interval_ns) return;
+    last_metrics_ns = now;
+    if (MetricsRegistry::instance().dump(metrics_path, metrics_fmt)) {
+      metrics_dumps.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void run() {
+    std::uint64_t cur_sleep = kMinSleepUs;
+    for (;;) {
+      const std::size_t n = drain_cycle();
+      maybe_dump_metrics(false);
+      {
+        std::unique_lock<std::mutex> lk(cv_mu);
+        if (stop_requested) return;
+      }
+      if (n >= kHardBatch) {
+        // Producers are outrunning the cycle; drain back-to-back
+        // until the batch thins out.
+        hard_drains.fetch_add(1, std::memory_order_relaxed);
+        cur_sleep = kMinSleepUs;
+        sleep_us.store(cur_sleep, std::memory_order_relaxed);
+        continue;
+      }
+      cur_sleep = (n == 0) ? std::min(cur_sleep * 2, kMaxSleepUs)
+                           : kMinSleepUs;
+      sleep_us.store(cur_sleep, std::memory_order_relaxed);
+      std::unique_lock<std::mutex> lk(cv_mu);
+      if (cv.wait_for(lk, std::chrono::microseconds(cur_sleep),
+                      [this] { return stop_requested; })) {
+        return;
+      }
+    }
+  }
+};
+
+Collector& Collector::instance() {
+  static Collector c;
+  return c;
+}
+
+Collector::Collector() : impl_(new Impl) {
+  // Pin destruction order: everything the worker and the final drain
+  // touch (rings, the class table for JSONL labels) must be
+  // constructed — hence destroyed after — this singleton. Claiming the
+  // rings first would normally fire telemetry_first_use_hook, whose
+  // autostart would recurse into the Collector magic-static mid-
+  // construction; g_in_ctor defers that start to the end of the ctor.
+  g_in_ctor = true;
+  lockdep::TraceBuffer::instance();
+  lockdep::Graph::instance();
+  g_in_ctor = false;
+  if (g_autostart_pending) {
+    g_autostart_pending = false;
+    start();
+  }
+}
+
+Collector::~Collector() {
+  stop();
+  delete impl_;
+}
+
+bool Collector::running() const noexcept {
+  return impl_->running.load(std::memory_order_acquire);
+}
+
+void Collector::add_sink(std::unique_ptr<Sink> sink) {
+  if (sink == nullptr) return;
+  std::lock_guard<std::mutex> lk(impl_->sink_mu);
+  impl_->sinks.push_back(std::move(sink));
+}
+
+std::size_t Collector::drain_now() { return impl_->drain_cycle(); }
+
+CollectorStats Collector::stats() const noexcept {
+  auto& tb = lockdep::TraceBuffer::instance();
+  CollectorStats s;
+  s.running = impl_->running.load(std::memory_order_acquire);
+  s.events_delivered = impl_->delivered.load(std::memory_order_relaxed);
+  s.events_written = impl_->written.load(std::memory_order_relaxed);
+  s.events_dropped = tb.dropped();
+  s.events_emitted = tb.emitted();
+  s.drain_cycles = impl_->drain_cycles.load(std::memory_order_relaxed);
+  s.empty_cycles = impl_->empty_cycles.load(std::memory_order_relaxed);
+  s.hard_drains = impl_->hard_drains.load(std::memory_order_relaxed);
+  s.sleep_us = impl_->sleep_us.load(std::memory_order_relaxed);
+  s.metrics_dumps = impl_->metrics_dumps.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool Collector::start() {
+  // Deflect the reentrant edge: start -> first ring touch -> first-use
+  // hook -> autostart -> start. The inner call returns immediately;
+  // the outer one finishes the job.
+  if (impl_->in_start.exchange(true, std::memory_order_acq_rel)) {
+    return impl_->running.load(std::memory_order_acquire);
+  }
+  std::lock_guard<std::mutex> lk(impl_->lifecycle);
+  if (!impl_->running.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> sg(impl_->sink_mu);
+      if (impl_->sinks.empty()) {
+        if (auto s = make_sink_from_env()) {
+          impl_->sinks.push_back(std::move(s));
+        }
+      }
+    }
+    impl_->metrics_path = platform::env_raw("RESILOCK_METRICS_FILE");
+    impl_->metrics_fmt = MetricsRegistry::format_from_env();
+    impl_->metrics_interval_ns =
+        std::uint64_t{platform::env_u32("RESILOCK_METRICS_INTERVAL_MS",
+                                        1000)} *
+        1000000ull;
+    impl_->last_metrics_ns = 0;
+    {
+      std::lock_guard<std::mutex> cg(impl_->cv_mu);
+      impl_->stop_requested = false;
+    }
+    impl_->worker = std::thread([impl = impl_] { impl->run(); });
+    impl_->running.store(true, std::memory_order_release);
+  }
+  impl_->in_start.store(false, std::memory_order_release);
+  return true;
+}
+
+void Collector::stop() {
+  std::lock_guard<std::mutex> lk(impl_->lifecycle);
+  if (impl_->worker.joinable()) {
+    if (impl_->worker.get_id() == std::this_thread::get_id()) {
+      return;  // never expected; refuse to self-join
+    }
+    {
+      std::lock_guard<std::mutex> cg(impl_->cv_mu);
+      impl_->stop_requested = true;
+    }
+    impl_->cv.notify_all();
+    impl_->worker.join();
+    impl_->worker = std::thread();
+    impl_->running.store(false, std::memory_order_release);
+  }
+  // Final drain (no-op without sinks: the events stay queued for the
+  // atexit/abort JSONL exporters), final metrics dump, and sink
+  // close so single-document formats are valid on disk. The sink set
+  // is cleared — a later start() rebuilds from the environment.
+  impl_->drain_cycle();
+  impl_->maybe_dump_metrics(true);
+  std::lock_guard<std::mutex> sg(impl_->sink_mu);
+  for (auto& s : impl_->sinks) s->close();
+  impl_->sinks.clear();
+}
+
+void autostart_from_env() {
+  if (!platform::env_flag("RESILOCK_TELEMETRY", false)) return;
+  if (g_in_ctor) {
+    // Collector's constructor is on the stack (it touches the rings,
+    // which fire the first-use hook, which lands here); entering
+    // instance() again would deadlock on the magic-static guard.
+    g_autostart_pending = true;
+    return;
+  }
+  Collector::instance().start();
+}
+
+// Runs on the response engine's DEFAULT abort path, just before
+// std::abort(). Every abort site emits its trace event before
+// dispatching, so stopping the pipeline here lands the fatal event on
+// disk: a running collector gets a final drain and its sinks are
+// closed (finalizing perfetto documents); if the collector never ran,
+// the queued events fall back to a JSONL dump to RESILOCK_TRACE_FILE
+// — the file atexit would have written if std::abort didn't skip
+// atexit handlers.
+void flush_for_abort() {
+  Collector& c = Collector::instance();
+  const bool piped = c.running();
+  c.stop();
+  if (!piped) {
+    if (const char* path = platform::env_raw("RESILOCK_TRACE_FILE")) {
+      lockdep::export_trace_jsonl(path);
+    }
+  }
+}
+
+}  // namespace resilock::telemetry
+
+namespace resilock::lockdep {
+
+// Called from TraceBuffer::instance() — i.e. on the first trace
+// emission (or any other first touch of the rings). Exchange-after-
+// load keeps the hot path to one acquire load once fired.
+void telemetry_first_use_hook() {
+  if (g_hook_fired.load(std::memory_order_acquire)) return;
+  if (g_hook_fired.exchange(true, std::memory_order_acq_rel)) return;
+  response::set_abort_flush_hook(&telemetry::flush_for_abort);
+  telemetry::autostart_from_env();
+}
+
+}  // namespace resilock::lockdep

@@ -1,0 +1,90 @@
+// Metrics registry: one call that snapshots every counter the stack
+// already keeps, for periodic export next to the event trace.
+//
+// The trace answers "what happened, when"; metrics answer "how much,
+// right now" — the pair is the observability plane the ROADMAP asks
+// for. Nothing here adds instrumentation: the registry READS the
+// counters the layers maintain anyway (response verdict totals by
+// event kind — which is the global misuse census, since every caught
+// misuse flows through ResponseEngine::decide — lockdep's graph
+// stats, the trace pipeline's emitted/dropped/delivered accounting,
+// the collector's own duty-cycle counters) and renders them as flat
+// name -> value pairs, text `key=value` or JSON.
+//
+// Per-lock sources (a ShieldCounters, a ContentionProbe) have no
+// global roster, so they join by registration: register_gauge() binds
+// a name to a closure sampled at snapshot time.
+//
+// Consumers: MetricsRegistry::dump() on demand; the background
+// collector periodically when RESILOCK_METRICS_FILE is set
+// (RESILOCK_METRICS_FORMAT=text|json, RESILOCK_METRICS_INTERVAL_MS,
+// default 1000). The dump truncates — the file is current state, not
+// a log; point a scraper at it.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/contention.hpp"
+
+namespace resilock::telemetry {
+
+enum class MetricsFormat : std::uint8_t { kText, kJson };
+
+struct MetricsSnapshot {
+  std::uint64_t ns = 0;  // runtime::now_ns() at snapshot
+  std::vector<std::pair<std::string, std::uint64_t>> items;
+
+  // Convenience for tests: value of `name`, or `fallback` when absent.
+  std::uint64_t value(const char* name, std::uint64_t fallback = 0) const;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  using Gauge = std::function<std::uint64_t()>;
+
+  // Binds `name` (replacing any previous binding) to a closure sampled
+  // at each snapshot. The closure must stay valid until unregistered
+  // and must be safe to call from the collector thread.
+  void register_gauge(std::string name, Gauge gauge);
+  void unregister_gauge(const std::string& name);
+
+  // Registers `<prefix>.waiters` and `<prefix>.contended_total` for a
+  // probe (which must outlive the registration).
+  void register_contention_probe(const std::string& prefix,
+                                 const ContentionProbe* probe);
+  void unregister_contention_probe(const std::string& prefix);
+
+  // Samples everything: built-in sources + registered gauges.
+  MetricsSnapshot snapshot() const;
+
+  static void write(std::FILE* f, const MetricsSnapshot& s,
+                    MetricsFormat fmt);
+
+  // Truncates `path` and writes a fresh snapshot. False when the file
+  // cannot be opened.
+  bool dump(const char* path, MetricsFormat fmt) const;
+
+  // RESILOCK_METRICS_FORMAT (json|text; default text).
+  static MetricsFormat format_from_env();
+
+ private:
+  MetricsRegistry() = default;
+
+  struct NamedGauge {
+    std::string name;
+    Gauge gauge;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<NamedGauge> gauges_;
+};
+
+}  // namespace resilock::telemetry
