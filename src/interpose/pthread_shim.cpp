@@ -9,6 +9,7 @@
 #include "core/lock_registry.hpp"
 #include "core/rw/crw.hpp"
 #include "interpose/transparent_mutex.hpp"
+#include "observe/lockstat.hpp"
 #include "platform/env.hpp"
 #include "shield/rw_shield.hpp"
 #include "telemetry/collector.hpp"
@@ -43,8 +44,11 @@ int rl_mutex_init(rl_mutex_t* m, const char* algorithm, int resilient) {
   // Cold path (one call per lock, not per operation): the right place
   // to bring up the RESILOCK_TELEMETRY collector for interposed
   // programs that never emit a misuse event but still want hold/wait
-  // spans and periodic metrics.
+  // spans and periodic metrics. The lockstat signal trigger installs
+  // here too, so an unmodified LD_PRELOAD-ed binary answers SIGUSR2
+  // with a live contention report.
   telemetry::autostart_from_env();
+  observe::install_signal_trigger_from_env();
   const std::string_view base =
       algorithm != nullptr ? std::string_view(algorithm)
                            : std::string_view(default_algorithm());
@@ -181,6 +185,7 @@ int rl_rwlock_init(rl_rwlock_t* rw, const char* preference,
                    int resilient) {
   if (rw == nullptr) return EINVAL;
   telemetry::autostart_from_env();  // see rl_mutex_init
+  observe::install_signal_trigger_from_env();
   const char* fallback = platform::env_raw("RESILOCK_RW_PREF");
   const std::string_view pref =
       preference != nullptr

@@ -119,6 +119,11 @@ struct TraceEvent {
   // damage radius a post-mortem wants next to each rw misuse.
   std::uint8_t mode = kNoMode;
   std::uint32_t readers = 0;
+  // Acquisition call site (return address captured on the acquire
+  // path) for span-begin events; 0 when lockstat is off or the event
+  // kind carries no site. uint64 rather than a pointer so exporters
+  // can print it without a cast chain.
+  std::uint64_t site = 0;
 };
 
 // ---------------------------------------------------------------------
@@ -263,7 +268,8 @@ class TraceBuffer {
   void emit(EventKind kind, const void* lock,
             std::uint16_t a = kNoClassTag, std::uint16_t b = kNoClassTag,
             std::uint8_t verdict = kNoVerdict,
-            std::uint8_t mode = kNoMode, std::uint32_t readers = 0) {
+            std::uint8_t mode = kNoMode, std::uint32_t readers = 0,
+            std::uint64_t site = 0) {
     TraceEvent e;
     e.ns = runtime::now_ns();
     e.lock = lock;
@@ -274,6 +280,7 @@ class TraceBuffer {
     e.verdict = verdict;
     e.mode = mode;
     e.readers = readers;
+    e.site = site;
     ring_for(e.pid).push(e);
   }
 

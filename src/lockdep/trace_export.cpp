@@ -4,6 +4,7 @@
 
 #include "lockdep/lockdep.hpp"
 #include "platform/env.hpp"
+#include "platform/json.hpp"
 #include "response/response.hpp"
 
 namespace resilock::lockdep {
@@ -19,12 +20,15 @@ void write_event_jsonl(std::FILE* f, const TraceEvent& e) {
     std::fprintf(f, ",\"a\":%u,\"b\":%u", static_cast<unsigned>(e.a),
                  static_cast<unsigned>(e.b));
     // Labels resolve against the LIVE class table; a class retired
-    // between emission and drain simply drops its label.
+    // between emission and drain simply drops its label. Labels are
+    // user-controlled strings, so they go through the shared escaper.
     if (const char* la = g.label_of(e.a)) {
-      std::fprintf(f, ",\"a_label\":\"%s\"", la);
+      std::fputs(",\"a_label\":", f);
+      platform::write_json_escaped(f, la);
     }
     if (const char* lb = g.label_of(e.b)) {
-      std::fprintf(f, ",\"b_label\":\"%s\"", lb);
+      std::fputs(",\"b_label\":", f);
+      platform::write_json_escaped(f, lb);
     }
   } else if (e.a != kNoClassTag) {
     // Misuse events attribute to one class (`a`): the shield's own
@@ -33,7 +37,8 @@ void write_event_jsonl(std::FILE* f, const TraceEvent& e) {
     // to the misuse that happened at that depth.
     std::fprintf(f, ",\"cls\":%u", static_cast<unsigned>(e.a));
     if (const char* lc = g.label_of(e.a)) {
-      std::fprintf(f, ",\"cls_label\":\"%s\"", lc);
+      std::fputs(",\"cls_label\":", f);
+      platform::write_json_escaped(f, lc);
     }
   }
   if (e.mode != kNoMode) {
@@ -47,6 +52,12 @@ void write_event_jsonl(std::FILE* f, const TraceEvent& e) {
       e.verdict < response::kActions) {
     std::fprintf(f, ",\"verdict\":\"%s\"",
                  to_string(static_cast<response::Action>(e.verdict)));
+  }
+  if (e.site != 0) {
+    // Acquisition call site (lockstat return-address capture); the
+    // offline analyzer attributes span waits to sites through this.
+    std::fprintf(f, ",\"site\":\"0x%llx\"",
+                 static_cast<unsigned long long>(e.site));
   }
   std::fputs("}\n", f);
 }

@@ -1,0 +1,90 @@
+// Acquisition call-site capture for lockstat.
+//
+// /proc/lock_stat's most actionable column is not the wait time — it
+// is WHICH call site acquired the contended class. The cheap way to
+// get that without unwinding is the compiler's return-address
+// intrinsic: RESILOCK_RETURN_ADDRESS() evaluated at the top of
+// Shield::acquire yields an address inside the calling function (or,
+// when the whole acquire body was inlined into the caller, one frame
+// further up — still application code, never shield internals).
+// Capture is one register read; symbolization is deferred to report
+// time (dladdr in lockstat.cpp, raw hex fallback), so the acquire
+// path never touches the dynamic linker.
+//
+// Each lock class keeps a small fixed table of sites: slots are
+// CAS-claimed by address on first sight, counts bump relaxed, and
+// everything past kSlots distinct sites tallies as overflow — a
+// deliberate top-N design, because a class acquired from more than a
+// handful of sites is a "too coarse class" finding in itself.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define RESILOCK_RETURN_ADDRESS() __builtin_return_address(0)
+#else
+#define RESILOCK_RETURN_ADDRESS() static_cast<void*>(nullptr)
+#endif
+
+namespace resilock::observe {
+
+class CallSiteTable {
+ public:
+  static constexpr std::size_t kSlots = 8;
+
+  void record(const void* site) noexcept {
+    const auto addr = reinterpret_cast<std::uintptr_t>(site);
+    if (addr == 0) return;
+    for (Slot& slot : slots_) {
+      std::uintptr_t cur = slot.site.load(std::memory_order_acquire);
+      if (cur == 0) {
+        if (slot.site.compare_exchange_strong(cur, addr,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+          cur = addr;
+        }
+        // CAS lost: cur now holds the winner's address; fall through.
+      }
+      if (cur == addr) {
+        slot.count.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t overflow() const noexcept {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+
+  // Visits every claimed slot as (address, count).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      const std::uintptr_t addr = slot.site.load(std::memory_order_acquire);
+      if (addr == 0) continue;
+      fn(addr, slot.count.load(std::memory_order_relaxed));
+    }
+  }
+
+  void reset() noexcept {
+    for (Slot& slot : slots_) {
+      slot.site.store(0, std::memory_order_relaxed);
+      slot.count.store(0, std::memory_order_relaxed);
+    }
+    overflow_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uintptr_t> site{0};
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  Slot slots_[kSlots];
+  std::atomic<std::uint64_t> overflow_{0};
+};
+
+}  // namespace resilock::observe

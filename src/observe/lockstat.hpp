@@ -1,0 +1,398 @@
+// Lockstat: per-class lock statistics, /proc/lock_stat style.
+//
+// The telemetry plane (PR 6) answers "what happened" — discrete
+// misuse/span events — and "how much" — flat counters. What it cannot
+// answer is the production question the paper's Uber incidents start
+// from: WHICH lock classes hurt, HOW BAD is the tail, and WHERE are
+// they acquired from. Lockstat is that layer:
+//
+//   * per lockdep-class wait-time and hold-time log-bucketed
+//     histograms (observe/histogram.hpp) with exact count/total/max —
+//     wait is the CONTENDED window of a blocking acquire (matching
+//     /proc/lock_stat's contention semantics and the telemetry wait
+//     spans), hold is base-acquire .. balanced-release;
+//   * contention, trylock-failure, and misuse tallies that reconcile
+//     exactly against the shield's own counters;
+//   * top-N acquisition call sites per class (observe/callsite.hpp),
+//     captured as raw return addresses on the acquire path and
+//     symbolized lazily (dladdr) at report time;
+//   * mode-tagged acquisition counts for the rw family.
+//
+// Gating: everything above is behind lockstat_enabled() — one relaxed
+// flag load on the lock paths, the exact pattern span tracing set
+// (RESILOCK_LOCKSTAT env seed, set_lockstat()/LockstatGuard at
+// runtime). Off (the default), the uncontended fast path is the
+// pre-lockstat code.
+//
+// Cost model: every tally above is EXACT except the hold-time
+// histogram, which samples 1-in-N hold windows per thread
+// (RESILOCK_LOCKSTAT_SAMPLE, default 8, power of two; 1 = exact).
+// The split is deliberate: the exact tallies are counter bumps, but a
+// hold window is two timestamps, and on an uncontended
+// acquire/release pair (~50 ns) unconditional timestamps alone blow
+// the repo's 2x overhead budget — rdtsc is ~18 ns even on good
+// hardware. Sampling keeps the default-on cost inside the budget
+// (bench/lockstat_overhead.cpp prices both modes) while the
+// reconciliation story — acquisitions, contentions, trylock
+// failures, misuses vs the shield's own counters — stays exact.
+//
+// Reports render three ways, all through the same ClassReport shape:
+// on demand / periodically by the telemetry collector next to the
+// metrics file (RESILOCK_LOCKSTAT_FILE), live out of an unmodified
+// LD_PRELOAD-ed process via a signal trigger (SIGUSR2, or
+// RESILOCK_LOCKSTAT_SIGNAL=<n> — the handler only sets a flag; the
+// collector's duty cycle services the dump), and offline from a
+// JSONL/perfetto trace via tools/resilock_report.cpp.
+//
+// Class stats are keyed by lockdep ClassId and allocated lazily on a
+// class's first recorded event, so the table costs one pointer per
+// class slot until a class actually records. Ids recycle when classes
+// retire (lockdep semantics); a recycled id keeps accumulating into
+// the same stats block — per-CLASS statistics, by design.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/access_mode.hpp"
+#include "lockdep/lockdep.hpp"
+#include "observe/callsite.hpp"
+#include "observe/histogram.hpp"
+#include "platform/env.hpp"
+#include "runtime/timer.hpp"
+
+namespace resilock::observe {
+
+// ---------------------------------------------------------------------
+// Runtime gate (RESILOCK_LOCKSTAT, runtime-settable) — mirrors
+// lockdep::span_tracing_enabled().
+// ---------------------------------------------------------------------
+
+namespace detail {
+inline std::atomic<bool>& lockstat_flag() {
+  static std::atomic<bool> f{
+      platform::env_flag("RESILOCK_LOCKSTAT", false)};
+  return f;
+}
+}  // namespace detail
+
+inline bool lockstat_enabled() noexcept {
+  return detail::lockstat_flag().load(std::memory_order_relaxed);
+}
+
+inline void set_lockstat(bool on) noexcept {
+  detail::lockstat_flag().store(on, std::memory_order_relaxed);
+}
+
+class LockstatGuard {
+ public:
+  explicit LockstatGuard(bool on) : previous_(lockstat_enabled()) {
+    set_lockstat(on);
+  }
+  ~LockstatGuard() { set_lockstat(previous_); }
+  LockstatGuard(const LockstatGuard&) = delete;
+  LockstatGuard& operator=(const LockstatGuard&) = delete;
+
+ private:
+  const bool previous_;
+};
+
+// ---------------------------------------------------------------------
+// Hold-window sampling rate (RESILOCK_LOCKSTAT_SAMPLE). Stored as a
+// mask (N - 1, N a power of two); 0 means every hold is timed.
+// ---------------------------------------------------------------------
+
+namespace detail {
+constexpr std::uint32_t sample_mask_from(std::uint32_t n) noexcept {
+  if (n <= 1) return 0;
+  if (n > (1u << 20)) n = 1u << 20;
+  std::uint32_t pow2 = 1;
+  while (pow2 * 2 <= n) pow2 *= 2;  // round down to a power of two
+  return pow2 - 1;
+}
+
+inline std::atomic<std::uint32_t>& sample_mask_flag() {
+  static std::atomic<std::uint32_t> m{
+      sample_mask_from(platform::env_u32("RESILOCK_LOCKSTAT_SAMPLE", 8))};
+  return m;
+}
+}  // namespace detail
+
+// The effective 1-in-N hold sampling rate (>= 1).
+inline std::uint32_t lockstat_sample() noexcept {
+  return detail::sample_mask_flag().load(std::memory_order_relaxed) + 1;
+}
+
+// Sets the hold sampling rate; `n` is rounded down to a power of two
+// (1 = time every hold window — exact mode, what the reconciliation
+// tests pin).
+inline void set_lockstat_sample(std::uint32_t n) noexcept {
+  detail::sample_mask_flag().store(detail::sample_mask_from(n),
+                                   std::memory_order_relaxed);
+}
+
+class LockstatSampleGuard {
+ public:
+  explicit LockstatSampleGuard(std::uint32_t n)
+      : previous_(lockstat_sample()) {
+    set_lockstat_sample(n);
+  }
+  ~LockstatSampleGuard() { set_lockstat_sample(previous_); }
+  LockstatSampleGuard(const LockstatSampleGuard&) = delete;
+  LockstatSampleGuard& operator=(const LockstatSampleGuard&) = delete;
+
+ private:
+  const std::uint32_t previous_;
+};
+
+// ---------------------------------------------------------------------
+// Per-class statistics.
+// ---------------------------------------------------------------------
+
+inline constexpr std::size_t kAccessModes = 3;  // AccessMode values
+
+// Derived rather than stored (hot-path RMWs are the whole overhead
+// budget): acquisitions = sum of by_mode, contentions = wait.count —
+// on_contended_wait and on_acquired each pay exactly one counter bump
+// beyond their histogram/site recording.
+struct ClassStats {
+  LogHistogram wait;  // contended-acquire wait, ns
+  LogHistogram hold;  // base acquire .. balanced release, ns
+  std::atomic<std::uint64_t> trylock_fails{0};
+  std::atomic<std::uint64_t> misuses{0};
+  std::atomic<std::uint64_t> by_mode[kAccessModes] = {};
+  CallSiteTable sites;
+};
+
+struct CallSiteRow {
+  std::uintptr_t site = 0;
+  std::uint64_t count = 0;
+};
+
+// Plain-data per-class report row: built from live ClassStats by
+// LockStat::report(), or reconstructed from a trace by the offline
+// analyzer — both feed the same write_report() renderer, which is what
+// keeps the live and post-mortem views answering identically.
+struct ClassReport {
+  std::string label;  // lockdep label, or "class#N" when unnamed
+  lockdep::ClassId cls = lockdep::kInvalidClass;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t contentions = 0;
+  std::uint64_t trylock_fails = 0;
+  std::uint64_t misuses = 0;
+  std::uint64_t by_mode[kAccessModes] = {};
+  std::uint64_t site_overflow = 0;
+  // 1-in-N hold sampling rate the hold histogram was recorded at
+  // (live reports: lockstat_sample(); trace reconstruction: 1 — every
+  // span in the trace is a sample).
+  std::uint32_t hold_sample = 1;
+  HistogramSnapshot wait;
+  HistogramSnapshot hold;
+  std::vector<CallSiteRow> sites;  // sorted by count, descending
+};
+
+class LockStat {
+ public:
+  struct Totals {
+    std::uint64_t classes = 0;  // classes with any recorded activity
+    std::uint64_t acquisitions = 0;
+    std::uint64_t contentions = 0;
+    std::uint64_t trylock_fails = 0;
+    std::uint64_t misuses = 0;
+    std::uint64_t wait_ns = 0;
+    std::uint64_t hold_ns = 0;
+  };
+
+  static LockStat& instance();
+
+  // Stats block for `cls`, allocated on first use. nullptr for the
+  // sentinel ids (kInvalidClass/kUntrackedClass) — events on a lock
+  // whose class table slot never existed are not attributable.
+  ClassStats* stats_for(lockdep::ClassId cls);
+
+  // Like stats_for but never allocates.
+  ClassStats* peek(lockdep::ClassId cls) const noexcept;
+
+  Totals totals() const noexcept;
+
+  // Snapshot of every class with recorded activity, labels resolved
+  // against the live lockdep class table, sorted by total wait
+  // descending (ties: acquisitions). Defined in lockstat.cpp.
+  std::vector<ClassReport> report() const;
+
+  // Zeroes every allocated stats block (tests, bench phases). Callers
+  // must quiesce recorders first; concurrent record() during a reset
+  // can misplace an increment, nothing worse.
+  void reset() noexcept;
+
+ private:
+  LockStat() = default;
+
+  std::atomic<ClassStats*> table_[lockdep::kMaxClasses] = {};
+};
+
+// ---------------------------------------------------------------------
+// Shield hook points. All are no-ops unless called — the shields gate
+// every call on lockstat_enabled(), so the disabled fast path pays one
+// relaxed load and nothing else.
+// ---------------------------------------------------------------------
+
+// Per-thread open-hold table for hold-time measurement. Per-thread
+// because rw read holds have many simultaneous holders; bounded
+// because lockstat is telemetry — past kMaxOpen simultaneous holds the
+// extra holds simply go unmeasured. push() purges any stale entry for
+// the same lock first (a fresh acquisition proves earlier entries
+// leaked across a disable window), so at most one entry per
+// (thread, lock) exists.
+class HoldTracker {
+ public:
+  static constexpr std::size_t kMaxOpen = 32;
+
+  struct Open {
+    const void* lock = nullptr;
+    lockdep::ClassId cls = lockdep::kInvalidClass;
+    std::uint64_t begin_ns = 0;
+  };
+
+  static HoldTracker& mine() {
+    thread_local HoldTracker t;
+    return t;
+  }
+
+  void push(const void* lock, lockdep::ClassId cls, std::uint64_t ns) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (entries_[i].lock == lock) {
+        entries_[i] = entries_[--n_];
+        break;
+      }
+    }
+    if (n_ == kMaxOpen) {
+      ++dropped_;
+      return;
+    }
+    entries_[n_++] = Open{lock, cls, ns};
+  }
+
+  bool pop(const void* lock, Open& out) {
+    for (std::size_t i = n_; i-- > 0;) {
+      if (entries_[i].lock == lock) {
+        out = entries_[i];
+        entries_[i] = entries_[--n_];
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  Open entries_[kMaxOpen];
+  std::size_t n_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+// A contended blocking acquire finished after waiting `wait_ns`.
+// Called for every contended acquire — including forwarded re-acquires
+// — so the contention tally (the wait histogram's count) reconciles
+// exactly with the shield's ContentionProbe::contended_total().
+inline void on_contended_wait(lockdep::ClassId cls,
+                              std::uint64_t wait_ns) {
+  ClassStats* s = LockStat::instance().stats_for(cls);
+  if (s == nullptr) return;
+  s->wait.record(wait_ns);
+}
+
+// A fresh base acquisition completed (blocking or try path). Tallies
+// the acquisition under its mode (exact), records the call site
+// (exact), and — for 1-in-lockstat_sample() acquisitions per thread —
+// opens a timed hold window. The decimation counter is per-thread and
+// shared across classes, so a hot class is sampled at the configured
+// rate regardless of what else the thread locks.
+inline void on_acquired(const void* lock, lockdep::ClassId cls,
+                        AccessMode mode, const void* site) {
+  ClassStats* s = LockStat::instance().stats_for(cls);
+  if (s == nullptr) return;
+  s->by_mode[static_cast<std::size_t>(mode) % kAccessModes].fetch_add(
+      1, std::memory_order_relaxed);
+  s->sites.record(site);
+  const std::uint32_t mask =
+      detail::sample_mask_flag().load(std::memory_order_relaxed);
+  thread_local std::uint32_t decimate = 0;
+  if (mask == 0 || (++decimate & mask) == 0) {
+    HoldTracker::mine().push(lock, cls, runtime::now_ns_fast());
+  }
+}
+
+// The balanced release of a fresh acquisition: closes the hold window
+// if on_acquired sampled one (a miss is a short scan of the
+// per-thread open table, no timestamp).
+inline void on_released(const void* lock) {
+  HoldTracker::Open open;
+  if (!HoldTracker::mine().pop(lock, open)) return;
+  ClassStats* s = LockStat::instance().peek(open.cls);
+  if (s == nullptr) return;
+  const std::uint64_t now = runtime::now_ns_fast();
+  s->hold.record(now > open.begin_ns ? now - open.begin_ns : 0);
+}
+
+inline void on_trylock_fail(lockdep::ClassId cls) {
+  ClassStats* s = LockStat::instance().stats_for(cls);
+  if (s == nullptr) return;
+  s->trylock_fails.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void on_misuse(lockdep::ClassId cls) {
+  ClassStats* s = LockStat::instance().stats_for(cls);
+  if (s == nullptr) return;
+  s->misuses.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Reports (defined in lockstat.cpp).
+// ---------------------------------------------------------------------
+
+// Renders the /proc/lock_stat-shaped table: classes sorted by total
+// wait, p50/p90/p99/max for wait and hold, worst `top_sites` call
+// sites per class. `symbolize` resolves site addresses with dladdr
+// (live, in-process reports); the offline analyzer passes false and
+// prints raw hex.
+void write_report(std::FILE* f, const std::vector<ClassReport>& classes,
+                  std::size_t top_sites = 4, bool symbolize = true);
+
+// Symbolizes one site address into `buf` ("func+0x1a2 [module]", raw
+// "0x..." fallback). Exposed for tests.
+void symbolize_site(std::uintptr_t site, char* buf, std::size_t len,
+                    bool symbolize);
+
+// Live report to `path` (truncating — current state, not a log), or to
+// stderr when `path` is nullptr. True when the report was written.
+bool dump_report(const char* path);
+
+// ---------------------------------------------------------------------
+// Live trigger (defined in lockstat.cpp). The signal handler only
+// sets an atomic flag (the only async-signal-safe option); whoever
+// polls consume_dump_request() — the telemetry collector's duty cycle
+// in production — performs the actual dump.
+// ---------------------------------------------------------------------
+
+// Async-signal-safe: request a report dump.
+void request_dump() noexcept;
+
+// True exactly once per request (exchange semantics).
+bool consume_dump_request() noexcept;
+
+// Installs the dump-request handler on `signo`. Returns false when
+// sigaction fails.
+bool install_signal_trigger(int signo);
+
+// Installs the trigger from the environment — RESILOCK_LOCKSTAT_SIGNAL
+// (a signal number) or SIGUSR2 — when RESILOCK_LOCKSTAT is truthy or a
+// signal is explicitly configured. Idempotent; called from the
+// interpose cold paths and from Collector::start().
+void install_signal_trigger_from_env();
+
+}  // namespace resilock::observe

@@ -1,0 +1,42 @@
+// Minimal JSON string escaping, shared by every emitter that prints
+// user-controlled text (lockdep class labels, metrics gauge names,
+// perfetto thread names) into a JSON document.
+//
+// The trace/metrics emitters are deliberately fprintf-based — no JSON
+// library, bounded work on the collector thread — which made label
+// strings a quoting hazard: a LockClassKey labeled `db["main"]` used
+// to produce invalid JSONL. Everything that prints a string into JSON
+// now routes through write_json_escaped, which emits the surrounding
+// quotes and escapes the two structural characters plus control bytes
+// (\uXXXX for anything below 0x20). Non-ASCII bytes pass through
+// untouched: JSON is UTF-8 and the escapes above are the only ones
+// required by RFC 8259.
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+
+namespace resilock::platform {
+
+inline void write_json_escaped(std::FILE* f, std::string_view s) {
+  std::fputc('"', f);
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': std::fputs("\\\"", f); break;
+      case '\\': std::fputs("\\\\", f); break;
+      case '\n': std::fputs("\\n", f); break;
+      case '\r': std::fputs("\\r", f); break;
+      case '\t': std::fputs("\\t", f); break;
+      default:
+        if (c < 0x20) {
+          std::fprintf(f, "\\u%04x", c);
+        } else {
+          std::fputc(ch, f);
+        }
+    }
+  }
+  std::fputc('"', f);
+}
+
+}  // namespace resilock::platform

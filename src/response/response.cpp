@@ -70,18 +70,18 @@ std::uint16_t event_mask(std::string_view tok) {
   return 0;
 }
 
-// Fills cond (and threshold) from the text after '@'; false on error.
-bool parse_cond(std::string_view tok, Rule& r) {
+// Fills one @cond clause from the text after an '@'; false on error.
+bool parse_cond(std::string_view tok, CondClause& c) {
   if (tok == "uncontended") {
-    r.cond = Condition::kUncontended;
+    c.cond = Condition::kUncontended;
     return true;
   }
   if (tok == "contended" || tok == "waiters") {
-    r.cond = Condition::kContended;
+    c.cond = Condition::kContended;
     return true;
   }
   if (tok == "incycle" || tok == "in-cycle") {
-    r.cond = Condition::kInCycle;
+    c.cond = Condition::kInCycle;
     return true;
   }
   // Per-class scope: class=<name> (a LockClassKey label, e.g.
@@ -93,8 +93,8 @@ bool parse_cond(std::string_view tok, Rule& r) {
       tok.substr(0, kClassPrefix.size()) == kClassPrefix) {
     const std::string_view name = trim(tok.substr(kClassPrefix.size()));
     if (name.empty()) return false;
-    r.cond = Condition::kClassScope;
-    r.cls_name = std::string(name);
+    c.cond = Condition::kClassScope;
+    c.cls_name = std::string(name);
     return true;
   }
   // Threshold form: waiters>=N (N a positive decimal integer).
@@ -104,14 +104,14 @@ bool parse_cond(std::string_view tok, Rule& r) {
     std::string_view num = trim(tok.substr(kPrefix.size()));
     if (num.empty()) return false;
     std::uint64_t n = 0;
-    for (const char c : num) {
-      if (c < '0' || c > '9') return false;
-      n = n * 10 + static_cast<std::uint64_t>(c - '0');
+    for (const char ch : num) {
+      if (ch < '0' || ch > '9') return false;
+      n = n * 10 + static_cast<std::uint64_t>(ch - '0');
       if (n > 0xFFFFFFFFull) return false;
     }
     if (n == 0) return false;  // "waiters>=0" is just kAlways — reject
-    r.cond = Condition::kWaitersAtLeast;
-    r.threshold = static_cast<std::uint32_t>(n);
+    c.cond = Condition::kWaitersAtLeast;
+    c.threshold = static_cast<std::uint32_t>(n);
     return true;
   }
   return false;
@@ -129,10 +129,32 @@ std::optional<Rule> parse_rule(std::string_view text) {
   std::string_view lhs = trim(text.substr(0, last_eq));
   Rule r;
   r.action = *action;
-  const std::size_t at = lhs.find('@');
+  // Compound conditions: every '@' introduces a clause, all ANDed
+  // ("misuse@class=app.db@waiters>=2=abort"). The first clause lands
+  // in the Rule's flat fields (the original single-condition layout),
+  // the rest in `extra`.
+  std::size_t at = lhs.find('@');
   if (at != std::string_view::npos) {
-    if (!parse_cond(trim(lhs.substr(at + 1)), r)) return std::nullopt;
+    std::string_view conds = lhs.substr(at + 1);
     lhs = trim(lhs.substr(0, at));
+    bool first = true;
+    while (true) {
+      const std::size_t next = conds.find('@');
+      const std::string_view tok = trim(conds.substr(0, next));
+      CondClause c;
+      if (!parse_cond(tok, c)) return std::nullopt;  // "@@" rejects too
+      if (first) {
+        r.cond = c.cond;
+        r.threshold = c.threshold;
+        r.cls_name = std::move(c.cls_name);
+        r.cls = c.cls;
+        first = false;
+      } else {
+        r.extra.push_back(std::move(c));
+      }
+      if (next == std::string_view::npos) break;
+      conds = conds.substr(next + 1);
+    }
   }
   // Event list: tok['|'tok...].
   r.events = 0;
@@ -237,6 +259,11 @@ void ResponseEngine::install(std::vector<Rule> rules) {
   for (Rule& r : rules) {
     if (r.cond == Condition::kClassScope && r.cls == kNoClass) {
       r.cls = lockdep::Graph::instance().find_class(r.cls_name);
+    }
+    for (CondClause& c : r.extra) {
+      if (c.cond == Condition::kClassScope && c.cls == kNoClass) {
+        c.cls = lockdep::Graph::instance().find_class(c.cls_name);
+      }
     }
   }
   std::lock_guard<std::mutex> g(mutex_);

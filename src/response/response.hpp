@@ -24,7 +24,11 @@
 // string:
 //
 //   RESILOCK_POLICY = rule[;rule...] | "adaptive" | "legacy"
-//   rule   = events[@cond]=action
+//   rule   = events[@cond[@cond...]]=action
+//            (several @cond clauses AND together: the rule matches
+//            only when every clause holds — e.g.
+//            "misuse@class=app.db@waiters>=2=abort" aborts misuse on
+//            the app.db class only once two waiters are queued)
 //   events = *|misuse|rw|lockdep|unbalanced-unlock|double-unlock|
 //            non-owner-unlock|reentrant-relock|inversion|cycle|
 //            unbalanced-read-unlock|rw-mode-mismatch|
@@ -155,35 +159,62 @@ enum class Condition : std::uint8_t {
   kClassScope,      // event attributed to the named class ("class=<name>")
 };
 
+// One @cond clause, evaluated against the event context. Rules AND an
+// arbitrary number of these together (compound conditions like
+// "@class=app.db@waiters>=2").
+struct CondClause {
+  Condition cond = Condition::kAlways;
+  std::uint32_t threshold = 0;  // kWaitersAtLeast only
+  // kClassScope only: the LockClassKey label the clause is scoped to,
+  // and the ClassId it resolved to at install time (kNoClass when the
+  // class was not yet registered — the clause then matches by label, so
+  // a scope installed before the first acquire of its class still
+  // works).
+  std::string cls_name;
+  std::uint16_t cls = kNoClass;
+};
+
+inline bool cond_matches(Condition cond, std::uint32_t threshold,
+                         const std::string& cls_name, std::uint16_t cls,
+                         const EventContext& ctx) noexcept {
+  switch (cond) {
+    case Condition::kAlways: return true;
+    case Condition::kUncontended: return !ctx.contended;
+    case Condition::kContended: return ctx.contended;
+    case Condition::kInCycle: return ctx.in_flagged_cycle;
+    case Condition::kWaitersAtLeast: return ctx.waiters >= threshold;
+    case Condition::kClassScope:
+      // The install-time id pin distinguishes same-label classes
+      // (two trees both labeled "hmcs.level1"), but ids recycle when
+      // classes retire — the label must still corroborate the pin,
+      // or a recycled id would silently retarget the rule.
+      if (cls != kNoClass && ctx.cls != cls) return false;
+      return ctx.cls_label != nullptr && cls_name == ctx.cls_label;
+  }
+  return false;
+}
+
 struct Rule {
   std::uint16_t events = 0x1FF;  // bitmask over ResponseEvent values
+  // First @cond clause, kept as flat fields (the single-condition
+  // grammar predates compound rules and callers read these directly).
   Condition cond = Condition::kAlways;
   Action action = Action::kSuppress;
   std::uint32_t threshold = 0;  // kWaitersAtLeast only
-  // kClassScope only: the LockClassKey label the rule is scoped to, and
-  // the ClassId it resolved to at install time (kNoClass when the class
-  // was not yet registered — the rule then matches by label, so a scope
-  // installed before the first acquire of its class still works).
-  std::string cls_name;
+  std::string cls_name;         // kClassScope only (see CondClause)
   std::uint16_t cls = kNoClass;
+  // Second and later @cond clauses, ANDed with the first.
+  std::vector<CondClause> extra;
 
   bool matches(ResponseEvent ev, const EventContext& ctx) const noexcept {
     if ((events & (1u << static_cast<unsigned>(ev))) == 0) return false;
-    switch (cond) {
-      case Condition::kAlways: return true;
-      case Condition::kUncontended: return !ctx.contended;
-      case Condition::kContended: return ctx.contended;
-      case Condition::kInCycle: return ctx.in_flagged_cycle;
-      case Condition::kWaitersAtLeast: return ctx.waiters >= threshold;
-      case Condition::kClassScope:
-        // The install-time id pin distinguishes same-label classes
-        // (two trees both labeled "hmcs.level1"), but ids recycle when
-        // classes retire — the label must still corroborate the pin,
-        // or a recycled id would silently retarget the rule.
-        if (cls != kNoClass && ctx.cls != cls) return false;
-        return ctx.cls_label != nullptr && cls_name == ctx.cls_label;
+    if (!cond_matches(cond, threshold, cls_name, cls, ctx)) return false;
+    for (const CondClause& c : extra) {
+      if (!cond_matches(c.cond, c.threshold, c.cls_name, c.cls, ctx)) {
+        return false;
+      }
     }
-    return false;
+    return true;
   }
 };
 

@@ -13,6 +13,44 @@ inline std::uint64_t now_ns() noexcept {
           .count());
 }
 
+// Cheap timestamp for hot-path telemetry (lockstat hold windows): on
+// x86-64, rdtsc scaled by a once-calibrated tick period (~6 ns vs
+// ~25 ns for the vDSO clock); elsewhere, now_ns(). The epoch differs
+// from now_ns() — only DIFFERENCES of two now_ns_fast() readings are
+// meaningful, accurate to the calibration error (<0.1% over a 2 ms
+// window; modern x86 has constant_tsc so the rate holds across cores
+// and frequency scaling).
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+namespace detail {
+// ns-per-tick in 32.32 fixed point, calibrated once against the
+// steady clock; the per-call conversion is one 64x64->128 multiply.
+inline std::uint64_t tsc_ns_mult() noexcept {
+  static const std::uint64_t mult = [] {
+    const std::uint64_t t0 = now_ns();
+    const std::uint64_t c0 = __builtin_ia32_rdtsc();
+    while (now_ns() - t0 < 2000000) {  // 2 ms calibration spin
+    }
+    const std::uint64_t t1 = now_ns();
+    const std::uint64_t c1 = __builtin_ia32_rdtsc();
+    if (c1 <= c0) return std::uint64_t{1} << 32;  // 1 ns/tick fallback
+    return static_cast<std::uint64_t>(
+        static_cast<double>(t1 - t0) / static_cast<double>(c1 - c0) *
+        4294967296.0);
+  }();
+  return mult;
+}
+}  // namespace detail
+
+inline std::uint64_t now_ns_fast() noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(__builtin_ia32_rdtsc()) *
+       detail::tsc_ns_mult()) >>
+      32);
+}
+#else
+inline std::uint64_t now_ns_fast() noexcept { return now_ns(); }
+#endif
+
 // Measures wall time of a callable in seconds.
 template <typename Fn>
 double timed_seconds(Fn&& fn) {

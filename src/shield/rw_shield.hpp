@@ -56,6 +56,7 @@
 #include "core/contention.hpp"
 #include "core/resilience.hpp"
 #include "lockdep/lockdep.hpp"
+#include "observe/lockstat.hpp"
 #include "platform/cacheline.hpp"
 #include "platform/thread_registry.hpp"
 #include "response/response.hpp"
@@ -135,6 +136,10 @@ class RwShield {
   // ---------------------------------------------------------------- //
 
   void rlock(Context& ctx) {
+    // Call-site capture stays in this body so the return address
+    // points at application code (see Shield::acquire).
+    const bool lockstat = observe::lockstat_enabled();
+    const void* site = lockstat ? RESILOCK_RETURN_ADDRESS() : nullptr;
     auto& tbl = HeldLockTable::mine();
     // `fresh` reflects the table, not the policy outcome: a forwarded
     // (passthrough or §5-disabled) re-acquire must neither bump the
@@ -159,12 +164,20 @@ class RwShield {
     const bool contended = write_owner_.load(std::memory_order_relaxed) !=
                            kNoOwner;
     const bool span = contended && lockdep::span_tracing_enabled();
-    if (span) emit_span(lockdep::EventKind::kWaitBegin, AccessMode::kRead);
+    const std::uint64_t wait_t0 =
+        (lockstat && contended) ? runtime::now_ns() : 0;
+    if (span) {
+      emit_span(lockdep::EventKind::kWaitBegin, AccessMode::kRead, site);
+    }
     if (contended) contention_.begin_wait();
     base_.rlock(ctx);
     if (contended) contention_.end_wait();
     if (span) emit_span(lockdep::EventKind::kWaitEnd, AccessMode::kRead);
-    note_acquired(tbl, AccessMode::kRead, ctx, fresh);
+    if (lockstat && contended) {
+      observe::on_contended_wait(lockdep_ensure_class(),
+                                 runtime::now_ns() - wait_t0);
+    }
+    note_acquired(tbl, AccessMode::kRead, ctx, fresh, site);
   }
 
   // Returns false iff a misuse was intercepted (or detected by the
@@ -188,6 +201,7 @@ class RwShield {
       if (lockdep::span_tracing_enabled()) {
         emit_span(lockdep::EventKind::kHoldEnd, AccessMode::kRead);
       }
+      if (observe::lockstat_enabled()) observe::on_released(this);
       lockdep::on_released(this);
       return base_.runlock(ctx);
     }
@@ -218,6 +232,8 @@ class RwShield {
   // ---------------------------------------------------------------- //
 
   void wlock(Context& ctx) {
+    const bool lockstat = observe::lockstat_enabled();
+    const void* site = lockstat ? RESILOCK_RETURN_ADDRESS() : nullptr;
     auto& tbl = HeldLockTable::mine();
     const bool fresh = !tbl.holds(this);  // see rlock
     if (!fresh && misuse_checks_enabled()) {
@@ -237,12 +253,20 @@ class RwShield {
         write_owner_.load(std::memory_order_relaxed) != kNoOwner ||
         !base_.indicator().is_empty();
     const bool span = contended && lockdep::span_tracing_enabled();
-    if (span) emit_span(lockdep::EventKind::kWaitBegin, AccessMode::kWrite);
+    const std::uint64_t wait_t0 =
+        (lockstat && contended) ? runtime::now_ns() : 0;
+    if (span) {
+      emit_span(lockdep::EventKind::kWaitBegin, AccessMode::kWrite, site);
+    }
     if (contended) contention_.begin_wait();
     base_.wlock(ctx);
     if (contended) contention_.end_wait();
     if (span) emit_span(lockdep::EventKind::kWaitEnd, AccessMode::kWrite);
-    note_acquired(tbl, AccessMode::kWrite, ctx, fresh);
+    if (lockstat && contended) {
+      observe::on_contended_wait(lockdep_ensure_class(),
+                                 runtime::now_ns() - wait_t0);
+    }
+    note_acquired(tbl, AccessMode::kWrite, ctx, fresh, site);
   }
 
   bool wunlock(Context& ctx) {
@@ -262,6 +286,7 @@ class RwShield {
       if (lockdep::span_tracing_enabled()) {
         emit_span(lockdep::EventKind::kHoldEnd, AccessMode::kWrite);
       }
+      if (observe::lockstat_enabled()) observe::on_released(this);
       lockdep::on_released(this);
       last_writer_.store(me, std::memory_order_relaxed);
       write_owner_.store(kNoOwner, std::memory_order_relaxed);
@@ -304,6 +329,8 @@ class RwShield {
   bool try_rlock(Context& ctx)
     requires requires(Base& b, Context& c) { b.try_rlock(c); }
   {
+    const bool lockstat = observe::lockstat_enabled();
+    const void* site = lockstat ? RESILOCK_RETURN_ADDRESS() : nullptr;
     auto& tbl = HeldLockTable::mine();
     const bool fresh = !tbl.holds(this);  // see rlock
     if (!fresh && misuse_checks_enabled()) {
@@ -318,14 +345,19 @@ class RwShield {
       }
       // kPassthrough: forward to the base, faithfully.
     }
-    if (!base_.try_rlock(ctx)) return false;
-    note_acquired(tbl, AccessMode::kRead, ctx, fresh);
+    if (!base_.try_rlock(ctx)) {
+      if (lockstat) observe::on_trylock_fail(lockdep_ensure_class());
+      return false;
+    }
+    note_acquired(tbl, AccessMode::kRead, ctx, fresh, site);
     return true;
   }
 
   bool try_wlock(Context& ctx)
     requires requires(Base& b, Context& c) { b.try_wlock(c); }
   {
+    const bool lockstat = observe::lockstat_enabled();
+    const void* site = lockstat ? RESILOCK_RETURN_ADDRESS() : nullptr;
     auto& tbl = HeldLockTable::mine();
     const bool fresh = !tbl.holds(this);  // see rlock
     if (!fresh && misuse_checks_enabled()) {
@@ -340,8 +372,11 @@ class RwShield {
       }
       // kPassthrough: forward to the base, faithfully.
     }
-    if (!base_.try_wlock(ctx)) return false;
-    note_acquired(tbl, AccessMode::kWrite, ctx, fresh);
+    if (!base_.try_wlock(ctx)) {
+      if (lockstat) observe::on_trylock_fail(lockdep_ensure_class());
+      return false;
+    }
+    note_acquired(tbl, AccessMode::kWrite, ctx, fresh, site);
     return true;
   }
 
@@ -521,8 +556,14 @@ class RwShield {
   bool apply_policy(Event ev, AccessMode mode) {
     counters_.misuse[static_cast<std::size_t>(ev)].fetch_add(
         1, std::memory_order_relaxed);
+    // Mirror Shield::apply_policy: with lockstat on, register the
+    // class even for a misuse-before-first-acquire so per-class misuse
+    // tallies reconcile exactly with the shield counters.
     const lockdep::ClassId cls =
-        lockdep_class_.load(std::memory_order_relaxed);
+        observe::lockstat_enabled()
+            ? lockdep_ensure_class()
+            : lockdep_class_.load(std::memory_order_relaxed);
+    if (observe::lockstat_enabled()) observe::on_misuse(cls);
     const std::uint32_t readers = base_.indicator().approx_readers();
     response::Action action;
     if (policy_explicit_.load(std::memory_order_relaxed)) {
@@ -563,7 +604,7 @@ class RwShield {
   }
 
   void note_acquired(HeldLockTable& tbl, AccessMode mode, Context& ctx,
-                     bool fresh) {
+                     bool fresh, const void* site = nullptr) {
     if (lockdep::lockdep_enabled()) {
       // `fresh` skips the duplicate-entry scan: the table probe above
       // already said "not held", so the stack cannot contain us. A
@@ -585,19 +626,25 @@ class RwShield {
     // and skew a counting ReadIndicator forever.
     if (fresh) {
       tbl.note_acquired(this, mode);
+      if (observe::lockstat_enabled()) {
+        observe::on_acquired(this, lockdep_ensure_class(), mode, site);
+      }
       if (lockdep::span_tracing_enabled()) {
-        emit_span(lockdep::EventKind::kHoldBegin, mode);
+        emit_span(lockdep::EventKind::kHoldBegin, mode, site);
       }
     }
   }
 
   // Hold/wait span marker for the telemetry timeline; the mode payload
-  // lets the perfetto sink label read vs write slices.
-  void emit_span(lockdep::EventKind kind, AccessMode mode) {
+  // lets the perfetto sink label read vs write slices, and the
+  // acquisition call site (when lockstat captured one) rides along.
+  void emit_span(lockdep::EventKind kind, AccessMode mode,
+                 const void* site = nullptr) {
     lockdep::TraceBuffer::instance().emit(
         kind, this, lockdep_class_.load(std::memory_order_relaxed),
         lockdep::kNoClassTag, lockdep::kNoVerdict,
-        static_cast<std::uint8_t>(mode));
+        static_cast<std::uint8_t>(mode), 0,
+        reinterpret_cast<std::uint64_t>(site));
   }
 
   // Lazily registers this shield's lockdep class — SHARED, because a

@@ -49,7 +49,9 @@
 #include "core/resilience.hpp"
 #include "lockdep/class_key.hpp"
 #include "lockdep/lockdep.hpp"
+#include "observe/lockstat.hpp"
 #include "platform/thread_registry.hpp"
+#include "runtime/timer.hpp"
 #include "response/response.hpp"
 #include "shield/held_lock_table.hpp"
 #include "shield/policy.hpp"
@@ -122,6 +124,12 @@ class Shield {
   }
 
   void acquire(Context& ctx) {
+    // Lockstat call-site capture must happen HERE, in the body the
+    // application called into, so the return address points at
+    // application code (a noinline helper would collapse every site
+    // into the shield). One relaxed flag load when lockstat is off.
+    const bool lockstat = observe::lockstat_enabled();
+    const void* site = lockstat ? RESILOCK_RETURN_ADDRESS() : nullptr;
     if (HeldLockTable::mine().holds(this) && confirm_held_or_heal() &&
         misuse_checks_enabled()) {
       if (intercept_relock()) return;  // absorbed as a depth bump
@@ -150,25 +158,40 @@ class Shield {
     // — an uncontended acquire costs one relaxed flag load and emits
     // nothing, keeping the default fast path identical to before.
     const bool span = contended && lockdep::span_tracing_enabled();
-    if (span) emit_span(lockdep::EventKind::kWaitBegin);
+    const std::uint64_t wait_t0 =
+        (lockstat && contended) ? runtime::now_ns() : 0;
+    if (span) emit_span(lockdep::EventKind::kWaitBegin, site);
     if (contended) contention_.begin_wait();
     generic_acquire(base_, ctx);
     if (contended) contention_.end_wait();
-    if (span) emit_span(lockdep::EventKind::kWaitEnd);
-    note_base_acquired(ctx);
+    if (span) emit_span(lockdep::EventKind::kWaitEnd, site);
+    if (lockstat && contended) {
+      observe::on_contended_wait(lockdep_ensure_class(),
+                                 runtime::now_ns() - wait_t0);
+    }
+    note_base_acquired(ctx, site);
   }
 
   bool try_acquire(Context& ctx)
     requires(generic_has_trylock<Base>())
   {
+    const bool lockstat = observe::lockstat_enabled();
+    const void* site = lockstat ? RESILOCK_RETURN_ADDRESS() : nullptr;
     if (HeldLockTable::mine().holds(this) && confirm_held_or_heal() &&
         misuse_checks_enabled()) {
       if (intercept_relock()) return true;  // absorbed
-      return generic_try_acquire(base_, ctx) &&
-             (note_base_acquired(ctx), true);  // kPassThrough: faithful
+      if (!generic_try_acquire(base_, ctx)) {
+        if (lockstat) observe::on_trylock_fail(lockdep_ensure_class());
+        return false;
+      }
+      note_base_acquired(ctx, site);  // kPassThrough: faithful
+      return true;
     }
-    if (!generic_try_acquire(base_, ctx)) return false;
-    note_base_acquired(ctx);
+    if (!generic_try_acquire(base_, ctx)) {
+      if (lockstat) observe::on_trylock_fail(lockdep_ensure_class());
+      return false;
+    }
+    note_base_acquired(ctx, site);
     return true;
   }
 
@@ -196,6 +219,7 @@ class Shield {
       if (lockdep::span_tracing_enabled()) {
         emit_span(lockdep::EventKind::kHoldEnd);
       }
+      if (observe::lockstat_enabled()) observe::on_released(this);
       lockdep::on_released(this);
       clear_owner_mirror();
       last_owner_.store(me, std::memory_order_relaxed);
@@ -321,8 +345,14 @@ class Shield {
     counters_.bump_misuse(kind);
     const auto ev =
         static_cast<response::ResponseEvent>(static_cast<std::uint8_t>(kind));
+    // With lockstat on, a misuse must register the class even when it
+    // fires before the first acquire, or the per-class misuse tally
+    // would silently undercount the shield's own counters.
     const lockdep::ClassId cls =
-        lockdep_class_.load(std::memory_order_relaxed);
+        observe::lockstat_enabled()
+            ? lockdep_ensure_class()
+            : lockdep_class_.load(std::memory_order_relaxed);
+    if (observe::lockstat_enabled()) observe::on_misuse(cls);
     response::Action action;
     if (policy_explicit_.load(std::memory_order_relaxed)) {
       action = to_action(policy());
@@ -427,7 +457,7 @@ class Shield {
     }
   }
 
-  void note_base_acquired(Context& ctx) {
+  void note_base_acquired(Context& ctx, const void* site = nullptr) {
     if (lockdep::lockdep_enabled()) {
       // Try-path acquisitions register here (no blocking attempt ran);
       // they add no order edges — a trylock cannot wedge — but must
@@ -453,17 +483,24 @@ class Shield {
     }
     HeldLockTable::mine().note_acquired(this, AccessMode::kExclusive);
     counters_.bump_acquisition();
+    if (observe::lockstat_enabled()) {
+      observe::on_acquired(this, lockdep_ensure_class(),
+                           AccessMode::kExclusive, site);
+    }
     if (lockdep::span_tracing_enabled()) {
-      emit_span(lockdep::EventKind::kHoldBegin);
+      emit_span(lockdep::EventKind::kHoldBegin, site);
     }
   }
 
   // Hold/wait span marker for the telemetry timeline (paired into
   // slices by the perfetto sink). The class tag rides along so traces
-  // group by lock class, not just instance address.
-  void emit_span(lockdep::EventKind kind) {
+  // group by lock class, not just instance address; the acquisition
+  // call site (when lockstat captured one) rides to the exporters.
+  void emit_span(lockdep::EventKind kind, const void* site = nullptr) {
     lockdep::TraceBuffer::instance().emit(
-        kind, this, lockdep_class_.load(std::memory_order_relaxed));
+        kind, this, lockdep_class_.load(std::memory_order_relaxed),
+        lockdep::kNoClassTag, lockdep::kNoVerdict, lockdep::kNoMode, 0,
+        reinterpret_cast<std::uint64_t>(site));
   }
 
   MisuseKind classify_release(std::uint32_t me) const {

@@ -11,6 +11,7 @@
 #include "lockdep/event_ring.hpp"
 #include "lockdep/lockdep.hpp"
 #include "lockdep/trace_export.hpp"
+#include "observe/lockstat.hpp"
 #include "platform/env.hpp"
 #include "response/response.hpp"
 #include "runtime/timer.hpp"
@@ -65,12 +66,18 @@ struct Collector::Impl {
   std::atomic<std::uint64_t> hard_drains{0};
   std::atomic<std::uint64_t> sleep_us{kMinSleepUs};
   std::atomic<std::uint64_t> metrics_dumps{0};
+  std::atomic<std::uint64_t> lockstat_dumps{0};
 
   // Periodic metrics dump (read from env at start()).
   const char* metrics_path = nullptr;
   MetricsFormat metrics_fmt = MetricsFormat::kText;
   std::uint64_t metrics_interval_ns = 0;
   std::uint64_t last_metrics_ns = 0;  // worker/stop thread only
+
+  // Periodic lockstat report (read from env at start()).
+  const char* lockstat_path = nullptr;
+  std::uint64_t lockstat_interval_ns = 0;
+  std::uint64_t last_lockstat_ns = 0;  // worker/stop thread only
 
   // One drain of every ring into every sink, one flush per sink.
   // With no sinks attached the rings are left untouched so the atexit
@@ -108,11 +115,32 @@ struct Collector::Impl {
     }
   }
 
+  // Periodic lockstat report plus the signal-trigger service point: a
+  // SIGUSR2 handler only flags the request (async-signal-safe); this
+  // duty-cycle check is what actually renders the report — to the
+  // configured file, or stderr when none is set.
+  void maybe_dump_lockstat(bool force) {
+    if (observe::consume_dump_request()) {
+      observe::dump_report(lockstat_path);  // nullptr -> stderr
+      lockstat_dumps.fetch_add(1, std::memory_order_relaxed);
+      last_lockstat_ns = runtime::now_ns();
+      return;
+    }
+    if (lockstat_path == nullptr || !observe::lockstat_enabled()) return;
+    const std::uint64_t now = runtime::now_ns();
+    if (!force && now - last_lockstat_ns < lockstat_interval_ns) return;
+    last_lockstat_ns = now;
+    if (observe::dump_report(lockstat_path)) {
+      lockstat_dumps.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   void run() {
     std::uint64_t cur_sleep = kMinSleepUs;
     for (;;) {
       const std::size_t n = drain_cycle();
       maybe_dump_metrics(false);
+      maybe_dump_lockstat(false);
       {
         std::unique_lock<std::mutex> lk(cv_mu);
         if (stop_requested) return;
@@ -189,6 +217,8 @@ CollectorStats Collector::stats() const noexcept {
   s.hard_drains = impl_->hard_drains.load(std::memory_order_relaxed);
   s.sleep_us = impl_->sleep_us.load(std::memory_order_relaxed);
   s.metrics_dumps = impl_->metrics_dumps.load(std::memory_order_relaxed);
+  s.lockstat_dumps =
+      impl_->lockstat_dumps.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -216,6 +246,13 @@ bool Collector::start() {
                                         1000)} *
         1000000ull;
     impl_->last_metrics_ns = 0;
+    impl_->lockstat_path = platform::env_raw("RESILOCK_LOCKSTAT_FILE");
+    impl_->lockstat_interval_ns =
+        std::uint64_t{platform::env_u32("RESILOCK_LOCKSTAT_INTERVAL_MS",
+                                        1000)} *
+        1000000ull;
+    impl_->last_lockstat_ns = 0;
+    observe::install_signal_trigger_from_env();
     {
       std::lock_guard<std::mutex> cg(impl_->cv_mu);
       impl_->stop_requested = false;
@@ -248,13 +285,22 @@ void Collector::stop() {
   // is cleared — a later start() rebuilds from the environment.
   impl_->drain_cycle();
   impl_->maybe_dump_metrics(true);
+  impl_->maybe_dump_lockstat(true);
   std::lock_guard<std::mutex> sg(impl_->sink_mu);
   for (auto& s : impl_->sinks) s->close();
   impl_->sinks.clear();
 }
 
 void autostart_from_env() {
-  if (!platform::env_flag("RESILOCK_TELEMETRY", false)) return;
+  // RESILOCK_LOCKSTAT alone also wants the collector: a bare-sink
+  // collector is harmless (drain_cycle no-ops, rings stay queued for
+  // the atexit exporters) but its duty cycle is what services periodic
+  // lockstat dumps and the signal trigger in an LD_PRELOAD-ed process.
+  const bool lockstat = platform::env_flag("RESILOCK_LOCKSTAT", false);
+  if (lockstat) observe::install_signal_trigger_from_env();
+  if (!platform::env_flag("RESILOCK_TELEMETRY", false) && !lockstat) {
+    return;
+  }
   if (g_in_ctor) {
     // Collector's constructor is on the stack (it touches the rings,
     // which fire the first-use hook, which lands here); entering

@@ -52,6 +52,7 @@ struct CollectorStats {
   std::uint64_t hard_drains = 0;       // full-batch cycles, slept 0
   std::uint64_t sleep_us = 0;          // current adaptive sleep (gauge)
   std::uint64_t metrics_dumps = 0;
+  std::uint64_t lockstat_dumps = 0;    // periodic + signal-triggered
 };
 
 class Collector {

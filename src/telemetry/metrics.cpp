@@ -5,7 +5,9 @@
 
 #include "lockdep/event_ring.hpp"
 #include "lockdep/lockdep.hpp"
+#include "observe/lockstat.hpp"
 #include "platform/env.hpp"
+#include "platform/json.hpp"
 #include "response/response.hpp"
 #include "runtime/timer.hpp"
 #include "telemetry/collector.hpp"
@@ -87,6 +89,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     put("collector.hard_drains", cs.hard_drains);
     put("collector.sleep_us", cs.sleep_us);
     put("collector.metrics_dumps", cs.metrics_dumps);
+    put("collector.lockstat_dumps", cs.lockstat_dumps);
   }
 
   // Response engine: verdict census. by_event IS the global misuse
@@ -123,6 +126,21 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     put("lockdep.stack_overflow", ls.stack_overflow);
   }
 
+  // Lockstat aggregates: the cheap always-safe summary (full per-class
+  // tables render through the lockstat report, not here).
+  {
+    const observe::LockStat::Totals lt =
+        observe::LockStat::instance().totals();
+    put("lockstat.enabled", observe::lockstat_enabled() ? 1 : 0);
+    put("lockstat.classes", lt.classes);
+    put("lockstat.acquisitions", lt.acquisitions);
+    put("lockstat.contentions", lt.contentions);
+    put("lockstat.trylock_fails", lt.trylock_fails);
+    put("lockstat.misuses", lt.misuses);
+    put("lockstat.wait_ns_total", lt.wait_ns);
+    put("lockstat.hold_ns_total", lt.hold_ns);
+  }
+
   // Registered per-lock sources.
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -138,8 +156,12 @@ void MetricsRegistry::write(std::FILE* f, const MetricsSnapshot& s,
                  static_cast<unsigned long long>(s.ns));
     bool first = true;
     for (const auto& [k, v] : s.items) {
-      std::fprintf(f, "%s\"%s\":%llu", first ? "" : ",", k.c_str(),
-                   static_cast<unsigned long long>(v));
+      // Keys include registered gauge names — user-controlled strings
+      // (a contention-probe prefix can carry quotes) — so they go
+      // through the shared escaper.
+      if (!first) std::fputc(',', f);
+      platform::write_json_escaped(f, k);
+      std::fprintf(f, ":%llu", static_cast<unsigned long long>(v));
       first = false;
     }
     std::fputs("}}\n", f);

@@ -8,8 +8,10 @@
 #include <utility>
 
 #include "core/access_mode.hpp"
+#include "lockdep/lockdep.hpp"
 #include "lockdep/trace_export.hpp"
 #include "platform/env.hpp"
+#include "platform/json.hpp"
 #include "response/response.hpp"
 
 namespace resilock::telemetry {
@@ -104,10 +106,10 @@ class PerfettoSink final : public FileSink {
     using lockdep::EventKind;
     switch (e.kind) {
       case EventKind::kHoldBegin:
-        open_[{e.pid, e.lock, kHold}] = e.ns;
+        open_[{e.pid, e.lock, kHold}] = OpenSpan{e.ns, e.site};
         return;  // counted when the slice closes
       case EventKind::kWaitBegin:
-        open_[{e.pid, e.lock, kWait}] = e.ns;
+        open_[{e.pid, e.lock, kWait}] = OpenSpan{e.ns, e.site};
         return;
       case EventKind::kHoldEnd:
         close_span(e, kHold, "lock-hold");
@@ -131,6 +133,7 @@ class PerfettoSink final : public FileSink {
                    static_cast<unsigned>(e.b));
     } else if (e.a != lockdep::kNoClassTag) {
       std::fprintf(f_, ",\"cls\":%u", static_cast<unsigned>(e.a));
+      emit_cls_label(e.a);
     }
     if (e.mode != lockdep::kNoMode) {
       std::fprintf(f_, ",\"mode\":\"%s\",\"readers\":%u",
@@ -153,8 +156,12 @@ class PerfettoSink final : public FileSink {
 
  private:
   enum SpanClass : std::uint8_t { kHold = 0, kWait = 1 };
-  // (thread, lock, hold|wait) -> begin timestamp of the open span.
+  // (thread, lock, hold|wait) -> the open span's begin state.
   using Key = std::tuple<std::uint32_t, const void*, std::uint8_t>;
+  struct OpenSpan {
+    std::uint64_t ns = 0;
+    std::uint64_t site = 0;  // acquisition call site from the begin event
+  };
 
   static double us(std::uint64_t ns) {
     return static_cast<double>(ns) / 1000.0;
@@ -167,10 +174,21 @@ class PerfettoSink final : public FileSink {
 
   void emit_meta(const char* what, std::uint32_t tid, const char* name) {
     comma();
-    std::fprintf(f_,
-                 "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
-                 "\"args\":{\"name\":\"%s\"}}",
-                 what, static_cast<unsigned>(tid), name);
+    // Metadata names can carry user text (thread names are ours today,
+    // but the escaper costs nothing and closes the door).
+    std::fprintf(f_, "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
+                 "\"args\":{\"name\":",
+                 what, static_cast<unsigned>(tid));
+    platform::write_json_escaped(f_, name);
+    std::fputs("}}", f_);
+  }
+
+  // Class label as an escaped arg (user-controlled string).
+  void emit_cls_label(std::uint16_t cls) {
+    if (const char* label = lockdep::Graph::instance().label_of(cls)) {
+      std::fputs(",\"cls_label\":", f_);
+      platform::write_json_escaped(f_, label);
+    }
   }
 
   void note_thread(std::uint32_t pid) {
@@ -186,24 +204,32 @@ class PerfettoSink final : public FileSink {
                   const char* slice) {
     const auto it = open_.find({e.pid, e.lock, sc});
     if (it == open_.end()) return;  // end without a begin (ring dropped it)
-    const std::uint64_t begin = it->second;
+    const OpenSpan begin = it->second;
     open_.erase(it);
     comma();
     std::fprintf(f_,
                  "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
                  "\"pid\":0,\"tid\":%u,\"args\":{\"lock\":\"%p\"",
-                 slice, us(begin), us(e.ns - begin),
+                 slice, us(begin.ns), us(e.ns - begin.ns),
                  static_cast<unsigned>(e.pid), e.lock);
+    if (e.a != lockdep::kNoClassTag) {
+      std::fprintf(f_, ",\"cls\":%u", static_cast<unsigned>(e.a));
+      emit_cls_label(e.a);
+    }
     if (e.mode != lockdep::kNoMode) {
       std::fprintf(f_, ",\"mode\":\"%s\"",
                    to_string(static_cast<AccessMode>(e.mode)));
+    }
+    if (begin.site != 0) {
+      std::fprintf(f_, ",\"site\":\"0x%llx\"",
+                   static_cast<unsigned long long>(begin.site));
     }
     std::fputs("}}", f_);
     ++written_;
   }
 
   bool any_ = false;
-  std::map<Key, std::uint64_t> open_;
+  std::map<Key, OpenSpan> open_;
   std::set<std::uint32_t> named_;
 };
 

@@ -129,6 +129,86 @@ TEST(ResponseParser, ClassScopeCondition) {
   EXPECT_FALSE(pinned.matches(ResponseEvent::kOrderInversion, ctx));
 }
 
+TEST(ResponseParser, CompoundConditionsParse) {
+  const auto rules =
+      parse_rules("misuse@class=app.db@waiters>=2=abort;lockdep=log");
+  ASSERT_TRUE(rules.has_value());
+  ASSERT_EQ(rules->size(), 2u);
+  // First clause lands in the rule's flat fields, the rest in extra.
+  EXPECT_EQ((*rules)[0].cond, Condition::kClassScope);
+  EXPECT_EQ((*rules)[0].cls_name, "app.db");
+  ASSERT_EQ((*rules)[0].extra.size(), 1u);
+  EXPECT_EQ((*rules)[0].extra[0].cond, Condition::kWaitersAtLeast);
+  EXPECT_EQ((*rules)[0].extra[0].threshold, 2u);
+  EXPECT_TRUE((*rules)[1].extra.empty());
+
+  // Three clauses chain too; order is preserved.
+  const auto three = parse_rules(
+      "misuse@contended@class=app.db@waiters>=5=abort");
+  ASSERT_TRUE(three.has_value());
+  EXPECT_EQ((*three)[0].cond, Condition::kContended);
+  ASSERT_EQ((*three)[0].extra.size(), 2u);
+  EXPECT_EQ((*three)[0].extra[0].cond, Condition::kClassScope);
+  EXPECT_EQ((*three)[0].extra[1].cond, Condition::kWaitersAtLeast);
+
+  // A malformed clause anywhere in the chain poisons the spec.
+  EXPECT_FALSE(parse_rules("misuse@class=app.db@@waiters>=2=log")
+                   .has_value());
+  EXPECT_FALSE(parse_rules("misuse@class=app.db@sideways=log")
+                   .has_value());
+  EXPECT_FALSE(parse_rules("misuse@class=app.db@waiters>=0=log")
+                   .has_value());
+}
+
+TEST(ResponseRule, CompoundConditionsAndTogether) {
+  const auto rules =
+      parse_rules("misuse@class=app.db@waiters>=2=abort");
+  ASSERT_TRUE(rules.has_value());
+  const Rule& r = (*rules)[0];
+  EventContext ctx;
+  ctx.cls_label = "app.db";
+  ctx.waiters = 1;
+  ctx.contended = true;
+  EXPECT_FALSE(r.matches(ResponseEvent::kDoubleUnlock, ctx));  // few waiters
+  ctx.waiters = 2;
+  EXPECT_TRUE(r.matches(ResponseEvent::kDoubleUnlock, ctx));
+  ctx.cls_label = "app.cache";  // wrong class, enough waiters
+  EXPECT_FALSE(r.matches(ResponseEvent::kDoubleUnlock, ctx));
+
+  // The same clauses in the opposite order gate identically.
+  const auto flipped =
+      parse_rules("misuse@waiters>=2@class=app.db=abort");
+  ASSERT_TRUE(flipped.has_value());
+  ctx.cls_label = "app.db";
+  for (std::uint32_t w : {1u, 2u, 5u}) {
+    ctx.waiters = w;
+    EXPECT_EQ((*rules)[0].matches(ResponseEvent::kDoubleUnlock, ctx),
+              (*flipped)[0].matches(ResponseEvent::kDoubleUnlock, ctx));
+  }
+}
+
+TEST(ResponseEngineConfig, CompoundClassClauseResolvesAtInstall) {
+  // Register the class first, so install() can pin the live id into
+  // an EXTRA clause (not just the flat first clause).
+  lockdep::LockdepModeGuard mode(lockdep::LockdepMode::kReport);
+  shield::ShieldPolicyGuard policy(ShieldPolicy::kSuppress);
+  Shield<TasLock> lock;
+  lock.set_lockdep_label("response.compound.pin");
+  lock.acquire();
+  lock.release();
+  const auto cls =
+      lockdep::Graph::instance().find_class("response.compound.pin");
+  ASSERT_NE(cls, lockdep::kInvalidClass);
+
+  ResponseRulesGuard rules(
+      "misuse@waiters>=2@class=response.compound.pin=abort");
+  const auto installed = ResponseEngine::instance().rules();
+  ASSERT_EQ(installed.size(), 1u);
+  ASSERT_EQ(installed[0].extra.size(), 1u);
+  EXPECT_EQ(installed[0].extra[0].cond, Condition::kClassScope);
+  EXPECT_EQ(installed[0].extra[0].cls, cls);
+}
+
 TEST(ResponseParser, WhitespaceTolerated) {
   const auto rules =
       parse_rules(" misuse @ uncontended = passthrough ; lockdep = log ");
