@@ -1,0 +1,114 @@
+// timedlock_demo: bounded-wait locking through the C shim.
+//
+// pthread_mutex_timedlock is the one pthread entry point a spinning
+// queue lock cannot honor natively — an MCS/CLH waiter that joined the
+// queue cannot abandon its slot. The shim's rl_mutex_timedlock waits
+// OUTSIDE the queue protocol (a TimedGate epoch word kicked by every
+// unlock), so a deadline can expire without corrupting the queue.
+//
+// The demo walks the three outcomes a caller sees:
+//
+//   1. the lock is held past the deadline   -> ETIMEDOUT, on time
+//   2. the holder leaves before the deadline -> 0, woken by the unlock
+//   3. the lock is free                      -> 0, immediately
+//
+// Exit status is 0 only when all three behave; CI runs this binary as
+// the timedlock smoke test.
+//
+// Build & run:  ./timedlock_demo
+#include <cerrno>
+#include <cstdio>
+#include <ctime>
+#include <thread>
+
+#include "interpose/pthread_shim.hpp"
+#include "runtime/timer.hpp"
+
+using namespace resilock;
+
+namespace {
+
+timespec realtime_in_ms(long ms) {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  ts.tv_nsec += ms * 1000000L;
+  while (ts.tv_nsec >= 1000000000L) {
+    ts.tv_sec += 1;
+    ts.tv_nsec -= 1000000000L;
+  }
+  return ts;
+}
+
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+  if (!ok) ++failures;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== timedlock_demo: bounded waits on a queue lock ==\n");
+  interpose::rl_mutex_t m{};
+  if (interpose::rl_mutex_init(&m, "MCS", /*resilient=*/1) != 0) {
+    std::printf("init failed\n");
+    return 1;
+  }
+
+  // 1. Holder keeps the lock well past our 50 ms deadline.
+  {
+    std::thread holder([&] {
+      interpose::rl_mutex_lock(&m);
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      interpose::rl_mutex_unlock(&m);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const timespec abs = realtime_in_ms(50);
+    const std::uint64_t t0 = runtime::now_ns();
+    const int rc = interpose::rl_mutex_timedlock(&m, &abs);
+    const double waited_ms =
+        static_cast<double>(runtime::now_ns() - t0) * 1e-6;
+    std::printf("held lock, 50 ms deadline: rc=%d after %.0f ms\n", rc,
+                waited_ms);
+    check(rc == ETIMEDOUT, "times out instead of waiting forever");
+    check(waited_ms < 190.0, "gave up before the holder was done");
+    holder.join();
+  }
+
+  // 2. Holder releases at ~40 ms, deadline at 2 s: the unlock kicks
+  // the gate and the timed waiter gets the lock early.
+  {
+    std::thread holder([&] {
+      interpose::rl_mutex_lock(&m);
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+      interpose::rl_mutex_unlock(&m);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const timespec abs = realtime_in_ms(2000);
+    const std::uint64_t t0 = runtime::now_ns();
+    const int rc = interpose::rl_mutex_timedlock(&m, &abs);
+    const double waited_ms =
+        static_cast<double>(runtime::now_ns() - t0) * 1e-6;
+    std::printf("released at ~40 ms, 2 s deadline: rc=%d after %.0f ms\n",
+                rc, waited_ms);
+    check(rc == 0, "acquired once the holder left");
+    check(waited_ms < 1500.0, "woken by the unlock, not the deadline");
+    if (rc == 0) interpose::rl_mutex_unlock(&m);
+    holder.join();
+  }
+
+  // 3. Free lock: POSIX says timedlock "shall lock it if available".
+  {
+    const timespec abs = realtime_in_ms(1);
+    const int rc = interpose::rl_mutex_timedlock(&m, &abs);
+    std::printf("free lock, 1 ms deadline: rc=%d\n", rc);
+    check(rc == 0, "free lock acquired immediately");
+    if (rc == 0) interpose::rl_mutex_unlock(&m);
+  }
+
+  interpose::rl_mutex_destroy(&m);
+  std::printf("%s\n", failures == 0 ? "all outcomes behaved"
+                                    : "FAILURES above");
+  return failures == 0 ? 0 : 1;
+}

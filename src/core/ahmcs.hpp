@@ -87,12 +87,13 @@ class BasicAhmcsLock {
       // accepts any qnode, so adaptive entrants mix freely with leaf
       // leaders competing on behalf of their cohorts.
       ctx.entered_at_root_ = true;
-      if (!tree_.acquire_at(root(), &ctx.node_)) {
+      if (!tree_.acquire_at(root(), &ctx.node_, /*can_park=*/true)) {
         ctx.uncontended_streak_ = 0;  // back to the full path next time
       }
     } else {
       ctx.entered_at_root_ = false;
-      if (tree_.acquire_at(tree_.leaf_of_self(), &ctx.node_)) {
+      if (tree_.acquire_at(tree_.leaf_of_self(), &ctx.node_,
+                            /*can_park=*/true)) {
         ++ctx.uncontended_streak_;
       } else {
         ctx.uncontended_streak_ = 0;

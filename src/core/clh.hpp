@@ -24,6 +24,13 @@
 // lock owns whatever node the tail points at. Both are reclaimed on
 // destruction (destroying a context while it is enqueued is undefined,
 // as with any queue lock).
+//
+// Parking (src/park/): `succ_must_wait` is a 32-bit wait word (0 =
+// released, 1 = successor must wait, 2 = successor parked). The waiter
+// runs park::wait_word on its PREDECESSOR's word; the releaser
+// publishes through park::wake_word (exchange + conditional
+// futex_wake). misuse_wake() broadcast-wakes parked waiters after the
+// shield absorbs an unlock-family misuse.
 #pragma once
 
 #include <atomic>
@@ -31,6 +38,7 @@
 
 #include "core/resilience.hpp"
 #include "core/verify_access.hpp"
+#include "park/parking_lot.hpp"
 #include "platform/cacheline.hpp"
 #include "platform/spin.hpp"
 
@@ -40,7 +48,7 @@ template <Resilience R>
 class BasicClhLock {
  public:
   struct alignas(platform::kCacheLineSize) QNode {
-    std::atomic<bool> succ_must_wait{false};
+    std::atomic<std::uint32_t> succ_must_wait{park::kWordGranted};
     QNode* prev{nullptr};  // written/read only by the node's owner thread
   };
 
@@ -65,11 +73,10 @@ class BasicClhLock {
 
   void acquire(Context& ctx) {
     QNode* const I = ctx.node_;
-    I->succ_must_wait.store(true, std::memory_order_relaxed);
+    I->succ_must_wait.store(park::kWordWaiting, std::memory_order_relaxed);
     QNode* const pred = tail_.exchange(I, std::memory_order_acq_rel);
     I->prev = pred;
-    platform::SpinWait w;
-    while (pred->succ_must_wait.load(std::memory_order_acquire)) w.pause();
+    park::wait_word(pred->succ_must_wait, &bay_);
   }
 
   bool release(Context& ctx) {
@@ -86,9 +93,16 @@ class BasicClhLock {
       // (the fix of Figure 7, ordered to stay data-race-free).
       I->prev = nullptr;
     }
-    I->succ_must_wait.store(false, std::memory_order_release);
+    park::wake_word(I->succ_must_wait);
     ctx.node_ = pred;  // take ownership of the predecessor's node
     return true;
+  }
+
+  // Shield rescue hook; see BasicMcsLock::misuse_wake.
+  void misuse_wake() noexcept { bay_.misuse_wake(); }
+
+  std::uint32_t parked_waiters() const noexcept {
+    return bay_.parked_count();
   }
 
   static constexpr Resilience resilience() { return R; }
@@ -96,6 +110,7 @@ class BasicClhLock {
  private:
   friend struct VerifyAccess;
   alignas(platform::kCacheLineSize) std::atomic<QNode*> tail_;
+  park::ParkBay bay_;
 };
 
 using ClhLock = BasicClhLock<kOriginal>;

@@ -22,6 +22,16 @@
 // release(). The AHMCS refinement keeps per-thread qnodes too, so the
 // same remedy applies (§3.8.1).
 //
+// Parking (src/park/): only the ENTRY level parks — a thread that
+// loses the bounded spin at its leaf flips its qnode's 32-bit `park`
+// word and futex_waits on it; the granter publishes `status` first,
+// then (behind a seq_cst Dekker fence) wakes any parked successor.
+// Internal climbs (a level's embedded qnode competing at the parent)
+// stay pure spins: the queue head holds a whole level hostage, and a
+// descheduled head is exactly the pathology the leaf-level parking
+// already bounds. The tree carries one ParkBay so a refused misuse
+// can broadcast-rescue parked leaf waiters.
+//
 // Lockdep attribution: every tree owns one shared LockClassKey per
 // LEVEL ("hmcs.level0" = root downwards; the nodes of a level share the
 // level's class slot), registered lazily on first tracked acquire. The
@@ -52,11 +62,13 @@
 #include "core/verify_access.hpp"
 #include "lockdep/class_key.hpp"
 #include "lockdep/event_ring.hpp"
+#include "park/parking_lot.hpp"
 #include "platform/cacheline.hpp"
 #include "platform/spin.hpp"
 #include "platform/thread_registry.hpp"
 #include "platform/topology.hpp"
 #include "response/response.hpp"
+#include "runtime/timer.hpp"
 
 namespace resilock {
 
@@ -87,6 +99,9 @@ class BasicHmcsLock {
   struct alignas(platform::kCacheLineSize) QNode {
     std::atomic<QNode*> next{nullptr};
     std::atomic<std::uint64_t> status{0};
+    // Parking word (status is 64-bit, unfutexable): kWordParked while
+    // the owner sleeps in futex_wait, kWordGranted otherwise.
+    std::atomic<std::uint32_t> park{park::kWordGranted};
   };
 
   class Context {
@@ -157,8 +172,16 @@ class BasicHmcsLock {
   }
 
   void acquire(Context& ctx) {
-    acquire_at(leaf_of_self(), &ctx.node_);
+    acquire_at(leaf_of_self(), &ctx.node_, /*can_park=*/true);
     if constexpr (R == kResilient) ctx.acquired_ = true;
+  }
+
+  // Shield rescue hook; see BasicMcsLock::misuse_wake. Also invoked
+  // internally when the bespoke resilient check refuses a release.
+  void misuse_wake() noexcept { bay_.misuse_wake(); }
+
+  std::uint32_t parked_waiters() const noexcept {
+    return bay_.parked_count();
   }
 
   bool release(Context& ctx) {
@@ -284,6 +307,7 @@ class BasicHmcsLock {
       rctx.in_flagged_cycle = lockdep::Graph::instance().is_flagged(cls);
     }
     const auto ev = response::ResponseEvent::kUnbalancedUnlock;
+    rctx.waiters_parked = bay_.parked_count();
     const response::Action action =
         response::ResponseEngine::instance().decide(
             ev, rctx, response::Action::kSuppress);
@@ -301,9 +325,18 @@ class BasicHmcsLock {
     }
     if (action == response::Action::kAbort) {
       response::dispatch_abort(ev, entry);
+      misuse_wake();
       return true;  // an abort trap survived: refuse
     }
-    return action != response::Action::kPassthrough;
+    if (action != response::Action::kPassthrough) {
+      // The bogus release was absorbed: the real owner still holds the
+      // lock, but a parked leaf waiter may be sleeping on a hand-off
+      // the misbehaving thread was never going to deliver. Broadcast;
+      // the woken waiters re-check status and re-park or proceed.
+      misuse_wake();
+      return true;
+    }
+    return false;
   }
 
   HNode* leaf_of_self() const {
@@ -315,7 +348,9 @@ class BasicHmcsLock {
 
   // Returns true iff the acquisition was uncontended at this level and
   // every ancestor (the signal the adaptive AHMCS refinement feeds on).
-  bool acquire_at(HNode* level, QNode* I) {
+  // can_park is true only for the entry level's thread-owned qnode;
+  // internal climbs never park (see the file comment).
+  bool acquire_at(HNode* level, QNode* I, bool can_park = false) {
     const bool dep = lockdep::lockdep_enabled();
     // The attempt hook runs BEFORE the exchange can block, so an
     // imminent cross-tree inversion is flagged (or aborted) while the
@@ -335,10 +370,7 @@ class BasicHmcsLock {
       return true;
     }
     pred->next.store(I, std::memory_order_release);
-    platform::SpinWait w;
-    std::uint64_t st;
-    while ((st = I->status.load(std::memory_order_acquire)) == kWait)
-      w.pause();
+    const std::uint64_t st = wait_status(I, can_park);
     if (st == kAcquireParent) {
       // Predecessor exhausted the cohort-passing budget: we own this
       // level but must compete at the parent ourselves.
@@ -369,7 +401,7 @@ class BasicHmcsLock {
       QNode* const succ = I->next.load(std::memory_order_acquire);
       if (succ != nullptr) {
         // Pass within the cohort; the successor inherits all ancestors.
-        succ->status.store(cur + 1, std::memory_order_release);
+        grant_status(succ, cur + 1);
         return;
       }
     }
@@ -392,7 +424,78 @@ class BasicHmcsLock {
       while ((succ = I->next.load(std::memory_order_acquire)) == nullptr)
         w.pause();
     }
+    grant_status(succ, grant);
+  }
+
+  // Spin-then-park on a qnode's 64-bit status, using the adjacent
+  // 32-bit park word as the futex. Dekker with grant_status: the
+  // waiter writes park then reads status; the granter writes status
+  // then reads park, seq_cst fences between each side's write and
+  // read, so a sleeping waiter is always either granted-before-sleep
+  // or seen-and-woken.
+  std::uint64_t wait_status(QNode* I, bool can_park) {
+    platform::SpinWait w;
+    std::uint64_t st;
+    const std::uint32_t budget = park::park_spins();
+    for (std::uint32_t i = 0; i < budget; ++i) {
+      if ((st = I->status.load(std::memory_order_acquire)) != kWait)
+        return st;
+      w.pause();
+    }
+    int slot = -1;
+    if (can_park && park::parking_enabled()) {
+      slot = bay_.register_parker(&I->park);
+    }
+    if (slot < 0) {
+      while ((st = I->status.load(std::memory_order_acquire)) == kWait)
+        w.pause();
+      return st;
+    }
+    park::ParkStats& g = park::ParkStats::instance();
+    park::ThreadParkTally& tally = park::ThreadParkTally::mine();
+    for (;;) {
+      I->park.store(park::kWordParked, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if ((st = I->status.load(std::memory_order_acquire)) != kWait)
+        break;
+      const std::uint64_t t0 = runtime::now_ns();
+      bay_.note_parked();
+      g.currently_parked.fetch_add(1, std::memory_order_relaxed);
+      const park::WaitResult r =
+          park::futex_wait(&I->park, park::kWordParked, nullptr);
+      g.currently_parked.fetch_sub(1, std::memory_order_relaxed);
+      bay_.note_unparked();
+      const bool slept = r != park::WaitResult::kValueChanged;
+      if (slept) {
+        tally.parks += 1;
+        tally.park_ns += runtime::now_ns() - t0;
+        g.parks.fetch_add(1, std::memory_order_relaxed);
+      }
+      if ((st = I->status.load(std::memory_order_acquire)) != kWait) {
+        if (slept) {
+          tally.wakes += 1;
+          g.wakes.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+      g.wakes_spurious.fetch_add(1, std::memory_order_relaxed);
+    }
+    I->park.store(park::kWordGranted, std::memory_order_relaxed);
+    bay_.unregister_parker(slot);
+    return st;
+  }
+
+  // Granter half of the Dekker pairing in wait_status. The park word
+  // is CHANGED (not just woken): a wake alone can land between the
+  // waiter's status check and its futex_wait and be lost, but the
+  // store makes that late futex_wait refuse to sleep (EAGAIN).
+  static void grant_status(QNode* succ, std::uint64_t grant) {
     succ->status.store(grant, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (succ->park.load(std::memory_order_relaxed) == park::kWordParked) {
+      succ->park.store(park::kWordGranted, std::memory_order_relaxed);
+      park::futex_wake_all(&succ->park);
+    }
   }
 
   platform::Topology topo_;  // by value: 8 bytes, no lifetime coupling
@@ -404,6 +507,7 @@ class BasicHmcsLock {
   std::uint32_t tracked_levels_ = 1;
   std::unique_ptr<lockdep::LockClassKey[]> level_keys_;
   const char* const* level_labels_ = kHmcsLevelLabels;
+  park::ParkBay bay_;  // rescue registry for parked leaf waiters
 };
 
 using HmcsLock = BasicHmcsLock<kOriginal>;

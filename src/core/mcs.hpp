@@ -21,6 +21,15 @@
 // after the lock is acquired; release() treats I.locked == false as an
 // unbalanced unlock and otherwise resets both I.locked and I.next, so a
 // stale next can never be dereferenced by a later misuse.
+//
+// Parking (src/park/): `locked` is a 32-bit wait word in the parking
+// protocol (0 = granted/free, 1 = waiting, 2 = parked in futex_wait).
+// The contended wait runs through park::wait_word (bounded spin, then
+// kernel sleep when RESILOCK_PARK is on) and the hand-off through
+// park::wake_word (exchange + conditional futex_wake). misuse_wake()
+// is the shield's rescue hook: broadcast-wake every parked waiter
+// after an absorbed unlock-family misuse would otherwise leave them
+// wedged.
 #pragma once
 
 #include <atomic>
@@ -28,6 +37,7 @@
 
 #include "core/resilience.hpp"
 #include "core/verify_access.hpp"
+#include "park/parking_lot.hpp"
 #include "platform/cacheline.hpp"
 #include "platform/spin.hpp"
 
@@ -38,7 +48,7 @@ class BasicMcsLock {
  public:
   struct alignas(platform::kCacheLineSize) QNode {
     std::atomic<QNode*> next{nullptr};
-    std::atomic<bool> locked{false};
+    std::atomic<std::uint32_t> locked{park::kWordGranted};
   };
   using Context = QNode;
 
@@ -50,15 +60,14 @@ class BasicMcsLock {
     I.next.store(nullptr, std::memory_order_relaxed);
     QNode* const pred = tail_.exchange(&I, std::memory_order_acq_rel);
     if (pred != nullptr) {
-      I.locked.store(true, std::memory_order_relaxed);
+      I.locked.store(park::kWordWaiting, std::memory_order_relaxed);
       pred->next.store(&I, std::memory_order_release);
-      platform::SpinWait w;
-      while (I.locked.load(std::memory_order_acquire)) w.pause();
+      park::wait_word(I.locked, &bay_);
     }
     if constexpr (R == kResilient) {
       // Uniform "I hold the lock" marker, on both the contended and the
       // uncontended path (the original leaves `locked` inconsistent).
-      I.locked.store(true, std::memory_order_relaxed);
+      I.locked.store(park::kWordHeldMarker, std::memory_order_relaxed);
     }
   }
 
@@ -71,7 +80,7 @@ class BasicMcsLock {
       return false;
     }
     if constexpr (R == kResilient) {
-      I.locked.store(true, std::memory_order_relaxed);
+      I.locked.store(park::kWordHeldMarker, std::memory_order_relaxed);
     }
     return true;
   }
@@ -79,7 +88,8 @@ class BasicMcsLock {
   bool release(QNode& I) {
     if constexpr (R == kResilient) {
       if (misuse_checks_enabled() &&
-          !I.locked.load(std::memory_order_relaxed)) {
+          I.locked.load(std::memory_order_relaxed) ==
+              park::kWordGranted) {
         return false;
       }
     }
@@ -90,7 +100,7 @@ class BasicMcsLock {
                                         std::memory_order_acq_rel,
                                         std::memory_order_relaxed)) {
         if constexpr (R == kResilient) {
-          I.locked.store(false, std::memory_order_relaxed);
+          I.locked.store(park::kWordGranted, std::memory_order_relaxed);
         }
         return true;
       }
@@ -103,10 +113,20 @@ class BasicMcsLock {
       // Scrub our node before the handoff so a later misuse of this
       // context cannot follow a stale next pointer (misuse case 3).
       I.next.store(nullptr, std::memory_order_relaxed);
-      I.locked.store(false, std::memory_order_relaxed);
+      I.locked.store(park::kWordGranted, std::memory_order_relaxed);
     }
-    succ->locked.store(false, std::memory_order_release);
+    park::wake_word(succ->locked);
     return true;
+  }
+
+  // Rescue hook for the shield: after it absorbs an unlock-family
+  // misuse, waiters parked on this lock may be waiting for a hand-off
+  // that will never come from the misbehaving thread. Broadcast-wake
+  // them; each re-checks its wait word and re-parks or proceeds.
+  void misuse_wake() noexcept { bay_.misuse_wake(); }
+
+  std::uint32_t parked_waiters() const noexcept {
+    return bay_.parked_count();
   }
 
   // Cohort detection property (Dice et al. 2012, §3.8.4): a linked
@@ -119,7 +139,8 @@ class BasicMcsLock {
 
   bool owned_by_caller(const QNode& I) const {
     if constexpr (R == kResilient) {
-      return I.locked.load(std::memory_order_relaxed);
+      return I.locked.load(std::memory_order_relaxed) !=
+             park::kWordGranted;
     } else {
       (void)I;
       return true;
@@ -131,6 +152,7 @@ class BasicMcsLock {
  private:
   friend struct VerifyAccess;
   alignas(platform::kCacheLineSize) std::atomic<QNode*> tail_{nullptr};
+  park::ParkBay bay_;
 };
 
 using McsLock = BasicMcsLock<kOriginal>;

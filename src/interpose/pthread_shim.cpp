@@ -10,6 +10,8 @@
 #include "core/rw/crw.hpp"
 #include "interpose/transparent_mutex.hpp"
 #include "observe/lockstat.hpp"
+#include "park/parking_lot.hpp"
+#include "platform/chrono_to_timespec.hpp"
 #include "platform/env.hpp"
 #include "shield/rw_shield.hpp"
 #include "telemetry/collector.hpp"
@@ -17,8 +19,17 @@
 namespace resilock::interpose {
 
 namespace {
-AnyLock* impl_of(rl_mutex_t* m) {
-  return static_cast<AnyLock*>(m->impl);
+// The C handle owns the lock plus a TimedGate: the timed entry points
+// wait on the gate's epoch word (outside the queue protocol, where a
+// waiter CAN abandon its wait), and every successful unlock kicks the
+// gate so timed waiters re-try.
+struct MutexHandle {
+  std::unique_ptr<AnyLock> lock;
+  park::TimedGate gate;
+};
+
+MutexHandle* impl_of(rl_mutex_t* m) {
+  return static_cast<MutexHandle*>(m->impl);
 }
 }  // namespace
 
@@ -53,26 +64,50 @@ int rl_mutex_init(rl_mutex_t* m, const char* algorithm, int resilient) {
       algorithm != nullptr ? std::string_view(algorithm)
                            : std::string_view(default_algorithm());
   if (!is_lock_name(base)) return EINVAL;
-  m->impl = make_lock(interposed_lock_name(base),
-                      resilient ? kResilient : kOriginal)
-                .release();
+  m->impl = new MutexHandle{make_lock(interposed_lock_name(base),
+                                      resilient ? kResilient : kOriginal),
+                            {}};
   return 0;
 }
 
 int rl_mutex_lock(rl_mutex_t* m) {
   if (m == nullptr || m->impl == nullptr) return EINVAL;
-  impl_of(m)->acquire();
+  impl_of(m)->lock->acquire();
   return 0;
 }
 
 int rl_mutex_trylock(rl_mutex_t* m) {
   if (m == nullptr || m->impl == nullptr) return EINVAL;
-  return impl_of(m)->try_acquire() ? 0 : EBUSY;
+  return impl_of(m)->lock->try_acquire() ? 0 : EBUSY;
+}
+
+int rl_mutex_timedlock(rl_mutex_t* m, const timespec* abstime) {
+  if (m == nullptr || m->impl == nullptr) return EINVAL;
+  if (abstime == nullptr || !platform::timespec_valid(*abstime)) {
+    return EINVAL;
+  }
+  MutexHandle* h = impl_of(m);
+  if (!h->lock->supports_trylock()) {
+    // The registry emulates this algorithm's trylock by blocking (CLH:
+    // a queue slot cannot be abandoned), so the timed entry degrades
+    // to a plain blocking lock — it can block past the deadline.
+    h->lock->acquire();
+    return 0;
+  }
+  const std::uint64_t deadline =
+      platform::monotonic_deadline_from_realtime(*abstime);
+  return h->gate.acquire_until([h] { return h->lock->try_acquire(); },
+                               deadline)
+             ? 0
+             : ETIMEDOUT;
 }
 
 int rl_mutex_unlock(rl_mutex_t* m) {
   if (m == nullptr || m->impl == nullptr) return EINVAL;
-  return impl_of(m)->release() ? 0 : EPERM;  // errorcheck semantics
+  MutexHandle* h = impl_of(m);
+  if (!h->lock->release()) return EPERM;  // errorcheck semantics
+  h->gate.on_release();
+  return 0;
 }
 
 int rl_mutex_destroy(rl_mutex_t* m) {
@@ -165,7 +200,14 @@ class BareRwAdapter final : public RwAny {
   PerPid<Hold> holds_;
 };
 
-RwAny* rw_impl_of(rl_rwlock_t* rw) { return static_cast<RwAny*>(rw->impl); }
+struct RwHandle {
+  std::unique_ptr<RwAny> rw;
+  park::TimedGate gate;
+};
+
+RwHandle* rw_impl_of(rl_rwlock_t* rw) {
+  return static_cast<RwHandle*>(rw->impl);
+}
 
 template <RwPreference P>
 RwAny* make_rw_variant(bool resilient, bool shielded) {
@@ -193,46 +235,78 @@ int rl_rwlock_init(rl_rwlock_t* rw, const char* preference,
           : (fallback != nullptr ? std::string_view(fallback)
                                  : std::string_view("np"));
   const bool shielded = shield_interposition_enabled();
+  RwAny* impl = nullptr;
   if (pref == "np" || pref == "neutral") {
-    rw->impl = make_rw_variant<RwPreference::kNeutral>(resilient != 0,
-                                                       shielded);
+    impl = make_rw_variant<RwPreference::kNeutral>(resilient != 0,
+                                                   shielded);
   } else if (pref == "rp" || pref == "reader") {
-    rw->impl = make_rw_variant<RwPreference::kReader>(resilient != 0,
-                                                      shielded);
+    impl = make_rw_variant<RwPreference::kReader>(resilient != 0,
+                                                  shielded);
   } else if (pref == "wp" || pref == "writer") {
-    rw->impl = make_rw_variant<RwPreference::kWriter>(resilient != 0,
-                                                      shielded);
+    impl = make_rw_variant<RwPreference::kWriter>(resilient != 0,
+                                                  shielded);
   } else {
     return EINVAL;
   }
+  rw->impl = new RwHandle{std::unique_ptr<RwAny>(impl), {}};
   return 0;
 }
 
 int rl_rwlock_rdlock(rl_rwlock_t* rw) {
   if (rw == nullptr || rw->impl == nullptr) return EINVAL;
-  rw_impl_of(rw)->rdlock();
+  rw_impl_of(rw)->rw->rdlock();
   return 0;
 }
 
 int rl_rwlock_wrlock(rl_rwlock_t* rw) {
   if (rw == nullptr || rw->impl == nullptr) return EINVAL;
-  rw_impl_of(rw)->wrlock();
+  rw_impl_of(rw)->rw->wrlock();
   return 0;
 }
 
 int rl_rwlock_tryrdlock(rl_rwlock_t* rw) {
   if (rw == nullptr || rw->impl == nullptr) return EINVAL;
-  return rw_impl_of(rw)->tryrdlock() ? 0 : EBUSY;
+  return rw_impl_of(rw)->rw->tryrdlock() ? 0 : EBUSY;
 }
 
 int rl_rwlock_trywrlock(rl_rwlock_t* rw) {
   if (rw == nullptr || rw->impl == nullptr) return EINVAL;
-  return rw_impl_of(rw)->trywrlock() ? 0 : EBUSY;
+  return rw_impl_of(rw)->rw->trywrlock() ? 0 : EBUSY;
+}
+
+namespace {
+template <typename Try>
+int rw_timed(rl_rwlock_t* rw, const timespec* abstime, Try&& try_lock) {
+  if (rw == nullptr || rw->impl == nullptr) return EINVAL;
+  if (abstime == nullptr || !platform::timespec_valid(*abstime)) {
+    return EINVAL;
+  }
+  const std::uint64_t deadline =
+      platform::monotonic_deadline_from_realtime(*abstime);
+  return rw_impl_of(rw)->gate.acquire_until(try_lock, deadline)
+             ? 0
+             : ETIMEDOUT;
+}
+}  // namespace
+
+int rl_rwlock_timedrdlock(rl_rwlock_t* rw, const timespec* abstime) {
+  return rw_timed(rw, abstime, [rw] {
+    return rw_impl_of(rw)->rw->tryrdlock();
+  });
+}
+
+int rl_rwlock_timedwrlock(rl_rwlock_t* rw, const timespec* abstime) {
+  return rw_timed(rw, abstime, [rw] {
+    return rw_impl_of(rw)->rw->trywrlock();
+  });
 }
 
 int rl_rwlock_unlock(rl_rwlock_t* rw) {
   if (rw == nullptr || rw->impl == nullptr) return EINVAL;
-  return rw_impl_of(rw)->unlock() ? 0 : EPERM;
+  RwHandle* h = rw_impl_of(rw);
+  if (!h->rw->unlock()) return EPERM;
+  h->gate.on_release();
+  return 0;
 }
 
 int rl_rwlock_destroy(rl_rwlock_t* rw) {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <ctime>
 #include <string>
 #include <string_view>
 
@@ -55,6 +56,17 @@ int rl_mutex_lock(rl_mutex_t* m);
 
 // Returns 0 if the lock was taken, EBUSY otherwise.
 int rl_mutex_trylock(rl_mutex_t* m);
+
+// pthread_mutex_timedlock shape: blocks until the lock is acquired or
+// the CLOCK_REALTIME absolute deadline passes. Returns 0 on
+// acquisition, ETIMEDOUT when the deadline expired with the lock still
+// held elsewhere, EINVAL for a null/malformed abstime. The timed wait
+// runs outside the queue protocol (park::TimedGate over the trylock
+// path — a queue slot cannot be abandoned mid-wait), so a timeout adds
+// no lockdep order edges, same contract as a failed trylock. An
+// algorithm whose trylock is emulated by blocking (supports_trylock()
+// false — CLH) degrades to a plain blocking lock, documented behavior.
+int rl_mutex_timedlock(rl_mutex_t* m, const timespec* abstime);
 
 // Returns 0 on a balanced unlock, EPERM when the algorithm detected an
 // unbalanced unlock (errorcheck semantics; only resilient algorithms
@@ -103,6 +115,13 @@ int rl_rwlock_wrlock(rl_rwlock_t* rw);
 // interception see it exactly like a blocking acquisition.
 int rl_rwlock_tryrdlock(rl_rwlock_t* rw);
 int rl_rwlock_trywrlock(rl_rwlock_t* rw);
+
+// pthread_rwlock_timedrdlock/timedwrlock shapes; same semantics as
+// rl_mutex_timedlock (0 / ETIMEDOUT / EINVAL, no lockdep edges on
+// timeout). Both modes wait on one gate per rwlock; a wake is a
+// broadcast and each waiter re-tries its own mode.
+int rl_rwlock_timedrdlock(rl_rwlock_t* rw, const timespec* abstime);
+int rl_rwlock_timedwrlock(rl_rwlock_t* rw, const timespec* abstime);
 
 // Returns 0 on a balanced unlock of either mode, EPERM when the shield
 // intercepted a misuse (unbalanced read unlock, mode mismatch,

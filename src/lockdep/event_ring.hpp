@@ -57,9 +57,14 @@ enum class EventKind : std::uint8_t {
   kHoldEnd = 10,
   kWaitBegin = 11,
   kWaitEnd = 12,
+  // Parking spans (src/park/): one kernel sleep on a wait word, a
+  // sub-interval of the enclosing wait span. `lock` is the wait-word
+  // address and `a` the shield-stamped class hint.
+  kParkBegin = 13,
+  kParkEnd = 14,
 };
 
-inline constexpr std::size_t kEventKinds = 13;
+inline constexpr std::size_t kEventKinds = 15;
 // Kinds below this value are misuse/lockdep reports; at or above it,
 // telemetry span markers (kEventKinds - kFirstSpanKind span kinds).
 inline constexpr std::size_t kFirstSpanKind = 9;
@@ -83,6 +88,8 @@ constexpr const char* to_string(EventKind k) noexcept {
     case EventKind::kHoldEnd: return "hold-end";
     case EventKind::kWaitBegin: return "wait-begin";
     case EventKind::kWaitEnd: return "wait-end";
+    case EventKind::kParkBegin: return "park-begin";
+    case EventKind::kParkEnd: return "park-end";
   }
   return "?";
 }

@@ -79,6 +79,8 @@ LockStat::Totals LockStat::totals() const noexcept {
     t.misuses += mis;
     t.wait_ns += wait.total;
     t.hold_ns += hold.total;
+    t.parks += s->parks.load(std::memory_order_relaxed);
+    t.park_ns += s->park_ns.load(std::memory_order_relaxed);
   }
   return t;
 }
@@ -101,6 +103,9 @@ std::vector<ClassReport> LockStat::report() const {
     r.wait = s->wait.snapshot();
     r.hold = s->hold.snapshot();
     r.contentions = r.wait.count;
+    r.parks = s->parks.load(std::memory_order_relaxed);
+    r.wakes = s->wakes.load(std::memory_order_relaxed);
+    r.park_time = s->park_ns.load(std::memory_order_relaxed);
     if (r.acquisitions + r.contentions + r.trylock_fails + r.misuses +
             r.wait.count + r.hold.count ==
         0) {
@@ -143,6 +148,9 @@ void LockStat::reset() noexcept {
     s->trylock_fails.store(0, std::memory_order_relaxed);
     s->misuses.store(0, std::memory_order_relaxed);
     for (auto& m : s->by_mode) m.store(0, std::memory_order_relaxed);
+    s->parks.store(0, std::memory_order_relaxed);
+    s->park_ns.store(0, std::memory_order_relaxed);
+    s->wakes.store(0, std::memory_order_relaxed);
     s->sites.reset();
   }
 }
@@ -226,6 +234,13 @@ void write_report(std::FILE* f, const std::vector<ClassReport>& classes,
     }
     write_histogram_line(f, "wait", r.wait);
     write_histogram_line(f, "hold", r.hold, r.hold_sample);
+    if (r.parks != 0 || r.wakes != 0) {
+      std::fprintf(f,
+                   "  parks %llu  wakes %llu  park-time %llu ns\n",
+                   static_cast<unsigned long long>(r.parks),
+                   static_cast<unsigned long long>(r.wakes),
+                   static_cast<unsigned long long>(r.park_time));
+    }
     if (!r.sites.empty() || r.site_overflow != 0) {
       std::fputs("  call sites:\n", f);
       std::uint64_t site_total = r.site_overflow;

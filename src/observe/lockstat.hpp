@@ -164,6 +164,13 @@ struct ClassStats {
   std::atomic<std::uint64_t> trylock_fails{0};
   std::atomic<std::uint64_t> misuses{0};
   std::atomic<std::uint64_t> by_mode[kAccessModes] = {};
+  // Parking tier (src/park/): kernel sleeps attributed to this class.
+  // park_ns is inside the wait histogram's window (a parked wait is a
+  // contended wait), so parks/park_time read as "of the wait above,
+  // this much was spent descheduled".
+  std::atomic<std::uint64_t> parks{0};
+  std::atomic<std::uint64_t> park_ns{0};
+  std::atomic<std::uint64_t> wakes{0};
   CallSiteTable sites;
 };
 
@@ -184,6 +191,9 @@ struct ClassReport {
   std::uint64_t trylock_fails = 0;
   std::uint64_t misuses = 0;
   std::uint64_t by_mode[kAccessModes] = {};
+  std::uint64_t parks = 0;
+  std::uint64_t wakes = 0;
+  std::uint64_t park_time = 0;  // ns descheduled, subset of wait total
   std::uint64_t site_overflow = 0;
   // 1-in-N hold sampling rate the hold histogram was recorded at
   // (live reports: lockstat_sample(); trace reconstruction: 1 — every
@@ -204,6 +214,8 @@ class LockStat {
     std::uint64_t misuses = 0;
     std::uint64_t wait_ns = 0;
     std::uint64_t hold_ns = 0;
+    std::uint64_t parks = 0;
+    std::uint64_t park_ns = 0;
   };
 
   static LockStat& instance();
@@ -349,6 +361,20 @@ inline void on_misuse(lockdep::ClassId cls) {
   ClassStats* s = LockStat::instance().stats_for(cls);
   if (s == nullptr) return;
   s->misuses.fetch_add(1, std::memory_order_relaxed);
+}
+
+// A contended acquire that went through the parking tier: `parks`
+// kernel sleeps totalling `park_ns` descheduled, `wakes` of them ended
+// by a hand-off wake. The shield snapshots the thread's ParkTally
+// around the base acquire and forwards the delta here, so attribution
+// happens once per acquisition, off the park hot path.
+inline void on_parked(lockdep::ClassId cls, std::uint64_t parks,
+                      std::uint64_t park_ns, std::uint64_t wakes) {
+  ClassStats* s = LockStat::instance().stats_for(cls);
+  if (s == nullptr) return;
+  s->parks.fetch_add(parks, std::memory_order_relaxed);
+  s->park_ns.fetch_add(park_ns, std::memory_order_relaxed);
+  s->wakes.fetch_add(wakes, std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------

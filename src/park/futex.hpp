@@ -1,0 +1,176 @@
+// The kernel-sleep primitive under the parking tier: futex(2) on
+// Linux, a hashed mutex+condvar stripe table everywhere else.
+//
+// Contract (both backends):
+//
+//   futex_wait(word, expected, rel_timeout)
+//     Sleeps while *word == expected. Returns kValueChanged without
+//     sleeping if the word already differs (the waker changed it
+//     between the caller's last load and the wait — the classic race
+//     futex closes in the kernel). May return spuriously (kWoken with
+//     the word unchanged, or kInterrupted on EINTR); callers MUST
+//     re-check their predicate and re-wait. rel_timeout is RELATIVE
+//     (nullptr = forever).
+//
+//   futex_wake(word, n)
+//     Wakes up to n waiters sleeping on the word's ADDRESS. The word
+//     is never dereferenced by the waker on either backend (Linux
+//     keys on the physical address; the fallback hashes the pointer
+//     value), so waking a word whose memory has been freed is safe —
+//     which is exactly what the misuse-rescue path needs, since a
+//     bogus unlock can race an exiting waiter whose queue node is
+//     already gone.
+//
+// Wakers that need a waiter to observe progress must CHANGE the word
+// before waking: a wake delivered between a waiter's predicate check
+// and its futex_wait syscall is lost, but a changed word makes that
+// late futex_wait return kValueChanged instead of sleeping.
+//
+// The fallback is compiled unconditionally (namespace `fallback`) so
+// Linux test builds can exercise it; futex_wait/futex_wake dispatch
+// to the native backend at compile time.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <ctime>
+#include <mutex>
+
+#if defined(__linux__)
+#include <cerrno>
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#define RESILOCK_HAVE_FUTEX 1
+#else
+#define RESILOCK_HAVE_FUTEX 0
+#endif
+
+namespace resilock::park {
+
+enum class WaitResult : std::uint8_t {
+  kWoken,         // futex_wake (or a spurious kernel wake) — re-check
+  kValueChanged,  // *word != expected at sleep time; never slept
+  kTimedOut,      // rel_timeout expired
+  kInterrupted,   // signal (EINTR) — re-check and re-wait
+};
+
+// futex operates on a bare 32-bit word; std::atomic<uint32_t> must be
+// layout-identical for the address pun to be sound.
+static_assert(sizeof(std::atomic<std::uint32_t>) == sizeof(std::uint32_t));
+static_assert(alignof(std::atomic<std::uint32_t>) >= 4);
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free);
+
+// ---------------------------------------------------------------------
+// Portable fallback: 64 mutex+condvar stripes keyed by word address.
+// ---------------------------------------------------------------------
+
+namespace fallback {
+
+struct Stripe {
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+inline Stripe& stripe_for(const void* addr) {
+  static std::array<Stripe, 64>& stripes = *new std::array<Stripe, 64>;
+  // Fibonacci hash of the pointer bits; low bits of lock-word
+  // addresses are alignment zeros.
+  const auto p = reinterpret_cast<std::uintptr_t>(addr);
+  return stripes[(p * 0x9E3779B97F4A7C15ull) >> 58];
+}
+
+inline WaitResult wait(const std::atomic<std::uint32_t>* word,
+                       std::uint32_t expected,
+                       const timespec* rel_timeout) {
+  Stripe& s = stripe_for(word);
+  std::unique_lock<std::mutex> lk(s.mu);
+  // Checked under the stripe mutex: a waker changes the word, then
+  // takes this mutex before notifying, so either we see the change
+  // here or our wait starts before the notify — no lost wakeup.
+  if (word->load(std::memory_order_acquire) != expected) {
+    return WaitResult::kValueChanged;
+  }
+  if (rel_timeout == nullptr) {
+    s.cv.wait(lk);
+    return WaitResult::kWoken;
+  }
+  const auto rel = std::chrono::seconds(rel_timeout->tv_sec) +
+                   std::chrono::nanoseconds(rel_timeout->tv_nsec);
+  return s.cv.wait_for(lk, rel) == std::cv_status::timeout
+             ? WaitResult::kTimedOut
+             : WaitResult::kWoken;
+}
+
+inline void wake(const std::atomic<std::uint32_t>* word,
+                 std::uint32_t count) {
+  Stripe& s = stripe_for(word);
+  {
+    // Empty critical section orders this wake after any in-progress
+    // predicate check in wait() — without it, notify could fire
+    // between a waiter's word load and its cv.wait.
+    std::lock_guard<std::mutex> lk(s.mu);
+  }
+  // Stripes are shared by many words; a targeted notify_one could
+  // wake the wrong word's waiter and strand ours. Always broadcast —
+  // waiters re-check their predicate anyway.
+  (void)count;
+  s.cv.notify_all();
+}
+
+}  // namespace fallback
+
+// ---------------------------------------------------------------------
+// Native futex backend + dispatch.
+// ---------------------------------------------------------------------
+
+#if RESILOCK_HAVE_FUTEX
+
+inline WaitResult futex_wait(const std::atomic<std::uint32_t>* word,
+                             std::uint32_t expected,
+                             const timespec* rel_timeout = nullptr) {
+  const long rc = ::syscall(
+      SYS_futex, reinterpret_cast<const std::uint32_t*>(word),
+      FUTEX_WAIT_PRIVATE, expected, rel_timeout, nullptr, 0);
+  if (rc == 0) return WaitResult::kWoken;
+  switch (errno) {
+    case EAGAIN: return WaitResult::kValueChanged;
+    case ETIMEDOUT: return WaitResult::kTimedOut;
+    default: return WaitResult::kInterrupted;  // EINTR
+  }
+}
+
+inline void futex_wake(const std::atomic<std::uint32_t>* word,
+                       std::uint32_t count) {
+  ::syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(word),
+            FUTEX_WAKE_PRIVATE, static_cast<int>(count), nullptr, nullptr,
+            0);
+}
+
+#else
+
+inline WaitResult futex_wait(const std::atomic<std::uint32_t>* word,
+                             std::uint32_t expected,
+                             const timespec* rel_timeout = nullptr) {
+  return fallback::wait(word, expected, rel_timeout);
+}
+
+inline void futex_wake(const std::atomic<std::uint32_t>* word,
+                       std::uint32_t count) {
+  fallback::wake(word, count);
+}
+
+#endif
+
+inline void futex_wake_one(const std::atomic<std::uint32_t>* word) {
+  futex_wake(word, 1);
+}
+
+inline void futex_wake_all(const std::atomic<std::uint32_t>* word) {
+  futex_wake(word, ~std::uint32_t{0} >> 1);  // INT_MAX waiters
+}
+
+}  // namespace resilock::park

@@ -1,0 +1,208 @@
+// Parking slow path: the spin-then-park waiter loop, the deadline
+// wait behind the shim's timedlock entry points, and the ParkBay
+// rescue registry. Design overview in parking_lot.hpp.
+#include "park/parking_lot.hpp"
+
+#include <new>
+
+#include "lockdep/event_ring.hpp"
+#include "platform/spin.hpp"
+#include "runtime/timer.hpp"
+
+namespace resilock::park {
+
+namespace {
+
+// kParkBegin/kParkEnd span markers around a kernel sleep. The wait
+// word's address stands in as the "lock" identity (one waiter, one
+// word, one span track) and the shield-stamped class hint rides as
+// the class tag so offline reports can group parks by lock class.
+inline void emit_park_span(lockdep::EventKind kind, const void* word,
+                           std::uint16_t cls_hint) {
+  lockdep::TraceBuffer::instance().emit(kind, word, cls_hint);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// ParkBay.
+// ---------------------------------------------------------------------
+
+ParkBay::Slots* ParkBay::slots() noexcept {
+  Slots* s = slots_.load(std::memory_order_acquire);
+  if (s != nullptr) return s;
+  auto* fresh = new (std::nothrow) Slots;
+  if (fresh == nullptr) return nullptr;
+  if (slots_.compare_exchange_strong(s, fresh,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+    return fresh;
+  }
+  delete fresh;  // lost the install race; `s` holds the winner
+  return s;
+}
+
+int ParkBay::register_parker(std::atomic<std::uint32_t>* word) noexcept {
+  Slots* s = slots();
+  if (s == nullptr) return -1;
+  for (std::uint32_t i = 0; i < kSlots; ++i) {
+    std::atomic<std::uint32_t>* expected = nullptr;
+    if (s->ptr[i].compare_exchange_strong(expected, word,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;  // all 64 slots taken; caller stays on the spin path
+}
+
+void ParkBay::unregister_parker(int slot) noexcept {
+  if (slot < 0) return;
+  Slots* s = slots_.load(std::memory_order_acquire);
+  if (s == nullptr) return;
+  s->ptr[static_cast<std::uint32_t>(slot)].store(
+      nullptr, std::memory_order_release);
+}
+
+void ParkBay::misuse_wake() noexcept {
+  ParkStats::instance().misuse_wakes.fetch_add(
+      1, std::memory_order_relaxed);
+  Slots* s = slots_.load(std::memory_order_acquire);
+  if (s == nullptr) return;
+  for (std::uint32_t i = 0; i < kSlots; ++i) {
+    std::atomic<std::uint32_t>* w =
+        s->ptr[i].load(std::memory_order_acquire);
+    // Advisory broadcast: the word is an ADDRESS to the futex layer,
+    // never dereferenced, so racing a waiter that already woke,
+    // deregistered, and freed its queue node is harmless.
+    if (w != nullptr) futex_wake_all(w);
+  }
+}
+
+// ---------------------------------------------------------------------
+// wait_word: the queue locks' contended slow path.
+// ---------------------------------------------------------------------
+
+std::uint32_t wait_word(std::atomic<std::uint32_t>& word,
+                        ParkBay* bay) noexcept {
+  platform::SpinWait w;
+  const std::uint32_t budget = park_spins();
+  for (std::uint32_t i = 0; i < budget; ++i) {
+    const std::uint32_t v = word.load(std::memory_order_acquire);
+    if (v != kWordWaiting && v != kWordParked) return v;
+    w.pause();
+  }
+  int slot = -1;
+  if (parking_enabled() && bay != nullptr) {
+    slot = bay->register_parker(&word);
+  }
+  if (slot < 0) {
+    // Parking off, or the bay is full. An unregistered sleeper would
+    // be invisible to misuse_wake — never park unrescuable; keep the
+    // (yielding, via SpinWait) spin loop instead.
+    for (;;) {
+      const std::uint32_t v = word.load(std::memory_order_acquire);
+      if (v != kWordWaiting && v != kWordParked) return v;
+      w.pause();
+    }
+  }
+  ParkStats& g = ParkStats::instance();
+  ThreadParkTally& tally = ThreadParkTally::mine();
+  std::uint32_t v;
+  for (;;) {
+    std::uint32_t cur = kWordWaiting;
+    if (!word.compare_exchange_strong(cur, kWordParked,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire) &&
+        cur != kWordParked) {
+      v = cur;  // granted between the spin phase and the flip
+      break;
+    }
+    // The word is kWordParked (flipped by us now or left from the
+    // previous round after a rescue wake); the releaser's exchange
+    // will see it and futex_wake.
+    const bool trace = lockdep::span_tracing_enabled();
+    const std::uint64_t t0 = runtime::now_ns();
+    if (trace) {
+      emit_park_span(lockdep::EventKind::kParkBegin, &word,
+                     tally.cls_hint);
+    }
+    bay->note_parked();
+    g.currently_parked.fetch_add(1, std::memory_order_relaxed);
+    const WaitResult r = futex_wait(&word, kWordParked, nullptr);
+    g.currently_parked.fetch_sub(1, std::memory_order_relaxed);
+    bay->note_unparked();
+    const std::uint64_t dt = runtime::now_ns() - t0;
+    if (trace) {
+      emit_park_span(lockdep::EventKind::kParkEnd, &word,
+                     tally.cls_hint);
+    }
+    // kValueChanged never slept (the hand-off raced ahead of the
+    // syscall) — not a park, just a cheap detour through the kernel.
+    const bool slept = r != WaitResult::kValueChanged;
+    if (slept) {
+      tally.parks += 1;
+      tally.park_ns += dt;
+      g.parks.fetch_add(1, std::memory_order_relaxed);
+    }
+    v = word.load(std::memory_order_acquire);
+    if (v != kWordWaiting && v != kWordParked) {
+      if (slept) {
+        tally.wakes += 1;
+        g.wakes.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    // Woken without a grant: a misuse_wake rescue broadcast, a
+    // signal, or futex spuriousness. Re-check and re-park.
+    g.wakes_spurious.fetch_add(1, std::memory_order_relaxed);
+  }
+  bay->unregister_parker(slot);
+  return v;
+}
+
+// ---------------------------------------------------------------------
+// park_until: one bounded sleep for the timed paths.
+// ---------------------------------------------------------------------
+
+bool park_until(const std::atomic<std::uint32_t>& word,
+                std::uint32_t expected,
+                std::uint64_t deadline_ns) noexcept {
+  ParkStats& g = ParkStats::instance();
+  ThreadParkTally& tally = ThreadParkTally::mine();
+  timespec rel{};
+  if (!platform::relative_until(deadline_ns, platform::monotonic_now_ns(),
+                                rel)) {
+    g.timeouts.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const bool trace = lockdep::span_tracing_enabled();
+  const std::uint64_t t0 = runtime::now_ns();
+  if (trace) {
+    emit_park_span(lockdep::EventKind::kParkBegin, &word,
+                   tally.cls_hint);
+  }
+  g.currently_parked.fetch_add(1, std::memory_order_relaxed);
+  const WaitResult r = futex_wait(&word, expected, &rel);
+  g.currently_parked.fetch_sub(1, std::memory_order_relaxed);
+  const std::uint64_t dt = runtime::now_ns() - t0;
+  if (trace) {
+    emit_park_span(lockdep::EventKind::kParkEnd, &word, tally.cls_hint);
+  }
+  if (r != WaitResult::kValueChanged) {
+    tally.parks += 1;
+    tally.park_ns += dt;
+    g.parks.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (r == WaitResult::kTimedOut) {
+    g.timeouts.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (r == WaitResult::kWoken) {
+    tally.wakes += 1;
+    g.wakes.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+}  // namespace resilock::park

@@ -1,0 +1,98 @@
+// Deadline math between the time vocabularies the parking tier speaks.
+//
+// Three parties disagree about time. POSIX timedlock entry points take
+// an ABSOLUTE timespec on CLOCK_REALTIME (pthread_mutex_timedlock
+// contract). futex(2) FUTEX_WAIT takes a RELATIVE timeout. The parking
+// layer itself reasons in monotonic nanoseconds (a realtime deadline
+// must be converted once, up front, or a wall-clock step mid-wait
+// would stretch or shrink the wait). These helpers are the single
+// place that conversion and its overflow handling live:
+//
+//   * ns_from_timespec / timespec_from_ns — saturating, never UB on
+//     hostile input (tv_sec near the 64-bit horizon, negative fields);
+//   * monotonic_deadline_from_realtime — pin a realtime abstime to a
+//     monotonic deadline at call time;
+//   * relative_until — the remaining-time timespec a futex wait wants,
+//     recomputed per loop iteration (waits restart after spurious
+//     wakes, so "remaining" shrinks each trip).
+//
+// Saturation convention: kNsInfinite (UINT64_MAX) means "never".
+#pragma once
+
+#include <cstdint>
+#include <ctime>
+
+namespace resilock::platform {
+
+inline constexpr std::uint64_t kNsPerSec = 1000000000ull;
+inline constexpr std::uint64_t kNsInfinite = ~std::uint64_t{0};
+
+// POSIX validity: tv_nsec in [0, 1e9). (A negative tv_sec is a valid
+// timespec — a deadline in the past — and clamps to "already expired".)
+constexpr bool timespec_valid(const timespec& ts) noexcept {
+  return ts.tv_nsec >= 0 && ts.tv_nsec < static_cast<long>(kNsPerSec);
+}
+
+constexpr std::uint64_t saturating_add_ns(std::uint64_t a,
+                                          std::uint64_t b) noexcept {
+  const std::uint64_t s = a + b;
+  return s < a ? kNsInfinite : s;
+}
+
+// Saturating timespec -> ns. Negative times clamp to 0 (an expired
+// deadline); seconds past the ns-representable horizon clamp to
+// kNsInfinite rather than wrapping.
+constexpr std::uint64_t ns_from_timespec(const timespec& ts) noexcept {
+  if (ts.tv_sec < 0) return 0;
+  const auto sec = static_cast<std::uint64_t>(ts.tv_sec);
+  if (sec > kNsInfinite / kNsPerSec) return kNsInfinite;
+  const std::uint64_t nsec =
+      ts.tv_nsec > 0 ? static_cast<std::uint64_t>(ts.tv_nsec) : 0;
+  return saturating_add_ns(sec * kNsPerSec, nsec);
+}
+
+constexpr timespec timespec_from_ns(std::uint64_t ns) noexcept {
+  timespec ts{};
+  ts.tv_sec = static_cast<time_t>(ns / kNsPerSec);
+  ts.tv_nsec = static_cast<long>(ns % kNsPerSec);
+  return ts;
+}
+
+// Now on `clk`, in saturating ns. 0 if the clock is unreadable (never
+// the case for MONOTONIC/REALTIME on supported hosts).
+inline std::uint64_t clock_now_ns(clockid_t clk) noexcept {
+  timespec ts{};
+  if (clock_gettime(clk, &ts) != 0) return 0;
+  return ns_from_timespec(ts);
+}
+
+inline std::uint64_t monotonic_now_ns() noexcept {
+  return clock_now_ns(CLOCK_MONOTONIC);
+}
+
+// Converts an ABSOLUTE CLOCK_REALTIME deadline (the POSIX timedlock
+// contract) into an absolute CLOCK_MONOTONIC deadline in ns: the two
+// clocks are sampled back to back and the realtime delta is re-based
+// onto the monotonic clock. An abstime at or before "now" yields the
+// current monotonic instant (immediately expired, never negative).
+inline std::uint64_t monotonic_deadline_from_realtime(
+    const timespec& abstime) noexcept {
+  const std::uint64_t real_now = clock_now_ns(CLOCK_REALTIME);
+  const std::uint64_t mono_now = monotonic_now_ns();
+  const std::uint64_t abs_ns = ns_from_timespec(abstime);
+  if (abs_ns <= real_now) return mono_now;
+  return saturating_add_ns(mono_now, abs_ns - real_now);
+}
+
+// Remaining time until `deadline_ns` (monotonic), as the RELATIVE
+// timespec a futex wait takes. False when the deadline already passed
+// (the caller must not wait at all — a zero-relative futex wait would
+// still enter the kernel).
+inline bool relative_until(std::uint64_t deadline_ns, std::uint64_t now_ns,
+                           timespec& out) noexcept {
+  if (now_ns >= deadline_ns) return false;
+  out = timespec_from_ns(deadline_ns - now_ns);
+  return true;
+}
+
+}  // namespace resilock::platform

@@ -97,24 +97,30 @@ bool parse_cond(std::string_view tok, CondClause& c) {
     c.cls_name = std::string(name);
     return true;
   }
-  // Threshold form: waiters>=N (N a positive decimal integer).
-  constexpr std::string_view kPrefix = "waiters>=";
-  if (tok.size() > kPrefix.size() &&
-      tok.substr(0, kPrefix.size()) == kPrefix) {
-    std::string_view num = trim(tok.substr(kPrefix.size()));
-    if (num.empty()) return false;
+  // Threshold forms: waiters>=N / parked>=N (N a positive decimal
+  // integer; ">=0" is just kAlways and is rejected).
+  const auto threshold_form = [&](std::string_view prefix,
+                                  Condition cond) -> int {
+    if (tok.size() <= prefix.size() ||
+        tok.substr(0, prefix.size()) != prefix) {
+      return -1;  // not this form
+    }
+    std::string_view num = trim(tok.substr(prefix.size()));
+    if (num.empty()) return 0;
     std::uint64_t n = 0;
     for (const char ch : num) {
-      if (ch < '0' || ch > '9') return false;
+      if (ch < '0' || ch > '9') return 0;
       n = n * 10 + static_cast<std::uint64_t>(ch - '0');
-      if (n > 0xFFFFFFFFull) return false;
+      if (n > 0xFFFFFFFFull) return 0;
     }
-    if (n == 0) return false;  // "waiters>=0" is just kAlways — reject
-    c.cond = Condition::kWaitersAtLeast;
+    if (n == 0) return 0;
+    c.cond = cond;
     c.threshold = static_cast<std::uint32_t>(n);
-    return true;
-  }
-  return false;
+    return 1;
+  };
+  int r = threshold_form("waiters>=", Condition::kWaitersAtLeast);
+  if (r < 0) r = threshold_form("parked>=", Condition::kParkedAtLeast);
+  return r == 1;
 }
 
 std::optional<Rule> parse_rule(std::string_view text) {

@@ -36,6 +36,9 @@
 //            (several joined with '|')
 //   cond   = uncontended | contended (alias: waiters) | incycle |
 //            waiters>=N (live-waiter threshold, N a positive integer) |
+//            parked>=N (threshold over waiters PARKED in futex_wait —
+//            the blast radius of an absorbed unlock misuse: a parked
+//            waiter wedges where a spinner merely burns cycles) |
 //            class=<name> (per-class scope: the rule matches only
 //            events attributed to the lockdep class named <name> — a
 //            LockClassKey label such as "hmcs.level1", resolved to a
@@ -139,6 +142,9 @@ inline constexpr std::uint16_t kNoClass = 0xFFFF;
 // Telemetry snapshot the reporting layer hands to decide().
 struct EventContext {
   std::uint32_t waiters = 0;      // threads blocked on the lock now
+  // Of those, threads parked in futex_wait (src/park/) at event time.
+  // 0 when the base lock has no parking tier or RESILOCK_PARK is off.
+  std::uint32_t waiters_parked = 0;
   bool contended = false;         // waiters > 0
   bool in_flagged_cycle = false;  // lock's class is on a reported cycle
   // Lockdep class the event is attributed to (and its label), when the
@@ -156,6 +162,7 @@ enum class Condition : std::uint8_t {
   kContended,       // contended (env alias: "waiters")
   kInCycle,         // in_flagged_cycle
   kWaitersAtLeast,  // waiters >= threshold ("waiters>=N")
+  kParkedAtLeast,   // waiters_parked >= threshold ("parked>=N")
   kClassScope,      // event attributed to the named class ("class=<name>")
 };
 
@@ -164,7 +171,7 @@ enum class Condition : std::uint8_t {
 // "@class=app.db@waiters>=2").
 struct CondClause {
   Condition cond = Condition::kAlways;
-  std::uint32_t threshold = 0;  // kWaitersAtLeast only
+  std::uint32_t threshold = 0;  // kWaitersAtLeast / kParkedAtLeast
   // kClassScope only: the LockClassKey label the clause is scoped to,
   // and the ClassId it resolved to at install time (kNoClass when the
   // class was not yet registered — the clause then matches by label, so
@@ -183,6 +190,8 @@ inline bool cond_matches(Condition cond, std::uint32_t threshold,
     case Condition::kContended: return ctx.contended;
     case Condition::kInCycle: return ctx.in_flagged_cycle;
     case Condition::kWaitersAtLeast: return ctx.waiters >= threshold;
+    case Condition::kParkedAtLeast:
+      return ctx.waiters_parked >= threshold;
     case Condition::kClassScope:
       // The install-time id pin distinguishes same-label classes
       // (two trees both labeled "hmcs.level1"), but ids recycle when
@@ -200,7 +209,7 @@ struct Rule {
   // grammar predates compound rules and callers read these directly).
   Condition cond = Condition::kAlways;
   Action action = Action::kSuppress;
-  std::uint32_t threshold = 0;  // kWaitersAtLeast only
+  std::uint32_t threshold = 0;  // kWaitersAtLeast / kParkedAtLeast
   std::string cls_name;         // kClassScope only (see CondClause)
   std::uint16_t cls = kNoClass;
   // Second and later @cond clauses, ANDed with the first.

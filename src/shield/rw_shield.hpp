@@ -468,6 +468,21 @@ class RwShield {
   static constexpr Resilience resilience() { return Base::resilience(); }
 
  private:
+  // Parking hooks, compiled away for bases without a parking bay (the
+  // rw locks built on TAS-family primitives have none today).
+  std::uint32_t base_parked_waiters() const {
+    if constexpr (requires(const Base& b) { b.parked_waiters(); }) {
+      return base_.parked_waiters();
+    } else {
+      return 0;
+    }
+  }
+  void base_misuse_wake() {
+    if constexpr (requires(Base& b) { b.misuse_wake(); }) {
+      base_.misuse_wake();
+    }
+  }
+
   // The read-side tallies are the only per-op counters on a path that
   // can be nearly free (reader-pref rlock is two RMWs); a single shared
   // counter would double the bounced lines and blow the 2x budget, so
@@ -573,11 +588,16 @@ class RwShield {
       ctx.waiters = contention_.waiters() + readers;
       ctx.contended = ctx.waiters > 0 || write_owned_by_other();
       ctx.in_flagged_cycle = lockdep::Graph::instance().is_flagged(cls);
+      ctx.waiters_parked = base_parked_waiters();
       ctx.cls = cls;
       ctx.cls_label = lockdep::Graph::instance().label_of(cls);
       action = response::ResponseEngine::instance().decide(
           ev, ctx, to_action(policy()));
     }
+    // Misuse-aware wakeup (mirrors Shield::apply_policy): an absorbed
+    // rw misuse may orphan waiters parked on the base lock's hand-off.
+    // Broadcast-wake them so each re-checks its wait word.
+    if (action != response::Action::kPassthrough) base_misuse_wake();
     lockdep::TraceBuffer::instance().emit(
         static_cast<lockdep::EventKind>(static_cast<std::uint8_t>(ev)),
         this, cls, lockdep::kNoClassTag,

@@ -50,6 +50,7 @@
 #include "lockdep/class_key.hpp"
 #include "lockdep/lockdep.hpp"
 #include "observe/lockstat.hpp"
+#include "park/parking_lot.hpp"
 #include "platform/thread_registry.hpp"
 #include "runtime/timer.hpp"
 #include "response/response.hpp"
@@ -162,7 +163,30 @@ class Shield {
         (lockstat && contended) ? runtime::now_ns() : 0;
     if (span) emit_span(lockdep::EventKind::kWaitBegin, site);
     if (contended) contention_.begin_wait();
+    // Park attribution: the park layer sits below observe/ and cannot
+    // name lockdep classes, so the class hint is stamped into the
+    // thread's park tally for the duration of the contended acquire
+    // (it rides on kParkBegin spans) and the tally delta is credited
+    // to this class afterwards. Uncontended acquires skip all of it.
+    park::ThreadParkTally& pt = park::ThreadParkTally::mine();
+    const bool tally_parks = contended && (lockstat || span);
+    std::uint64_t parks0 = 0, park_ns0 = 0, wakes0 = 0;
+    std::uint16_t prev_hint = park::kNoClsHint;
+    if (tally_parks) {
+      parks0 = pt.parks;
+      park_ns0 = pt.park_ns;
+      wakes0 = pt.wakes;
+      prev_hint = pt.cls_hint;
+      pt.cls_hint = lockdep_ensure_class();
+    }
     generic_acquire(base_, ctx);
+    if (tally_parks) {
+      pt.cls_hint = prev_hint;
+      if (lockstat && pt.parks != parks0) {
+        observe::on_parked(lockdep_ensure_class(), pt.parks - parks0,
+                           pt.park_ns - park_ns0, pt.wakes - wakes0);
+      }
+    }
     if (contended) contention_.end_wait();
     if (span) emit_span(lockdep::EventKind::kWaitEnd, site);
     if (lockstat && contended) {
@@ -359,6 +383,7 @@ class Shield {
     } else {
       response::EventContext ctx;
       ctx.waiters = contention_.waiters();
+      ctx.waiters_parked = base_parked_waiters();
       ctx.contended = ctx.waiters > 0;
       ctx.in_flagged_cycle = lockdep::Graph::instance().is_flagged(cls);
       ctx.cls = cls;
@@ -375,6 +400,17 @@ class Shield {
         static_cast<lockdep::EventKind>(static_cast<std::uint8_t>(kind)),
         this, cls, lockdep::kNoClassTag,
         static_cast<std::uint8_t>(action));
+    // An absorbed unlock-family misuse orphans the base protocol's
+    // waiters: the misbehaving thread will never deliver the hand-off
+    // they are waiting for. A spinning waiter rides it out until the
+    // REAL owner releases; a parked one would sleep forever. Rescue:
+    // broadcast-wake the lock's parked waiters so they re-check and
+    // re-park against the legitimate hand-off. (Relock absorption
+    // keeps the hold intact — nothing to rescue.)
+    if (action != response::Action::kPassthrough &&
+        kind != MisuseKind::kReentrantRelock) {
+      base_misuse_wake();
+    }
     switch (action) {
       case response::Action::kAbort:
         report_misuse(kind, this);
@@ -393,6 +429,23 @@ class Shield {
         return false;
     }
     return true;  // unreachable
+  }
+
+  // Parking hook points, present only when the base has a parking
+  // tier (MCS/CLH/Ticket/HMCS); the TAS/backoff family compiles to
+  // no-ops through the requires clauses.
+  std::uint32_t base_parked_waiters() const {
+    if constexpr (requires(const Base& b) { b.parked_waiters(); }) {
+      return base_.parked_waiters();
+    } else {
+      return 0;
+    }
+  }
+
+  void base_misuse_wake() {
+    if constexpr (requires(Base& b) { b.misuse_wake(); }) {
+      base_.misuse_wake();
+    }
   }
 
   // Returns true when the relock was absorbed (caller must not touch the

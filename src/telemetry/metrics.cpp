@@ -6,6 +6,7 @@
 #include "lockdep/event_ring.hpp"
 #include "lockdep/lockdep.hpp"
 #include "observe/lockstat.hpp"
+#include "park/parking_lot.hpp"
 #include "platform/env.hpp"
 #include "platform/json.hpp"
 #include "response/response.hpp"
@@ -139,6 +140,21 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     put("lockstat.misuses", lt.misuses);
     put("lockstat.wait_ns_total", lt.wait_ns);
     put("lockstat.hold_ns_total", lt.hold_ns);
+    put("lockstat.parks", lt.parks);
+    put("lockstat.park_ns_total", lt.park_ns);
+  }
+
+  // Parking tier (src/park/): process-wide futex sleep/wake tallies
+  // plus the live currently_parked gauge.
+  {
+    const park::ParkStatsSnapshot ps = park::ParkStats::instance().snapshot();
+    put("park.enabled", park::parking_enabled() ? 1 : 0);
+    put("park.parks", ps.parks);
+    put("park.wakes", ps.wakes);
+    put("park.wakes_spurious", ps.wakes_spurious);
+    put("park.timeouts", ps.timeouts);
+    put("park.misuse_wakes", ps.misuse_wakes);
+    put("park.currently_parked", ps.currently_parked);
   }
 
   // Registered per-lock sources.

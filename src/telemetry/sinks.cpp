@@ -117,6 +117,12 @@ class PerfettoSink final : public FileSink {
       case EventKind::kWaitEnd:
         close_span(e, kWait, "lock-wait");
         return;
+      case EventKind::kParkBegin:
+        open_[{e.pid, e.lock, kPark}] = OpenSpan{e.ns, e.site};
+        return;
+      case EventKind::kParkEnd:
+        close_span(e, kPark, "lock-park");
+        return;
       default:
         break;
     }
@@ -155,7 +161,7 @@ class PerfettoSink final : public FileSink {
   }
 
  private:
-  enum SpanClass : std::uint8_t { kHold = 0, kWait = 1 };
+  enum SpanClass : std::uint8_t { kHold = 0, kWait = 1, kPark = 2 };
   // (thread, lock, hold|wait) -> the open span's begin state.
   using Key = std::tuple<std::uint32_t, const void*, std::uint8_t>;
   struct OpenSpan {

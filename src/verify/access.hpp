@@ -34,10 +34,15 @@ struct VerifyAccess {
   static std::uint64_t ticket_serving(const BasicTicketLock<R>& l) {
     return l.now_serving_.load(std::memory_order_acquire);
   }
-  // Rescue: realign nowServing so skipped tickets can proceed.
+  // Rescue: realign nowServing so skipped tickets can proceed. The
+  // epoch bump + broadcast covers waiters that parked on the old
+  // serving value (a sweep is exactly the "grant without a release"
+  // case the parking epoch exists for).
   template <Resilience R>
   static void ticket_force_serving(BasicTicketLock<R>& l, std::uint64_t v) {
     l.now_serving_.store(v, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    l.wake_all_parked();
   }
 
   // ----- Graunke–Thakkar -----
@@ -73,10 +78,16 @@ struct VerifyAccess {
       const BasicClhLock<R>& l) {
     return l.tail_.load(std::memory_order_acquire);
   }
-  // Rescue: release a waiter spinning on `node` directly.
+  // Rescue: release a waiter spinning (or parked) on `node` directly.
+  // The bay broadcast is load-bearing under aliasing misuse: a
+  // double-enqueue's store can trample kWordParked, after which every
+  // conditional wake (including this wake_word) skips the futex_wake
+  // and a parked waiter would sleep forever.
   template <Resilience R>
-  static void clh_force_release(typename BasicClhLock<R>::QNode* node) {
-    node->succ_must_wait.store(false, std::memory_order_release);
+  static void clh_force_release(BasicClhLock<R>& l,
+                                typename BasicClhLock<R>::QNode* node) {
+    park::wake_word(node->succ_must_wait);
+    l.misuse_wake();
   }
 
   // ----- MCS-K42 -----

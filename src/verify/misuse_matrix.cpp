@@ -387,10 +387,10 @@ FlavorOutcome run_clh() {
   if (!wait_for([&] { return tx.done() && ty.done() && tm2.done(); },
                 milliseconds{2500})) {
     out.others_starved = true;
-    VerifyAccess::clh_force_release<R>(VerifyAccess::clh_node<R>(*cx));
-    VerifyAccess::clh_force_release<R>(VerifyAccess::clh_node<R>(*cm));
-    VerifyAccess::clh_force_release<R>(VerifyAccess::clh_node<R>(*cy));
-    VerifyAccess::clh_force_release<R>(VerifyAccess::clh_node<R>(*c1));
+    VerifyAccess::clh_force_release<R>(lock, VerifyAccess::clh_node<R>(*cx));
+    VerifyAccess::clh_force_release<R>(lock, VerifyAccess::clh_node<R>(*cm));
+    VerifyAccess::clh_force_release<R>(lock, VerifyAccess::clh_node<R>(*cy));
+    VerifyAccess::clh_force_release<R>(lock, VerifyAccess::clh_node<R>(*c1));
   }
   t2.join();
   tx.join();
@@ -444,17 +444,17 @@ FlavorOutcome run_clh() {
       if (!wait_for([&] { return waiter.done(); }, milliseconds{250})) {
         out.others_starved = true;  // waiter missed the flip
         // Rescue every node either context might be spinning on.
-        VerifyAccess::clh_force_release<R>(VerifyAccess::clh_node<R>(*a1));
-        VerifyAccess::clh_force_release<R>(VerifyAccess::clh_node<R>(*am));
-        VerifyAccess::clh_force_release<R>(VerifyAccess::clh_node<R>(*ax));
+        VerifyAccess::clh_force_release<R>(l2, VerifyAccess::clh_node<R>(*a1));
+        VerifyAccess::clh_force_release<R>(l2, VerifyAccess::clh_node<R>(*am));
+        VerifyAccess::clh_force_release<R>(l2, VerifyAccess::clh_node<R>(*ax));
         wait_for([&] { return waiter.done() && tm.done(); },
                  milliseconds{500});
         // Repeat rescues until everyone is out (aliasing can re-arm).
         for (int i = 0; i < 50 && !(waiter.done() && tm.done() &&
                                     holder.done()); ++i) {
-          VerifyAccess::clh_force_release<R>(VerifyAccess::clh_node<R>(*a1));
-          VerifyAccess::clh_force_release<R>(VerifyAccess::clh_node<R>(*am));
-          VerifyAccess::clh_force_release<R>(VerifyAccess::clh_node<R>(*ax));
+          VerifyAccess::clh_force_release<R>(l2, VerifyAccess::clh_node<R>(*a1));
+          VerifyAccess::clh_force_release<R>(l2, VerifyAccess::clh_node<R>(*am));
+          VerifyAccess::clh_force_release<R>(l2, VerifyAccess::clh_node<R>(*ax));
           wait_for([&] { return false; }, milliseconds{10});
         }
       }

@@ -1,0 +1,85 @@
+// Unit tests for platform/chrono_to_timespec.hpp: the saturating
+// ns <-> timespec conversions and the realtime-deadline-to-monotonic
+// re-basing the timed shim entry points depend on.
+#include <gtest/gtest.h>
+
+#include <ctime>
+
+#include "platform/chrono_to_timespec.hpp"
+
+using namespace resilock::platform;
+
+TEST(ChronoTimespec, Validity) {
+  EXPECT_TRUE(timespec_valid(timespec{0, 0}));
+  EXPECT_TRUE(timespec_valid(timespec{5, 999999999}));
+  EXPECT_FALSE(timespec_valid(timespec{5, 1000000000}));
+  EXPECT_FALSE(timespec_valid(timespec{5, -1}));
+}
+
+TEST(ChronoTimespec, RoundTrip) {
+  const std::uint64_t cases[] = {0, 1, 999999999, kNsPerSec,
+                                 kNsPerSec + 1, 123456789012345ull};
+  for (const std::uint64_t ns : cases) {
+    const timespec ts = timespec_from_ns(ns);
+    EXPECT_TRUE(timespec_valid(ts));
+    EXPECT_EQ(ns_from_timespec(ts), ns) << ns;
+  }
+}
+
+TEST(ChronoTimespec, NegativeSecondsClampToZero) {
+  EXPECT_EQ(ns_from_timespec(timespec{-3, 500}), 0u);
+}
+
+TEST(ChronoTimespec, SaturatingAdd) {
+  EXPECT_EQ(saturating_add_ns(1, 2), 3u);
+  EXPECT_EQ(saturating_add_ns(kNsInfinite, 1), kNsInfinite);
+  EXPECT_EQ(saturating_add_ns(kNsInfinite - 1, 5), kNsInfinite);
+  EXPECT_EQ(saturating_add_ns(5, kNsInfinite), kNsInfinite);
+}
+
+TEST(ChronoTimespec, InfiniteRoundsToMaxTimespec) {
+  const timespec ts = timespec_from_ns(kNsInfinite);
+  EXPECT_TRUE(timespec_valid(ts));
+  EXPECT_EQ(ns_from_timespec(ts), kNsInfinite);
+}
+
+TEST(ChronoTimespec, ClockNowAdvances) {
+  const std::uint64_t a = monotonic_now_ns();
+  const std::uint64_t b = monotonic_now_ns();
+  EXPECT_GE(b, a);
+  EXPECT_GT(a, 0u);
+}
+
+TEST(ChronoTimespec, RealtimeDeadlineRebasesToMonotonic) {
+  // A realtime deadline 100 ms out lands ~100 ms past monotonic now.
+  timespec now{};
+  ASSERT_EQ(clock_gettime(CLOCK_REALTIME, &now), 0);
+  timespec abs = now;
+  abs.tv_nsec += 100000000;
+  if (abs.tv_nsec >= 1000000000) {
+    abs.tv_sec += 1;
+    abs.tv_nsec -= 1000000000;
+  }
+  const std::uint64_t mono_before = monotonic_now_ns();
+  const std::uint64_t deadline = monotonic_deadline_from_realtime(abs);
+  EXPECT_GT(deadline, mono_before);
+  // Generous bound: within a second of the expected offset.
+  EXPECT_LT(deadline, mono_before + kNsPerSec);
+}
+
+TEST(ChronoTimespec, PastRealtimeDeadlineIsImmediate) {
+  const timespec past{0, 0};  // the epoch: long gone
+  const std::uint64_t deadline = monotonic_deadline_from_realtime(past);
+  EXPECT_LE(deadline, monotonic_now_ns());
+}
+
+TEST(ChronoTimespec, RelativeUntil) {
+  timespec rel{};
+  // Deadline in the future: a positive relative timeout comes back.
+  EXPECT_TRUE(relative_until(1000000, 500000, rel));
+  EXPECT_TRUE(timespec_valid(rel));
+  EXPECT_EQ(ns_from_timespec(rel), 500000u);
+  // Deadline passed (or now): no wait.
+  EXPECT_FALSE(relative_until(500, 500, rel));
+  EXPECT_FALSE(relative_until(100, 500, rel));
+}

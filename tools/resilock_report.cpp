@@ -147,6 +147,8 @@ struct ClassAgg {
   resilock::observe::HistogramSnapshot wait;
   resilock::observe::HistogramSnapshot hold;
   std::uint64_t misuses = 0;
+  std::uint64_t parks = 0;    // park-begin .. park-end kernel sleeps
+  std::uint64_t park_ns = 0;  // descheduled total, subset of wait
   std::uint64_t by_mode[3] = {};
   std::map<std::uint64_t, std::uint64_t> sites;  // addr -> count
 };
@@ -199,6 +201,13 @@ struct Analysis {
     ++a.by_mode[mode % 3];
     if (site != 0) ++a.sites[site];
   }
+
+  void add_park(std::uint32_t cls, const std::string& label,
+                std::uint64_t dur_ns) {
+    ClassAgg& a = cls_agg(cls, label);
+    ++a.parks;
+    a.park_ns += dur_ns;
+  }
 };
 
 // ---------------------------------------------------------------------
@@ -228,8 +237,9 @@ void ingest_jsonl(std::istream& in, Analysis& out) {
     const auto cls = static_cast<std::uint32_t>(cls64);
     std::string label;
     find_string(line, "cls_label", label);
-    if (kind == "hold-begin" || kind == "wait-begin") {
-      const int sc = kind[0] == 'h' ? 0 : 1;
+    if (kind == "hold-begin" || kind == "wait-begin" ||
+        kind == "park-begin") {
+      const int sc = kind[0] == 'h' ? 0 : (kind[0] == 'w' ? 1 : 2);
       OpenSpan o;
       o.ns = ns;
       o.cls = cls;
@@ -241,8 +251,8 @@ void ingest_jsonl(std::istream& in, Analysis& out) {
       open[{pid, lock, sc}] = o;
       continue;
     }
-    if (kind == "hold-end" || kind == "wait-end") {
-      const int sc = kind[0] == 'h' ? 0 : 1;
+    if (kind == "hold-end" || kind == "wait-end" || kind == "park-end") {
+      const int sc = kind[0] == 'h' ? 0 : (kind[0] == 'w' ? 1 : 2);
       const auto it = open.find({pid, lock, sc});
       if (it == open.end()) {
         ++out.unpaired;
@@ -257,6 +267,8 @@ void ingest_jsonl(std::istream& in, Analysis& out) {
       const std::string& lb = !label.empty() ? label : o.label;
       if (sc == 1) {
         out.add_wait(static_cast<std::uint32_t>(pid), c, lb, o.ns, dur);
+      } else if (sc == 2) {
+        out.add_park(c, lb, dur);
       } else {
         out.add_hold(c, lb, dur, o.mode, o.site);
       }
@@ -296,6 +308,8 @@ void ingest_perfetto_event(std::string_view obj, Analysis& out) {
     if (name == "lock-wait") {
       out.add_wait(static_cast<std::uint32_t>(tid), cls, label, begin_ns,
                    dur_ns);
+    } else if (name == "lock-park") {
+      out.add_park(cls, label, dur_ns);
     } else if (name == "lock-hold") {
       std::string mode;
       find_string(obj, "mode", mode);
@@ -358,6 +372,12 @@ std::vector<resilock::observe::ClassReport> to_reports(
     r.acquisitions = agg.hold.count;
     r.contentions = agg.wait.count;
     r.misuses = agg.misuses;
+    r.parks = agg.parks;
+    r.park_time = agg.park_ns;
+    // Every park span in the trace ended with a wake (a timed-out or
+    // interrupted park re-checks and loops inside one span), so the
+    // offline reconstruction equates wakes with parks.
+    r.wakes = agg.parks;
     for (std::size_t m = 0; m < 3; ++m) r.by_mode[m] = agg.by_mode[m];
     r.wait = agg.wait;
     r.hold = agg.hold;
@@ -435,7 +455,8 @@ bool write_json(const char* path, const Analysis& a,
         "\"acquisitions\":%llu,\"misuses\":%llu,"
         "\"wait_total_ns\":%llu,\"wait_p50_ns\":%llu,"
         "\"wait_p99_ns\":%llu,\"wait_max_ns\":%llu,"
-        "\"hold_total_ns\":%llu,\"sites\":%zu}",
+        "\"hold_total_ns\":%llu,\"parks\":%llu,\"park_ns\":%llu,"
+        "\"sites\":%zu}",
         first ? "" : ",", label.c_str(), static_cast<unsigned>(r.cls),
         static_cast<unsigned long long>(r.contentions),
         static_cast<unsigned long long>(r.acquisitions),
@@ -444,7 +465,9 @@ bool write_json(const char* path, const Analysis& a,
         static_cast<unsigned long long>(r.wait.percentile(0.50)),
         static_cast<unsigned long long>(r.wait.percentile(0.99)),
         static_cast<unsigned long long>(r.wait.max),
-        static_cast<unsigned long long>(r.hold.total), r.sites.size());
+        static_cast<unsigned long long>(r.hold.total),
+        static_cast<unsigned long long>(r.parks),
+        static_cast<unsigned long long>(r.park_time), r.sites.size());
     first = false;
   }
   std::fputs("],\"threads\":[", f);
