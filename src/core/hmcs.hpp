@@ -263,7 +263,7 @@ class BasicHmcsLock {
     std::size_t n = 0;
     for (std::uint32_t i = 0; i < tracked_levels_; ++i) {
       const lockdep::ClassId id = level_keys_[i].id();
-      if (id < lockdep::kMaxClasses) out[n++] = id;
+      if (lockdep::class_tracked(id)) out[n++] = id;
     }
     return n;
   }

@@ -4,7 +4,7 @@
 // Lockdep classes default to one per lock INSTANCE, which is the right
 // granularity for a handful of named locks but wrong for
 // data-structure-heavy code: a tree with one mutex per node would (a)
-// exhaust the fixed class table after kMaxClasses nodes and (b) never
+// balloon the class table with one slot per node and (b) never
 // see the order bug "lock node of container A, then node of container
 // B" vs the reverse, because every node is its own class and every
 // pairing is a fresh, cycle-free edge.

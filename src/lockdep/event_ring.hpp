@@ -103,7 +103,7 @@ inline constexpr std::uint8_t kNoMode = 0xFF;
 // TraceEvent.a / .b when the event carries no class attribution
 // (mirrors lockdep::kInvalidClass; a static_assert in lockdep.cpp
 // keeps them in lock step).
-inline constexpr std::uint16_t kNoClassTag = 0xFFFF;
+inline constexpr std::uint32_t kNoClassTag = 0xFFFFFFFFu;
 
 struct TraceEvent {
   std::uint64_t ns = 0;         // runtime::now_ns() at emission
@@ -112,9 +112,11 @@ struct TraceEvent {
   // Lockdep reports: source/destination class of the new edge. Misuse
   // events: `a` is the class the misuse is attributed to (the shield's
   // class, or the entry-level class of a hierarchical lock) and `b` is
-  // unused. kNoClassTag when unattributed.
-  std::uint16_t a = kNoClassTag;
-  std::uint16_t b = kNoClassTag;
+  // unused. Generation-stamped ClassIds (slot + generation), so a
+  // trace consumer resolving them later can detect that the slot was
+  // recycled instead of misattributing. kNoClassTag when unattributed.
+  std::uint32_t a = kNoClassTag;
+  std::uint32_t b = kNoClassTag;
   EventKind kind = EventKind::kUnbalancedUnlock;
   // response::Action the engine returned for this event (kNoVerdict
   // when none was taken), so post-mortem traces show not just what
@@ -273,7 +275,7 @@ class TraceBuffer {
   // Emit from the calling thread (wait-free; the ring is allocated on
   // the thread's first event, never on the lock fast path).
   void emit(EventKind kind, const void* lock,
-            std::uint16_t a = kNoClassTag, std::uint16_t b = kNoClassTag,
+            std::uint32_t a = kNoClassTag, std::uint32_t b = kNoClassTag,
             std::uint8_t verdict = kNoVerdict,
             std::uint8_t mode = kNoMode, std::uint32_t readers = 0,
             std::uint64_t site = 0) {

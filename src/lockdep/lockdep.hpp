@@ -13,24 +13,41 @@
 // the deadlock.
 //
 // Structure:
-//   * a fixed-size class table (kMaxClasses): every shielded lock
-//     instance lazily registers a class id; ids are recycled on
-//     destruction so long-lived processes do not exhaust the table;
-//   * the order graph, sharded by source class into per-class atomic
-//     bitmap rows. The hot path — "is this edge already known?" — is a
-//     single lock-free word load. A NEW edge is claimed with one
-//     fetch_or (seq_cst); the claiming thread then runs a DFS over the
-//     bitmap rows for a path back. Two threads racing to insert the two
-//     halves of a cycle both use seq_cst RMWs, so at least one of them
+//   * a sharded, chunk-growable class table: every shielded lock
+//     instance lazily registers a class id from a per-shard freelist
+//     (shard = hash of the registering thread, work-stealing on
+//     exhaustion); when every freelist is dry the table grows by one
+//     chunk of slots, pointer-published with release semantics, so the
+//     hot-path probe stays a wait-free two-load indirection and no
+//     existing id ever moves. Ids carry a generation stamp in their
+//     upper bits: a retired slot's id is recycled with a bumped
+//     generation, so stale ids held by lockstat, traces, or response
+//     rules can never alias the slot's next tenant;
+//   * the order graph, sharded by source class into per-class bitmap
+//     rows that grow by fixed-size segments (no global capacity in the
+//     row layout). The hot path — "is this edge already known?" — is a
+//     chain of lock-free loads. A NEW edge is claimed with one fetch_or
+//     (seq_cst); the claiming thread then runs a DFS over the bitmap
+//     rows for a path back. Two threads racing to insert the two halves
+//     of a cycle both use seq_cst RMWs, so at least one of them
 //     observes the other's edge and reports;
+//   * epoch-based reclamation instead of the old global
+//     dfs_inflight drain: readers (edge probes, DFS, reports, retire's
+//     column clears) pin the global epoch on entry; retire_class parks
+//     the dead slot and its detached row on an epoch-stamped limbo list
+//     and returns immediately. Limbo entries are physically recycled
+//     (row freed, id returned to a shard freelist) only once every
+//     active reader pin postdates them — so a traversal can never
+//     stitch a dead class's stale in-edge to a recycled id's fresh
+//     out-edges, and retirement never blocks on other threads;
 //   * a per-thread acquisition stack (AcqStack) recording the held set
 //     in acquisition order, fed by Shield<L> hooks;
 //   * verdicts wired to RESILOCK_LOCKDEP=report|abort|off (default
-//     report), runtime-settable like the shield policy. Reports are
-//     counted, pushed into the misuse event ring (event_ring.hpp), and
-//     printed; abort additionally calls std::abort() — BEFORE the
-//     acquisition blocks, so an imminent deadlock dies loudly instead
-//     of wedging.
+//     report), runtime-settable like the shield policy.
+//
+// Tunables: RESILOCK_LOCKDEP_SHARDS (freelist shards, power of two,
+// default 8, max 64) and RESILOCK_LOCKDEP_CHUNK (slots mapped per
+// growth step, power of two, default 1024, range 256..65536).
 //
 // Trylocks never add edges: an acquisition that cannot block cannot
 // contribute to a deadlock cycle (it can only be held while someone
@@ -62,14 +79,44 @@
 
 namespace resilock::lockdep {
 
-using ClassId = std::uint16_t;
+// A class id is a table slot plus a generation stamp. The slot names a
+// position in the chunk-growable table (it never moves); the generation
+// counts how many times the slot has been recycled, so consumers that
+// cached an id across a retire can detect the mismatch instead of
+// attributing state to the slot's next tenant.
+using ClassId = std::uint32_t;
 
-inline constexpr std::size_t kMaxClasses = 1024;
+inline constexpr std::uint32_t kClassSlotBits = 22;
+inline constexpr std::uint32_t kClassGenBits = 8;
+// Hard ceiling on table growth: 4M slots. The table starts empty and
+// maps chunks on demand; this only bounds the static directory.
+inline constexpr std::uint32_t kMaxClassSlots = 1u << kClassSlotBits;
+inline constexpr std::uint32_t kClassSlotMask = kMaxClassSlots - 1;
+inline constexpr std::uint32_t kClassGenMask = (1u << kClassGenBits) - 1;
+
 // Not yet registered (lazy registration happens on first acquire).
-inline constexpr ClassId kInvalidClass = 0xFFFF;
-// Registration was attempted while the class table was full; the lock
-// participates in nothing (fail-open: no tracking, no false reports).
-inline constexpr ClassId kUntrackedClass = 0xFFFE;
+inline constexpr ClassId kInvalidClass = 0xFFFFFFFFu;
+// Registration was attempted while the table was at its growth ceiling;
+// the lock participates in nothing (fail-open: no tracking, no false
+// reports).
+inline constexpr ClassId kUntrackedClass = 0xFFFFFFFEu;
+
+constexpr std::uint32_t class_slot(ClassId id) noexcept {
+  return id & kClassSlotMask;
+}
+constexpr std::uint32_t class_gen(ClassId id) noexcept {
+  return (id >> kClassSlotBits) & kClassGenMask;
+}
+constexpr ClassId make_class_id(std::uint32_t slot,
+                                std::uint32_t gen) noexcept {
+  return slot | ((gen & kClassGenMask) << kClassSlotBits);
+}
+// True for real (trackable) ids; false for kInvalidClass /
+// kUntrackedClass. This is THE guard every id-indexed path uses — the
+// old `id < kMaxClasses` bound died with the fixed table.
+constexpr bool class_tracked(ClassId id) noexcept {
+  return id < (1u << (kClassSlotBits + kClassGenBits));
+}
 
 // ---------------------------------------------------------------------
 // Mode: the lockdep analog of the shield's policy engine.
@@ -151,6 +198,12 @@ struct LockdepStats {
   std::uint64_t inversions = 0;          // two-class AB/BA reports
   std::uint64_t cycles = 0;              // reports with cycle length >= 3
   std::uint64_t stack_overflow = 0;      // held-set entries not tracked
+  std::uint64_t capacity = 0;            // table slots currently mapped
+  std::uint64_t chunks = 0;              // chunk mappings (growth steps)
+  std::uint64_t epoch = 0;               // global reclamation epoch
+  std::uint64_t limbo = 0;               // retired ids awaiting grace
+  std::uint64_t reclaimed = 0;           // ids recycled after grace
+  std::uint64_t shard_steals = 0;        // cross-shard freelist steals
 
   std::uint64_t reports() const { return inversions + cycles; }
 };
@@ -162,13 +215,16 @@ struct LockdepStats {
 class Graph {
  public:
   static Graph& instance() {
-    static Graph g;
-    return g;
+    // Deliberately leaked: thread-exit hooks (reader-slot leases) and
+    // detached telemetry threads may touch the graph during shutdown.
+    static Graph* g = new Graph();
+    return *g;
   }
 
-  // Allocates a class id (recycling retired ones first). Returns
-  // kUntrackedClass when the table is full — callers must treat that as
-  // "do not track" and carry on.
+  // Allocates a class id (recycling retired ones first — own shard,
+  // then stealing, then reclaiming limbo, then growing the table).
+  // Returns kUntrackedClass only at the growth ceiling — callers must
+  // treat that as "do not track" and carry on.
   ClassId register_class(const void* instance, const char* label);
 
   // Allocates a class id shared by MANY lock instances (Linux-style
@@ -178,16 +234,21 @@ class Graph {
   // the owner mirror can identify individual locks of this class.
   ClassId register_shared_class(const void* key, const char* label);
 
-  // Clears the class's row and column in the edge relation and returns
-  // the id to the free list. Safe to call with kUntrackedClass /
-  // kInvalidClass (no-op).
+  // Logically retires the class: bumps the slot's generation (so the
+  // id held by the caller — and anyone else — goes stale), clears its
+  // in-edges from other rows, detaches its own row, and parks both on
+  // the epoch limbo list. Returns immediately; the slot is recycled
+  // and the row freed only after every reader pinned at or before the
+  // retirement epoch has unpinned. Safe to call with kUntrackedClass /
+  // kInvalidClass or an already-stale id (no-op).
   void retire_class(ClassId id);
 
-  // True iff `id` was registered through register_shared_class.
+  // True iff `id` was registered through register_shared_class (and is
+  // still the slot's live tenant).
   bool is_shared(ClassId id) const {
-    if (id >= kMaxClasses) return false;
-    return (shared_[id >> 6].load(std::memory_order_acquire) >>
-            (id & 63)) & 1u;
+    const ClassSlot* s = slot_checked(id);
+    return s != nullptr &&
+           (s->meta.load(std::memory_order_acquire) & kMetaShared) != 0;
   }
 
   // True iff `id` sat on the path of a reported inversion/cycle. This
@@ -195,16 +256,22 @@ class Graph {
   // lock whose class is entangled in a known order cycle is graver
   // than the same misuse elsewhere.
   bool is_flagged(ClassId id) const {
-    if (id >= kMaxClasses) return false;
-    return (flagged_[id >> 6].load(std::memory_order_relaxed) >>
-            (id & 63)) & 1u;
+    const ClassSlot* s = slot_checked(id);
+    return s != nullptr &&
+           (s->meta.load(std::memory_order_relaxed) & kMetaFlagged) != 0;
   }
 
-  // Hot path: true iff from→to is already recorded (single word load).
+  // Hot path: true iff from→to is already recorded (a chain of
+  // wait-free loads: chunk → slot → row → segment → word).
   bool has_edge(ClassId from, ClassId to) const {
-    if (from >= kMaxClasses || to >= kMaxClasses) return false;
-    return (rows_[from].bits[to >> 6].load(std::memory_order_acquire) >>
-            (to & 63)) & 1u;
+    if (!class_tracked(from) || !class_tracked(to)) return false;
+    EpochPin pin(const_cast<Graph&>(*this));
+    const EdgeSeg* seg = seg_of(class_slot(from), class_slot(to));
+    if (seg == nullptr) return false;
+    const std::uint32_t ts = class_slot(to);
+    return (seg->bits[(ts & kSegMask) >> 6].load(
+                std::memory_order_acquire) >>
+            (ts & 63)) & 1u;
   }
 
   // Records "held `from` (in `from_mode`) while acquiring `to` (in
@@ -220,126 +287,311 @@ class Graph {
                    std::uint32_t waiters = 0, bool owned = false,
                    AccessMode from_mode = AccessMode::kExclusive,
                    AccessMode to_mode = AccessMode::kExclusive) {
-    if (from >= kMaxClasses || to >= kMaxClasses || from == to) return;
+    if (!class_tracked(from) || !class_tracked(to)) return;
+    const std::uint32_t fs = class_slot(from);
+    const std::uint32_t ts = class_slot(to);
+    if (fs == ts) return;
     if (from_mode == AccessMode::kRead && to_mode == AccessMode::kRead) {
       rr_skipped_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    auto& word = rows_[from].bits[to >> 6];
-    const std::uint64_t mask = 1ull << (to & 63);
-    if (word.load(std::memory_order_acquire) & mask) return;
-    // Claim first-occurrence duty: exactly one thread sees the bit
-    // flip. seq_cst so two threads inserting the two halves of a cycle
-    // cannot both miss each other in the DFS below (store-buffering).
-    if (word.fetch_or(mask, std::memory_order_seq_cst) & mask) return;
-    // Mode tags for this first occurrence; readers of the tags only
-    // consult them for edges whose bit they have already observed.
-    if (from_mode == AccessMode::kRead) {
-      rows_[from].read_src[to >> 6].fetch_or(mask,
-                                             std::memory_order_release);
+    // The pin covers every row/segment dereference below (and the DFS
+    // inside claim_edge): reclamation frees a detached row only after
+    // all pins taken before the retirement epoch are gone. Nested pins
+    // (the on_acquire_attempt loop pins once around all its edges)
+    // cost one thread-local increment.
+    EpochPin pin(*this);
+    if (const EdgeSeg* seg = seg_of(fs, ts)) {
+      if ((seg->bits[(ts & kSegMask) >> 6].load(
+               std::memory_order_acquire) >>
+           (ts & 63)) & 1u) {
+        return;  // hot path: the order is already known
+      }
     }
-    if (to_mode == AccessMode::kRead) {
-      rows_[from].read_dst[to >> 6].fetch_or(mask,
-                                             std::memory_order_release);
-    }
-    edges_.fetch_add(1, std::memory_order_relaxed);
-    check_cycle(from, to, lock, waiters, owned);
+    claim_edge(from, to, lock, waiters, owned, from_mode, to_mode);
   }
 
   // First-occurrence mode tags of a recorded edge: whether the source
   // hold / destination acquisition was read-mode. False for unrecorded
   // edges and write/exclusive endpoints.
   bool edge_src_was_read(ClassId from, ClassId to) const {
-    if (from >= kMaxClasses || to >= kMaxClasses) return false;
-    return (rows_[from].read_src[to >> 6].load(std::memory_order_acquire) >>
-            (to & 63)) & 1u;
+    if (!class_tracked(from) || !class_tracked(to)) return false;
+    EpochPin pin(const_cast<Graph&>(*this));
+    const EdgeSeg* seg = seg_of(class_slot(from), class_slot(to));
+    if (seg == nullptr) return false;
+    const std::uint32_t ts = class_slot(to);
+    return (seg->read_src[(ts & kSegMask) >> 6].load(
+                std::memory_order_acquire) >>
+            (ts & 63)) & 1u;
   }
   bool edge_dst_was_read(ClassId from, ClassId to) const {
-    if (from >= kMaxClasses || to >= kMaxClasses) return false;
-    return (rows_[from].read_dst[to >> 6].load(std::memory_order_acquire) >>
-            (to & 63)) & 1u;
+    if (!class_tracked(from) || !class_tracked(to)) return false;
+    EpochPin pin(const_cast<Graph&>(*this));
+    const EdgeSeg* seg = seg_of(class_slot(from), class_slot(to));
+    if (seg == nullptr) return false;
+    const std::uint32_t ts = class_slot(to);
+    return (seg->read_dst[(ts & kSegMask) >> 6].load(
+                std::memory_order_acquire) >>
+            (ts & 63)) & 1u;
   }
 
+  // Label of the slot's LIVE tenant; nullptr once the id went stale
+  // (retired or recycled) — a recycled slot never answers for its
+  // previous tenant.
   const char* label_of(ClassId id) const {
-    if (id >= kMaxClasses) return nullptr;
-    return labels_[id].load(std::memory_order_acquire);
+    const ClassSlot* s = slot_checked(id);
+    return s != nullptr ? s->label.load(std::memory_order_acquire)
+                        : nullptr;
   }
 
   // First live class registered under `label` (string compare), or
   // kInvalidClass. Cold path only: response-rule installation resolves
-  // @class=<name> scopes through here.
+  // @class=<name> scopes through here. Scans only mapped chunks.
   ClassId find_class(std::string_view label) const;
 
   // Lock instance currently registered under `id`; nullptr when the
-  // class is retired (or the id is a sentinel).
+  // id is stale (or a sentinel).
   const void* instance_of(ClassId id) const {
-    if (id >= kMaxClasses) return nullptr;
-    return instances_[id].load(std::memory_order_acquire);
+    const ClassSlot* s = slot_checked(id);
+    return s != nullptr ? s->instance.load(std::memory_order_acquire)
+                        : nullptr;
   }
 
   // Graph-side owner mirror, maintained by the Shield hooks: pid+1 of
   // the thread that holds the class's lock, 0 when free. Lives in the
-  // graph's static arrays (not in the lock) so a thread can validate a
+  // graph's own table (not in the lock) so a thread can validate a
   // possibly-stale acquisition-stack entry WITHOUT dereferencing a
   // lock object that may have been destroyed since.
   std::uint32_t owner_of(ClassId id) const {
-    if (id >= kMaxClasses) return 0;
-    return owner_pid_[id].load(std::memory_order_relaxed);
+    const ClassSlot* s = slot_checked(id);
+    return s != nullptr ? s->owner_pid.load(std::memory_order_relaxed)
+                        : 0;
   }
   void note_owner(ClassId id, std::uint32_t tag) {
-    if (id < kMaxClasses) {
-      owner_pid_[id].store(tag, std::memory_order_relaxed);
+    if (ClassSlot* s = slot_checked(id)) {
+      s->owner_pid.store(tag, std::memory_order_relaxed);
     }
   }
   void clear_owner(ClassId id) { note_owner(id, 0); }
 
+  // ------------------------------------------------------------------
+  // Epoch reclamation (reader side is public: the hooks, the trace
+  // exporter, and tests pin around multi-step graph reads).
+  // ------------------------------------------------------------------
+
+  // Reentrant per-thread epoch pin. While any thread is pinned at
+  // epoch E, no limbo entry retired at an epoch >= E is recycled.
+  void pin_epoch();
+  void unpin_epoch();
+
+  class EpochPin {
+   public:
+    explicit EpochPin(Graph& g) : g_(g) { g_.pin_epoch(); }
+    ~EpochPin() { g_.unpin_epoch(); }
+    EpochPin(const EpochPin&) = delete;
+    EpochPin& operator=(const EpochPin&) = delete;
+
+   private:
+    Graph& g_;
+  };
+
+  // Frees every limbo entry whose grace period has passed (no active
+  // pin at or before its retirement epoch): rows are deleted, slots
+  // returned to the shard freelists. Called opportunistically by the
+  // allocator and retire; public so tests and shutdown sweeps can
+  // force it. Returns the number of entries recycled.
+  std::size_t try_reclaim();
+
+  // Table slots currently mapped (monotone; capacity never shrinks —
+  // chunks are permanent, only their tenants churn).
+  std::uint32_t capacity() const {
+    return capacity_.load(std::memory_order_acquire);
+  }
+
+  // Caps future growth at `slots` (rounded down to a chunk multiple;
+  // the ceiling kMaxClassSlots always applies). Already-mapped chunks
+  // are unaffected. Returns the previous limit. Tests use this to
+  // exercise the table-full fail-open path without mapping 4M slots.
+  std::uint32_t set_capacity_limit(std::uint32_t slots);
+
   LockdepStats stats() const;
 
  private:
-  Graph() = default;
+  Graph();
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
 
-  // DFS from `to` looking for `from`; on a hit, reports the cycle and
-  // applies the response-engine verdict. Out of line — runs at most
-  // once per distinct edge over the process lifetime.
-  void check_cycle(ClassId from, ClassId to, const void* lock,
-                   std::uint32_t waiters, bool owned);
+  // ------------------------------------------------------------------
+  // Table layout.
+  // ------------------------------------------------------------------
 
-  void report_cycle(const ClassId* path, std::size_t len,
-                    const void* lock, std::uint32_t waiters, bool owned);
+  // Edge bitmaps grow in fixed 1024-destination segments, deliberately
+  // decoupled from the (tunable) class-table chunk size.
+  static constexpr std::uint32_t kSegSlots = 1024;
+  static constexpr std::uint32_t kSegShift = 10;
+  static constexpr std::uint32_t kSegMask = kSegSlots - 1;
+  static constexpr std::uint32_t kSegWords = kSegSlots / 64;
+  static constexpr std::uint32_t kMaxSegs = kMaxClassSlots / kSegSlots;
 
-  static constexpr std::size_t kWords = kMaxClasses / 64;
-  struct Row {
-    std::atomic<std::uint64_t> bits[kWords] = {};
+  struct EdgeSeg {
+    std::atomic<std::uint64_t> bits[kSegWords] = {};
     // Mode tags, valid only where the corresponding `bits` bit is set:
     // the endpoint was read-mode at the edge's first occurrence.
-    std::atomic<std::uint64_t> read_src[kWords] = {};
-    std::atomic<std::uint64_t> read_dst[kWords] = {};
+    std::atomic<std::uint64_t> read_src[kSegWords] = {};
+    std::atomic<std::uint64_t> read_dst[kSegWords] = {};
   };
 
-  // The edge relation, sharded by source class: row r is the successor
-  // bitmap of class r. Readers (hot-path probes and the DFS) are
-  // lock-free; mutation is a single fetch_or.
-  Row rows_[kMaxClasses] = {};
+  // One row = the successor bitmap of one source class, allocated on
+  // its first out-edge. `present` mirrors which segments are mapped so
+  // the DFS skips empty space in one word load per 64 segments.
+  struct Row {
+    std::atomic<std::uint64_t> present[kMaxSegs / 64] = {};
+    std::atomic<EdgeSeg*> segs[kMaxSegs] = {};
+  };
 
-  std::atomic<const char*> labels_[kMaxClasses] = {};
-  std::atomic<const void*> instances_[kMaxClasses] = {};
-  std::atomic<std::uint32_t> owner_pid_[kMaxClasses] = {};
-  // Shared-class bits (register_shared_class) and flagged-cycle bits
-  // (set by report_cycle for every class on a reported path).
-  std::atomic<std::uint64_t> shared_[kWords] = {};
-  std::atomic<std::uint64_t> flagged_[kWords] = {};
+  // Reverse-edge bookkeeping: each successful first-occurrence claim
+  // from→to pushes {from} onto to's in-edge list, so retire_class can
+  // clear its column in O(in-degree) instead of sweeping the table.
+  struct InEdgeNode {
+    std::uint32_t src_slot;
+    std::uint32_t src_gen;
+    InEdgeNode* next;
+  };
 
-  // DFS traversals in flight; retire_class waits for this to drain
-  // before recycling an id, so a traversal can never stitch a dead
-  // class's stale in-edge to a recycled id's fresh out-edges.
-  std::atomic<std::uint32_t> dfs_in_flight_{0};
+  struct ClassSlot {
+    std::atomic<const char*> label{nullptr};
+    std::atomic<const void*> instance{nullptr};
+    std::atomic<std::uint32_t> owner_pid{0};
+    // bit 0 live, bit 1 shared, bit 2 flagged; bits 8..15 generation.
+    std::atomic<std::uint32_t> meta{0};
+    std::atomic<Row*> row{nullptr};
+    std::atomic<InEdgeNode*> in_edges{nullptr};
+  };
 
-  // Class allocation (slow path only).
-  std::mutex class_mutex_;
-  std::vector<ClassId> free_ids_;
-  ClassId next_unused_ = 0;
+  static constexpr std::uint32_t kMetaLive = 1u << 0;
+  static constexpr std::uint32_t kMetaShared = 1u << 1;
+  static constexpr std::uint32_t kMetaFlagged = 1u << 2;
+  static constexpr std::uint32_t kMetaGenShift = 8;
+
+  static constexpr std::uint32_t meta_gen(std::uint32_t meta) noexcept {
+    return (meta >> kMetaGenShift) & kClassGenMask;
+  }
+
+  // Chunk directory: sized for the smallest permitted chunk so the
+  // runtime chunk size only changes how much of it is used. 16384
+  // pointers — the only statically-sized piece of the table.
+  static constexpr std::uint32_t kMinChunkSlots = 256;
+  static constexpr std::uint32_t kMaxChunkSlots = 65536;
+  static constexpr std::uint32_t kChunkDirSlots =
+      kMaxClassSlots / kMinChunkSlots;
+
+  // Wait-free slot lookup: two dependent loads. Null when the slot's
+  // chunk is not mapped (an id from a foreign/corrupt source).
+  ClassSlot* slot_ptr(std::uint32_t slot) const {
+    ClassSlot* chunk =
+        chunk_dir_[slot >> chunk_shift_].load(std::memory_order_acquire);
+    return chunk != nullptr ? &chunk[slot & chunk_mask_] : nullptr;
+  }
+
+  // slot_ptr plus the generation/liveness check: non-null only while
+  // `id` is the slot's current live tenant.
+  ClassSlot* slot_checked(ClassId id) const {
+    if (!class_tracked(id)) return nullptr;
+    ClassSlot* s = slot_ptr(class_slot(id));
+    if (s == nullptr) return nullptr;
+    const std::uint32_t m = s->meta.load(std::memory_order_acquire);
+    if ((m & kMetaLive) == 0 || meta_gen(m) != class_gen(id)) {
+      return nullptr;
+    }
+    return s;
+  }
+
+  // Segment holding from→to's bit, or nullptr when any level of the
+  // row is unmapped (the edge was certainly never recorded).
+  const EdgeSeg* seg_of(std::uint32_t fs, std::uint32_t ts) const {
+    const ClassSlot* s = slot_ptr(fs);
+    if (s == nullptr) return nullptr;
+    const Row* row = s->row.load(std::memory_order_acquire);
+    if (row == nullptr) return nullptr;
+    return row->segs[ts >> kSegShift].load(std::memory_order_acquire);
+  }
+
+  // ------------------------------------------------------------------
+  // Slow paths (lockdep.cpp).
+  // ------------------------------------------------------------------
+
+  ClassId register_internal(const void* instance, const char* label,
+                            bool shared);
+  // First-occurrence claim (allocates row/segment as needed, validates
+  // both generations, records the in-edge, then runs the DFS). Called
+  // with the caller's epoch pin held.
+  void claim_edge(ClassId from, ClassId to, const void* lock,
+                  std::uint32_t waiters, bool owned, AccessMode from_mode,
+                  AccessMode to_mode);
+  void check_cycle(std::uint32_t from_slot, std::uint32_t to_slot,
+                   const void* lock, std::uint32_t waiters, bool owned);
+  void report_cycle(const std::uint32_t* path, std::size_t len,
+                    const void* lock, std::uint32_t waiters, bool owned);
+
+  std::uint32_t alloc_slot();
+  bool pop_shard(std::uint32_t shard, std::uint32_t& slot);
+  void push_shard(std::uint32_t shard, std::uint32_t slot);
+  std::uint32_t grow(std::uint32_t home_shard);
+  void clear_in_edge(const InEdgeNode& in, std::uint32_t dst_slot);
+  std::int32_t claim_reader_slot();
+
+ public:
+  // Thread-exit hook (reader-slot leases); not part of the API.
+  void release_reader_slot(std::uint32_t idx);
+
+ private:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kMaxShards = 64;
+  static constexpr std::uint32_t kEpochReaders = 512;
+
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::vector<std::uint32_t> free_slots;
+  };
+  struct alignas(64) ReaderSlot {
+    std::atomic<std::uint64_t> epoch{0};  // 0 = quiescent
+  };
+  struct LimboEntry {
+    std::uint32_t slot;
+    std::uint64_t epoch;  // global epoch at retirement
+    Row* row;             // detached row (may be null)
+    LimboEntry* next;
+  };
+
+  // Geometry, fixed at construction from the env knobs.
+  std::uint32_t chunk_slots_;
+  std::uint32_t chunk_shift_;
+  std::uint32_t chunk_mask_;
+  std::uint32_t shard_count_;
+  std::uint32_t shard_mask_;
+
+  std::atomic<ClassSlot*> chunk_dir_[kChunkDirSlots] = {};
+  std::atomic<std::uint32_t> capacity_{0};
+  std::atomic<std::uint32_t> capacity_limit_{kMaxClassSlots};
+  std::mutex grow_mutex_;
+
+  Shard shards_[kMaxShards];
+  std::atomic<std::uint32_t> reclaim_cursor_{0};
+
+  // Epoch machinery. Reader slots are leased per thread (returned at
+  // thread exit); when the pool is exhausted, extra readers pin via
+  // the fallback counter, which blocks ALL reclamation while nonzero
+  // (correct, just coarser).
+  ReaderSlot readers_[kEpochReaders];
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::atomic<std::uint32_t> fallback_pins_{0};
+  std::mutex reader_mutex_;
+  std::vector<std::uint32_t> reader_free_;
+  std::uint32_t reader_next_ = 0;
+
+  std::mutex limbo_mutex_;
+  LimboEntry* limbo_head_ = nullptr;
+  LimboEntry* limbo_tail_ = nullptr;
 
   // Serializes report formatting so interleaved cycles stay readable.
   std::mutex report_mutex_;
@@ -351,9 +603,28 @@ class Graph {
   std::atomic<std::uint64_t> rr_skipped_{0};
   std::atomic<std::uint64_t> inversions_{0};
   std::atomic<std::uint64_t> cycles_{0};
+  std::atomic<std::uint64_t> chunks_{0};
+  std::atomic<std::uint64_t> limbo_count_{0};
+  std::atomic<std::uint64_t> reclaimed_{0};
+  std::atomic<std::uint64_t> shard_steals_{0};
 
   friend class AcqStack;  // stack_overflow_ lives here for one snapshot
   std::atomic<std::uint64_t> stack_overflow_{0};
+};
+
+// RAII capacity clamp for tests (restores the previous limit).
+class CapacityLimitGuard {
+ public:
+  explicit CapacityLimitGuard(std::uint32_t slots)
+      : previous_(Graph::instance().set_capacity_limit(slots)) {}
+  ~CapacityLimitGuard() {
+    Graph::instance().set_capacity_limit(previous_);
+  }
+  CapacityLimitGuard(const CapacityLimitGuard&) = delete;
+  CapacityLimitGuard& operator=(const CapacityLimitGuard&) = delete;
+
+ private:
+  const std::uint32_t previous_;
 };
 
 // ---------------------------------------------------------------------
@@ -445,10 +716,14 @@ inline void on_acquire_attempt(const void* lock, ClassId cls,
                                std::uint32_t waiters, bool owned,
                                AccessMode mode, const ClassId* skip_src,
                                std::size_t skip_n) {
-  if (cls >= kMaxClasses) return;
+  if (!class_tracked(cls)) return;
   AcqStack& st = AcqStack::mine();
   if (st.depth() == 0) return;  // single-lock hot path: no edges
   Graph& g = Graph::instance();
+  // One pin for the whole held-set walk: every mirror probe and edge
+  // claim below reads epoch-protected table state, and the nested pins
+  // inside ensure_edge collapse to thread-local depth bumps.
+  Graph::EpochPin pin(g);
   const std::uint32_t me = platform::self_pid() + 1;
   for (std::size_t i = 0; i < st.depth();) {
     const AcqStack::Entry held = st.begin()[i];
@@ -458,8 +733,9 @@ inline void on_acquire_attempt(const void* lock, ClassId cls,
     // owner. A §5 hand-off (cross-thread release with checks disabled)
     // or a destroyed lock leaves a stale entry that would otherwise
     // record orders this thread never held across — purge it lazily
-    // instead. Both probes read the graph's own arrays, never the
-    // (possibly freed) lock object.
+    // instead. Both probes read the graph's own table, never the
+    // (possibly freed) lock object; a recycled slot fails the id's
+    // generation check and purges the same way.
     //
     // A SHARED (keyed) class maps many instances to one id, so neither
     // mirror can identify this entry; the only check left is that the
@@ -505,7 +781,7 @@ inline void on_acquire_attempt(const void* lock, ClassId cls,
 inline void on_acquired(const void* lock, ClassId cls,
                         AccessMode mode = AccessMode::kExclusive,
                         bool check_contains = true) {
-  if (cls >= kMaxClasses) return;
+  if (!class_tracked(cls)) return;
   AcqStack& st = AcqStack::mine();
   if (check_contains && st.contains(lock)) {
     return;  // pass-through relock: held set, not depth

@@ -37,50 +37,96 @@ LockStat& LockStat::instance() {
   return *inst;
 }
 
-ClassStats* LockStat::stats_for(lockdep::ClassId cls) {
-  if (cls >= lockdep::kMaxClasses) return nullptr;  // sentinels too
-  std::atomic<ClassStats*>& slot = table_[cls];
-  ClassStats* s = slot.load(std::memory_order_acquire);
-  if (s != nullptr) return s;
-  auto* fresh = new ClassStats;
-  if (slot.compare_exchange_strong(s, fresh, std::memory_order_acq_rel,
-                                   std::memory_order_acquire)) {
+LockStat::StatChunk* LockStat::chunk_at(std::uint32_t index,
+                                        bool create) {
+  std::atomic<StatChunk*>& dslot = dir_[index];
+  StatChunk* c = dslot.load(std::memory_order_acquire);
+  if (c != nullptr || !create) return c;
+  auto* fresh = new StatChunk;
+  if (dslot.compare_exchange_strong(c, fresh, std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
     return fresh;
   }
-  delete fresh;  // lost the race; `s` holds the winner
-  return s;
+  delete fresh;  // lost the race; `c` holds the winner
+  return c;
+}
+
+void LockStat::park_retired(Entry* e) noexcept {
+  Entry* head = retired_.load(std::memory_order_relaxed);
+  do {
+    e->next_retired = head;
+  } while (!retired_.compare_exchange_weak(head, e,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed));
+  retired_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ClassStats* LockStat::stats_for(lockdep::ClassId cls) {
+  if (!lockdep::class_tracked(cls)) return nullptr;  // sentinels too
+  const std::uint32_t slot = lockdep::class_slot(cls);
+  StatChunk* c = chunk_at(slot / kStatChunkSlots, /*create=*/true);
+  std::atomic<Entry*>& eslot = c->slots[slot % kStatChunkSlots];
+  Entry* e = eslot.load(std::memory_order_acquire);
+  for (;;) {
+    if (e != nullptr && e->id == cls) return &e->st;
+    // Empty slot, or a stats block keyed by a previous generation of
+    // this slot: install a fresh block under the full stamped id. The
+    // displaced block parks on the retired list — a racing recorder
+    // may still hold a pointer into it, so it is never freed.
+    auto* fresh = new Entry(cls);
+    if (eslot.compare_exchange_strong(e, fresh,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      if (e != nullptr) park_retired(e);
+      return &fresh->st;
+    }
+    delete fresh;  // lost the race; `e` reloaded, re-check its id
+  }
 }
 
 ClassStats* LockStat::peek(lockdep::ClassId cls) const noexcept {
-  if (cls >= lockdep::kMaxClasses) return nullptr;
-  return table_[cls].load(std::memory_order_acquire);
+  if (!lockdep::class_tracked(cls)) return nullptr;
+  const std::uint32_t slot = lockdep::class_slot(cls);
+  const StatChunk* c =
+      dir_[slot / kStatChunkSlots].load(std::memory_order_acquire);
+  if (c == nullptr) return nullptr;
+  Entry* e = c->slots[slot % kStatChunkSlots].load(
+      std::memory_order_acquire);
+  if (e == nullptr || e->id != cls) return nullptr;
+  return &e->st;
 }
 
 LockStat::Totals LockStat::totals() const noexcept {
   Totals t;
-  for (std::size_t i = 0; i < lockdep::kMaxClasses; ++i) {
-    const ClassStats* s = table_[i].load(std::memory_order_acquire);
-    if (s == nullptr) continue;
-    const HistogramSnapshot wait = s->wait.snapshot();
-    const HistogramSnapshot hold = s->hold.snapshot();
-    std::uint64_t acq = 0;
-    for (const auto& m : s->by_mode) {
-      acq += m.load(std::memory_order_relaxed);
+  for (std::uint32_t ci = 0; ci < kStatDirSlots; ++ci) {
+    const StatChunk* chunk = dir_[ci].load(std::memory_order_acquire);
+    if (chunk == nullptr) continue;
+    for (std::uint32_t si = 0; si < kStatChunkSlots; ++si) {
+      const Entry* e = chunk->slots[si].load(std::memory_order_acquire);
+      if (e == nullptr) continue;
+      const ClassStats* s = &e->st;
+      const HistogramSnapshot wait = s->wait.snapshot();
+      const HistogramSnapshot hold = s->hold.snapshot();
+      std::uint64_t acq = 0;
+      for (const auto& m : s->by_mode) {
+        acq += m.load(std::memory_order_relaxed);
+      }
+      const std::uint64_t con = wait.count;
+      const std::uint64_t tf =
+          s->trylock_fails.load(std::memory_order_relaxed);
+      const std::uint64_t mis =
+          s->misuses.load(std::memory_order_relaxed);
+      if (acq + con + tf + mis + wait.count + hold.count == 0) continue;
+      ++t.classes;
+      t.acquisitions += acq;
+      t.contentions += con;
+      t.trylock_fails += tf;
+      t.misuses += mis;
+      t.wait_ns += wait.total;
+      t.hold_ns += hold.total;
+      t.parks += s->parks.load(std::memory_order_relaxed);
+      t.park_ns += s->park_ns.load(std::memory_order_relaxed);
     }
-    const std::uint64_t con = wait.count;
-    const std::uint64_t tf =
-        s->trylock_fails.load(std::memory_order_relaxed);
-    const std::uint64_t mis = s->misuses.load(std::memory_order_relaxed);
-    if (acq + con + tf + mis + wait.count + hold.count == 0) continue;
-    ++t.classes;
-    t.acquisitions += acq;
-    t.contentions += con;
-    t.trylock_fails += tf;
-    t.misuses += mis;
-    t.wait_ns += wait.total;
-    t.hold_ns += hold.total;
-    t.parks += s->parks.load(std::memory_order_relaxed);
-    t.park_ns += s->park_ns.load(std::memory_order_relaxed);
   }
   return t;
 }
@@ -88,47 +134,55 @@ LockStat::Totals LockStat::totals() const noexcept {
 std::vector<ClassReport> LockStat::report() const {
   std::vector<ClassReport> out;
   const lockdep::Graph& graph = lockdep::Graph::instance();
-  for (std::size_t i = 0; i < lockdep::kMaxClasses; ++i) {
-    const ClassStats* s = table_[i].load(std::memory_order_acquire);
-    if (s == nullptr) continue;
-    ClassReport r;
-    r.cls = static_cast<lockdep::ClassId>(i);
-    r.hold_sample = lockstat_sample();
-    r.trylock_fails = s->trylock_fails.load(std::memory_order_relaxed);
-    r.misuses = s->misuses.load(std::memory_order_relaxed);
-    for (std::size_t m = 0; m < kAccessModes; ++m) {
-      r.by_mode[m] = s->by_mode[m].load(std::memory_order_relaxed);
-      r.acquisitions += r.by_mode[m];
+  for (std::uint32_t ci = 0; ci < kStatDirSlots; ++ci) {
+    const StatChunk* chunk = dir_[ci].load(std::memory_order_acquire);
+    if (chunk == nullptr) continue;
+    for (std::uint32_t si = 0; si < kStatChunkSlots; ++si) {
+      const Entry* e = chunk->slots[si].load(std::memory_order_acquire);
+      if (e == nullptr) continue;
+      const ClassStats* s = &e->st;
+      ClassReport r;
+      r.cls = e->id;
+      r.hold_sample = lockstat_sample();
+      r.trylock_fails =
+          s->trylock_fails.load(std::memory_order_relaxed);
+      r.misuses = s->misuses.load(std::memory_order_relaxed);
+      for (std::size_t m = 0; m < kAccessModes; ++m) {
+        r.by_mode[m] = s->by_mode[m].load(std::memory_order_relaxed);
+        r.acquisitions += r.by_mode[m];
+      }
+      r.wait = s->wait.snapshot();
+      r.hold = s->hold.snapshot();
+      r.contentions = r.wait.count;
+      r.parks = s->parks.load(std::memory_order_relaxed);
+      r.wakes = s->wakes.load(std::memory_order_relaxed);
+      r.park_time = s->park_ns.load(std::memory_order_relaxed);
+      if (r.acquisitions + r.contentions + r.trylock_fails + r.misuses +
+              r.wait.count + r.hold.count ==
+          0) {
+        continue;
+      }
+      // label_of is generation-checked: a block whose class has since
+      // retired (or whose slot was recycled) falls back to class#N.
+      const char* label = graph.label_of(r.cls);
+      if (label != nullptr && label[0] != '\0') {
+        r.label = label;
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "class#%u",
+                      static_cast<unsigned>(lockdep::class_slot(r.cls)));
+        r.label = buf;
+      }
+      r.site_overflow = s->sites.overflow();
+      s->sites.for_each([&r](std::uintptr_t addr, std::uint64_t count) {
+        r.sites.push_back(CallSiteRow{addr, count});
+      });
+      std::sort(r.sites.begin(), r.sites.end(),
+                [](const CallSiteRow& a, const CallSiteRow& b) {
+                  return a.count > b.count;
+                });
+      out.push_back(std::move(r));
     }
-    r.wait = s->wait.snapshot();
-    r.hold = s->hold.snapshot();
-    r.contentions = r.wait.count;
-    r.parks = s->parks.load(std::memory_order_relaxed);
-    r.wakes = s->wakes.load(std::memory_order_relaxed);
-    r.park_time = s->park_ns.load(std::memory_order_relaxed);
-    if (r.acquisitions + r.contentions + r.trylock_fails + r.misuses +
-            r.wait.count + r.hold.count ==
-        0) {
-      continue;
-    }
-    const char* label = graph.label_of(r.cls);
-    if (label != nullptr && label[0] != '\0') {
-      r.label = label;
-    } else {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "class#%u",
-                    static_cast<unsigned>(r.cls));
-      r.label = buf;
-    }
-    r.site_overflow = s->sites.overflow();
-    s->sites.for_each([&r](std::uintptr_t addr, std::uint64_t count) {
-      r.sites.push_back(CallSiteRow{addr, count});
-    });
-    std::sort(r.sites.begin(), r.sites.end(),
-              [](const CallSiteRow& a, const CallSiteRow& b) {
-                return a.count > b.count;
-              });
-    out.push_back(std::move(r));
   }
   std::sort(out.begin(), out.end(),
             [](const ClassReport& a, const ClassReport& b) {
@@ -140,9 +194,7 @@ std::vector<ClassReport> LockStat::report() const {
 }
 
 void LockStat::reset() noexcept {
-  for (std::size_t i = 0; i < lockdep::kMaxClasses; ++i) {
-    ClassStats* s = table_[i].load(std::memory_order_acquire);
-    if (s == nullptr) continue;
+  const auto zero = [](ClassStats* s) {
     s->wait.reset();
     s->hold.reset();
     s->trylock_fails.store(0, std::memory_order_relaxed);
@@ -152,6 +204,20 @@ void LockStat::reset() noexcept {
     s->park_ns.store(0, std::memory_order_relaxed);
     s->wakes.store(0, std::memory_order_relaxed);
     s->sites.reset();
+  };
+  for (std::uint32_t ci = 0; ci < kStatDirSlots; ++ci) {
+    StatChunk* chunk = dir_[ci].load(std::memory_order_acquire);
+    if (chunk == nullptr) continue;
+    for (std::uint32_t si = 0; si < kStatChunkSlots; ++si) {
+      Entry* e = chunk->slots[si].load(std::memory_order_acquire);
+      if (e != nullptr) zero(&e->st);
+    }
+  }
+  // Displaced blocks too: a reset means "forget recorded history", and
+  // the retired list is history by definition.
+  for (Entry* e = retired_.load(std::memory_order_acquire); e != nullptr;
+       e = e->next_retired) {
+    zero(&e->st);
   }
 }
 

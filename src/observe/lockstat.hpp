@@ -44,11 +44,16 @@
 // collector's duty cycle services the dump), and offline from a
 // JSONL/perfetto trace via tools/resilock_report.cpp.
 //
-// Class stats are keyed by lockdep ClassId and allocated lazily on a
-// class's first recorded event, so the table costs one pointer per
-// class slot until a class actually records. Ids recycle when classes
-// retire (lockdep semantics); a recycled id keeps accumulating into
-// the same stats block — per-CLASS statistics, by design.
+// Class stats are keyed by the FULL generation-stamped lockdep
+// ClassId and allocated lazily on a class's first recorded event.
+// Chunks of stats pointers map on demand, mirroring the lockdep class
+// table's own chunk growth, so an application with N live classes
+// pays O(N) here — not O(kMaxClassSlots). When lockdep recycles a
+// retired class's slot, the new generation's id differs in its stamp:
+// its first recorded event displaces the old stats block onto a
+// retired list (never freed — racing recorders may still hold a
+// pointer into it) and starts a fresh block, so a recycled slot never
+// inherits its predecessor's histograms or call sites.
 #pragma once
 
 #include <atomic>
@@ -220,12 +225,16 @@ class LockStat {
 
   static LockStat& instance();
 
-  // Stats block for `cls`, allocated on first use. nullptr for the
-  // sentinel ids (kInvalidClass/kUntrackedClass) — events on a lock
-  // whose class table slot never existed are not attributable.
+  // Stats block for `cls`, allocated on first use and keyed by the
+  // full generation-stamped id: a stale block left by a previous
+  // generation of the same slot is displaced, not reused. nullptr for
+  // the sentinel ids (kInvalidClass/kUntrackedClass) — events on a
+  // lock whose class table slot never existed are not attributable.
   ClassStats* stats_for(lockdep::ClassId cls);
 
-  // Like stats_for but never allocates.
+  // Like stats_for but never allocates and never displaces: nullptr
+  // unless a block keyed by exactly `cls` (generation included) is
+  // installed.
   ClassStats* peek(lockdep::ClassId cls) const noexcept;
 
   Totals totals() const noexcept;
@@ -240,10 +249,39 @@ class LockStat {
   // can misplace an increment, nothing worse.
   void reset() noexcept;
 
+  // Stats blocks displaced by slot recycling, still reachable by
+  // racing recorders. Exposed for tests/telemetry.
+  std::uint64_t retired_blocks() const noexcept {
+    return retired_count_.load(std::memory_order_relaxed);
+  }
+
  private:
   LockStat() = default;
 
-  std::atomic<ClassStats*> table_[lockdep::kMaxClasses] = {};
+  // One pointer chunk per kStatChunkSlots lockdep slots, mapped
+  // lazily; the directory is sized for the lockdep table's full slot
+  // space but costs one atomic pointer per chunk until used.
+  static constexpr std::uint32_t kStatChunkSlots = 1024;
+  static constexpr std::uint32_t kStatDirSlots =
+      lockdep::kMaxClassSlots / kStatChunkSlots;
+
+  struct Entry {
+    explicit Entry(lockdep::ClassId id_in) : id(id_in) {}
+    const lockdep::ClassId id;  // full generation-stamped ClassId
+    ClassStats st;
+    Entry* next_retired = nullptr;  // displaced-block list link
+  };
+
+  struct StatChunk {
+    std::atomic<Entry*> slots[kStatChunkSlots] = {};
+  };
+
+  StatChunk* chunk_at(std::uint32_t index, bool create);
+  void park_retired(Entry* e) noexcept;
+
+  std::atomic<StatChunk*> dir_[kStatDirSlots] = {};
+  std::atomic<Entry*> retired_{nullptr};
+  std::atomic<std::uint64_t> retired_count_{0};
 };
 
 // ---------------------------------------------------------------------

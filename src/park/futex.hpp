@@ -12,6 +12,15 @@
 //     re-check their predicate and re-wait. rel_timeout is RELATIVE
 //     (nullptr = forever).
 //
+//   futex_wait_until(word, expected, deadline_mono_ns)
+//     Like futex_wait but against an ABSOLUTE CLOCK_MONOTONIC
+//     deadline in ns — the timed paths' native vocabulary. On Linux
+//     this is FUTEX_WAIT_BITSET (absolute monotonic timeout, bitset
+//     MATCH_ANY so plain FUTEX_WAKE still reaches it); the fallback
+//     reaches pthread_cond_timedwait on a CLOCK_MONOTONIC-conditioned
+//     condvar, so the deadline is honored exactly instead of being
+//     re-derived (and rounded up) from a relative duration.
+//
 //   futex_wake(word, n)
 //     Wakes up to n waiters sleeping on the word's ADDRESS. The word
 //     is never dereferenced by the waker on either backend (Linux
@@ -33,20 +42,41 @@
 
 #include <array>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <ctime>
 #include <mutex>
 
+#include "platform/chrono_to_timespec.hpp"
+
 #if defined(__linux__)
-#include <cerrno>
 #include <linux/futex.h>
 #include <sys/syscall.h>
 #include <unistd.h>
 #define RESILOCK_HAVE_FUTEX 1
 #else
 #define RESILOCK_HAVE_FUTEX 0
+#endif
+
+// The fallback stripes ride pthread directly where pthread exists:
+// std::condition_variable has no portable way to wait against an
+// absolute CLOCK_MONOTONIC deadline (wait_for re-derives a relative
+// duration, wait_until may re-base onto the system clock), and the
+// timed-park contract is exact-deadline. pthread_condattr_setclock
+// pins the condvar to CLOCK_MONOTONIC where available (not macOS).
+#if defined(__unix__) || defined(__APPLE__)
+#include <pthread.h>
+#define RESILOCK_FALLBACK_PTHREAD 1
+#if !defined(__APPLE__)
+#define RESILOCK_FALLBACK_COND_SETCLOCK 1
+#else
+#define RESILOCK_FALLBACK_COND_SETCLOCK 0
+#endif
+#else
+#define RESILOCK_FALLBACK_PTHREAD 0
+#define RESILOCK_FALLBACK_COND_SETCLOCK 0
 #endif
 
 namespace resilock::park {
@@ -70,10 +100,31 @@ static_assert(std::atomic<std::uint32_t>::is_always_lock_free);
 
 namespace fallback {
 
+#if RESILOCK_FALLBACK_PTHREAD
+
+struct Stripe {
+  pthread_mutex_t mu;
+  pthread_cond_t cv;
+  Stripe() noexcept {
+    pthread_mutex_init(&mu, nullptr);
+    pthread_condattr_t attr;
+    pthread_condattr_init(&attr);
+#if RESILOCK_FALLBACK_COND_SETCLOCK
+    pthread_condattr_setclock(&attr, CLOCK_MONOTONIC);
+#endif
+    pthread_cond_init(&cv, &attr);
+    pthread_condattr_destroy(&attr);
+  }
+};
+
+#else
+
 struct Stripe {
   std::mutex mu;
   std::condition_variable cv;
 };
+
+#endif
 
 inline Stripe& stripe_for(const void* addr) {
   static std::array<Stripe, 64>& stripes = *new std::array<Stripe, 64>;
@@ -81,6 +132,110 @@ inline Stripe& stripe_for(const void* addr) {
   // addresses are alignment zeros.
   const auto p = reinterpret_cast<std::uintptr_t>(addr);
   return stripes[(p * 0x9E3779B97F4A7C15ull) >> 58];
+}
+
+#if RESILOCK_FALLBACK_PTHREAD
+
+// Sleeps until the ABSOLUTE CLOCK_MONOTONIC deadline. Exact on
+// setclock platforms: the deadline timespec goes straight into
+// pthread_cond_timedwait, nothing re-derived, nothing rounded.
+inline WaitResult wait_until(const std::atomic<std::uint32_t>* word,
+                             std::uint32_t expected,
+                             std::uint64_t deadline_mono_ns) {
+  Stripe& s = stripe_for(word);
+  pthread_mutex_lock(&s.mu);
+  // Checked under the stripe mutex: a waker changes the word, then
+  // takes this mutex before notifying, so either we see the change
+  // here or our wait starts before the notify — no lost wakeup.
+  if (word->load(std::memory_order_acquire) != expected) {
+    pthread_mutex_unlock(&s.mu);
+    return WaitResult::kValueChanged;
+  }
+#if RESILOCK_FALLBACK_COND_SETCLOCK
+  const timespec abs = platform::timespec_from_ns(deadline_mono_ns);
+  const int rc = pthread_cond_timedwait(&s.cv, &s.mu, &abs);
+  pthread_mutex_unlock(&s.mu);
+  return rc == ETIMEDOUT ? WaitResult::kTimedOut : WaitResult::kWoken;
+#else
+  // No pthread_condattr_setclock (macOS): re-base the monotonic
+  // deadline onto CLOCK_REALTIME per wait. A wall-clock step can cut
+  // one sleep short or stretch it; the monotonic re-check bounds the
+  // damage to that one trip and never times out early.
+  for (;;) {
+    const std::uint64_t now = platform::monotonic_now_ns();
+    if (now >= deadline_mono_ns) {
+      pthread_mutex_unlock(&s.mu);
+      return WaitResult::kTimedOut;
+    }
+    const timespec abs = platform::timespec_from_ns(
+        platform::saturating_add_ns(platform::clock_now_ns(CLOCK_REALTIME),
+                                    deadline_mono_ns - now));
+    if (pthread_cond_timedwait(&s.cv, &s.mu, &abs) != ETIMEDOUT) {
+      pthread_mutex_unlock(&s.mu);
+      return WaitResult::kWoken;
+    }
+  }
+#endif
+}
+
+inline WaitResult wait(const std::atomic<std::uint32_t>* word,
+                       std::uint32_t expected,
+                       const timespec* rel_timeout) {
+  if (rel_timeout != nullptr) {
+    return wait_until(
+        word, expected,
+        platform::saturating_add_ns(
+            platform::monotonic_now_ns(),
+            platform::ns_from_timespec(*rel_timeout)));
+  }
+  Stripe& s = stripe_for(word);
+  pthread_mutex_lock(&s.mu);
+  if (word->load(std::memory_order_acquire) != expected) {
+    pthread_mutex_unlock(&s.mu);
+    return WaitResult::kValueChanged;
+  }
+  pthread_cond_wait(&s.cv, &s.mu);
+  pthread_mutex_unlock(&s.mu);
+  return WaitResult::kWoken;
+}
+
+inline void wake(const std::atomic<std::uint32_t>* word,
+                 std::uint32_t count) {
+  Stripe& s = stripe_for(word);
+  // Empty critical section orders this wake after any in-progress
+  // predicate check in wait() — without it, the broadcast could fire
+  // between a waiter's word load and its cond_wait.
+  pthread_mutex_lock(&s.mu);
+  pthread_mutex_unlock(&s.mu);
+  // Stripes are shared by many words; a targeted signal could wake
+  // the wrong word's waiter and strand ours. Always broadcast —
+  // waiters re-check their predicate anyway.
+  (void)count;
+  pthread_cond_broadcast(&s.cv);
+}
+
+#else  // !RESILOCK_FALLBACK_PTHREAD
+
+// No pthread: std::condition_variable, with the absolute-deadline
+// wait approximated by re-deriving the remaining duration from the
+// monotonic clock each trip (never times out early; may oversleep by
+// the condvar's internal rounding).
+inline WaitResult wait_until(const std::atomic<std::uint32_t>* word,
+                             std::uint32_t expected,
+                             std::uint64_t deadline_mono_ns) {
+  Stripe& s = stripe_for(word);
+  std::unique_lock<std::mutex> lk(s.mu);
+  if (word->load(std::memory_order_acquire) != expected) {
+    return WaitResult::kValueChanged;
+  }
+  for (;;) {
+    const std::uint64_t now = platform::monotonic_now_ns();
+    if (now >= deadline_mono_ns) return WaitResult::kTimedOut;
+    const auto rel = std::chrono::nanoseconds(deadline_mono_ns - now);
+    if (s.cv.wait_for(lk, rel) != std::cv_status::timeout) {
+      return WaitResult::kWoken;
+    }
+  }
 }
 
 inline WaitResult wait(const std::atomic<std::uint32_t>* word,
@@ -121,6 +276,8 @@ inline void wake(const std::atomic<std::uint32_t>* word,
   s.cv.notify_all();
 }
 
+#endif  // RESILOCK_FALLBACK_PTHREAD
+
 }  // namespace fallback
 
 // ---------------------------------------------------------------------
@@ -143,6 +300,28 @@ inline WaitResult futex_wait(const std::atomic<std::uint32_t>* word,
   }
 }
 
+// FUTEX_WAIT_BITSET takes its timeout as an ABSOLUTE timespec on
+// CLOCK_MONOTONIC (FUTEX_CLOCK_REALTIME unset), which is exactly the
+// timed paths' deadline vocabulary — no relative re-derivation, no
+// rounding. MATCH_ANY keeps plain FUTEX_WAKE effective: the kernel
+// wakes on any bitset intersection, and FUTEX_WAIT waiters queue as
+// MATCH_ANY themselves, so both wait flavors share one wake side.
+inline WaitResult futex_wait_until(const std::atomic<std::uint32_t>* word,
+                                   std::uint32_t expected,
+                                   std::uint64_t deadline_mono_ns) {
+  const timespec abs = platform::timespec_from_ns(deadline_mono_ns);
+  const long rc = ::syscall(
+      SYS_futex, reinterpret_cast<const std::uint32_t*>(word),
+      FUTEX_WAIT_BITSET_PRIVATE, expected, &abs, nullptr,
+      FUTEX_BITSET_MATCH_ANY);
+  if (rc == 0) return WaitResult::kWoken;
+  switch (errno) {
+    case EAGAIN: return WaitResult::kValueChanged;
+    case ETIMEDOUT: return WaitResult::kTimedOut;
+    default: return WaitResult::kInterrupted;  // EINTR
+  }
+}
+
 inline void futex_wake(const std::atomic<std::uint32_t>* word,
                        std::uint32_t count) {
   ::syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(word),
@@ -156,6 +335,12 @@ inline WaitResult futex_wait(const std::atomic<std::uint32_t>* word,
                              std::uint32_t expected,
                              const timespec* rel_timeout = nullptr) {
   return fallback::wait(word, expected, rel_timeout);
+}
+
+inline WaitResult futex_wait_until(const std::atomic<std::uint32_t>* word,
+                                   std::uint32_t expected,
+                                   std::uint64_t deadline_mono_ns) {
+  return fallback::wait_until(word, expected, deadline_mono_ns);
 }
 
 inline void futex_wake(const std::atomic<std::uint32_t>* word,

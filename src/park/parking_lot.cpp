@@ -18,7 +18,7 @@ namespace {
 // word, one span track) and the shield-stamped class hint rides as
 // the class tag so offline reports can group parks by lock class.
 inline void emit_park_span(lockdep::EventKind kind, const void* word,
-                           std::uint16_t cls_hint) {
+                           std::uint32_t cls_hint) {
   lockdep::TraceBuffer::instance().emit(kind, word, cls_hint);
 }
 
@@ -170,9 +170,8 @@ bool park_until(const std::atomic<std::uint32_t>& word,
                 std::uint64_t deadline_ns) noexcept {
   ParkStats& g = ParkStats::instance();
   ThreadParkTally& tally = ThreadParkTally::mine();
-  timespec rel{};
-  if (!platform::relative_until(deadline_ns, platform::monotonic_now_ns(),
-                                rel)) {
+  if (platform::monotonic_now_ns() >= deadline_ns) {
+    // Already expired — a zero-length kernel wait would still syscall.
     g.timeouts.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
@@ -183,7 +182,11 @@ bool park_until(const std::atomic<std::uint32_t>& word,
                    tally.cls_hint);
   }
   g.currently_parked.fetch_add(1, std::memory_order_relaxed);
-  const WaitResult r = futex_wait(&word, expected, &rel);
+  // The deadline goes to the kernel (or the fallback's monotonic
+  // condvar) ABSOLUTE — not re-derived as a relative duration — so
+  // the wait expires at deadline_ns exactly, however many spurious
+  // trips precede it.
+  const WaitResult r = futex_wait_until(&word, expected, deadline_ns);
   g.currently_parked.fetch_sub(1, std::memory_order_relaxed);
   const std::uint64_t dt = runtime::now_ns() - t0;
   if (trace) {

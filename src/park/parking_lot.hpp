@@ -180,7 +180,7 @@ class ParkStats {
 // Thread-local park tally, for per-class lockstat attribution.
 // ---------------------------------------------------------------------
 
-inline constexpr std::uint16_t kNoClsHint = 0xFFFF;
+inline constexpr std::uint32_t kNoClsHint = 0xFFFFFFFFu;
 
 struct ThreadParkTally {
   std::uint64_t parks = 0;
@@ -189,7 +189,7 @@ struct ThreadParkTally {
   // Lockdep class of the acquire in progress; stamped by the shield
   // around the contended window, kNoClsHint otherwise. Rides on
   // kParkBegin/kParkEnd trace spans as the class tag.
-  std::uint16_t cls_hint = kNoClsHint;
+  std::uint32_t cls_hint = kNoClsHint;
 
   static ThreadParkTally& mine() noexcept {
     thread_local ThreadParkTally t;

@@ -136,8 +136,9 @@ constexpr const char* to_string(Action a) noexcept {
 std::optional<Action> action_from_name(std::string_view name) noexcept;
 
 // Mirrors lockdep::kInvalidClass without pulling the lockdep headers in
-// (response sits below lockdep in the include order).
-inline constexpr std::uint16_t kNoClass = 0xFFFF;
+// (response sits below lockdep in the include order). ClassIds are
+// generation-stamped 32-bit values (slot + recycle generation).
+inline constexpr std::uint32_t kNoClass = 0xFFFFFFFFu;
 
 // Telemetry snapshot the reporting layer hands to decide().
 struct EventContext {
@@ -152,7 +153,7 @@ struct EventContext {
   // closing-edge destination for an inversion/cycle, the entry-level
   // class for a hierarchical-lock misuse. kNoClass/nullptr disables
   // @class= rule scoping for the event.
-  std::uint16_t cls = kNoClass;
+  std::uint32_t cls = kNoClass;
   const char* cls_label = nullptr;
 };
 
@@ -178,11 +179,11 @@ struct CondClause {
   // a scope installed before the first acquire of its class still
   // works).
   std::string cls_name;
-  std::uint16_t cls = kNoClass;
+  std::uint32_t cls = kNoClass;
 };
 
 inline bool cond_matches(Condition cond, std::uint32_t threshold,
-                         const std::string& cls_name, std::uint16_t cls,
+                         const std::string& cls_name, std::uint32_t cls,
                          const EventContext& ctx) noexcept {
   switch (cond) {
     case Condition::kAlways: return true;
@@ -194,9 +195,10 @@ inline bool cond_matches(Condition cond, std::uint32_t threshold,
       return ctx.waiters_parked >= threshold;
     case Condition::kClassScope:
       // The install-time id pin distinguishes same-label classes
-      // (two trees both labeled "hmcs.level1"), but ids recycle when
-      // classes retire — the label must still corroborate the pin,
-      // or a recycled id would silently retarget the rule.
+      // (two trees both labeled "hmcs.level1"). Ids carry a recycle
+      // generation, so a retired class's slot can never alias the
+      // pin; the label check still corroborates the label-only
+      // (pre-registration) install path.
       if (cls != kNoClass && ctx.cls != cls) return false;
       return ctx.cls_label != nullptr && cls_name == ctx.cls_label;
   }
@@ -211,7 +213,7 @@ struct Rule {
   Action action = Action::kSuppress;
   std::uint32_t threshold = 0;  // kWaitersAtLeast / kParkedAtLeast
   std::string cls_name;         // kClassScope only (see CondClause)
-  std::uint16_t cls = kNoClass;
+  std::uint32_t cls = kNoClass;
   // Second and later @cond clauses, ANDed with the first.
   std::vector<CondClause> extra;
 

@@ -171,7 +171,7 @@ class Shield {
     park::ThreadParkTally& pt = park::ThreadParkTally::mine();
     const bool tally_parks = contended && (lockstat || span);
     std::uint64_t parks0 = 0, park_ns0 = 0, wakes0 = 0;
-    std::uint16_t prev_hint = park::kNoClsHint;
+    std::uint32_t prev_hint = park::kNoClsHint;
     if (tally_parks) {
       parks0 = pt.parks;
       park_ns0 = pt.park_ns;

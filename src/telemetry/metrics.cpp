@@ -125,6 +125,12 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     put("lockdep.inversions", ls.inversions);
     put("lockdep.cycles", ls.cycles);
     put("lockdep.stack_overflow", ls.stack_overflow);
+    put("lockdep.capacity", ls.capacity);
+    put("lockdep.chunks", ls.chunks);
+    put("lockdep.epoch", ls.epoch);
+    put("lockdep.limbo", ls.limbo);
+    put("lockdep.reclaimed", ls.reclaimed);
+    put("lockdep.shard_steals", ls.shard_steals);
   }
 
   // Lockstat aggregates: the cheap always-safe summary (full per-class

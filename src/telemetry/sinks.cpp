@@ -190,7 +190,7 @@ class PerfettoSink final : public FileSink {
   }
 
   // Class label as an escaped arg (user-controlled string).
-  void emit_cls_label(std::uint16_t cls) {
+  void emit_cls_label(std::uint32_t cls) {
     if (const char* label = lockdep::Graph::instance().label_of(cls)) {
       std::fputs(",\"cls_label\":", f_);
       platform::write_json_escaped(f_, label);

@@ -64,7 +64,7 @@ TEST(HierLockdep, ThreeLevelHoldTagsEveryLevel) {
   // once, in leaf→root acquisition order.
   for (std::uint32_t lvl = 0; lvl < 3; ++lvl) {
     const lockdep::ClassId cls = tree.level_class(lvl);
-    ASSERT_LT(cls, lockdep::kMaxClasses) << "level " << lvl;
+    ASSERT_TRUE(lockdep::class_tracked(cls)) << "level " << lvl;
     EXPECT_EQ(std::count(classes.begin(), classes.end(), cls), 1)
         << "level " << lvl;
   }
@@ -151,7 +151,7 @@ TEST(HierLockdep, ConcurrentSameLevelAcquisitionsShareOneClassSlot) {
     std::set<lockdep::ClassId> distinct;
     for (std::uint32_t lvl = 0; lvl < 3; ++lvl) {
       const lockdep::ClassId cls = tree.level_class(lvl);
-      EXPECT_LT(cls, lockdep::kMaxClasses);
+      EXPECT_TRUE(lockdep::class_tracked(cls));
       EXPECT_TRUE(lockdep::Graph::instance().is_shared(cls));
       distinct.insert(cls);
     }

@@ -1,0 +1,251 @@
+// Scale and reclamation coverage for the sharded, chunk-growable
+// lockdep class table (PR 9):
+//   * growth past the old fixed 1024-slot limit under multi-thread
+//     registration churn — ids stay valid, labels stay attributable;
+//   * epoch grace: a retired slot is NOT physically recycled while any
+//     reader pin predating the retirement is live (the replacement for
+//     the old global dfs_inflight drain);
+//   * generation-stamped ids: a recycled slot's new tenant never
+//     inherits the previous tenant's lockstat blocks or edges;
+//   * shard freelist work-stealing when the caller's home shard runs
+//     dry while other shards hold recycled slots;
+//   * randomized register/retire fuzz reconciling the live-class count
+//     and per-id labels against the graph's own accounting, ending
+//     with a drained (zero-entry) limbo list.
+// CI runs this whole binary under TSan as well.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "lockdep/lockdep.hpp"
+#include "observe/lockstat.hpp"
+#include "runtime/thread_team.hpp"
+
+using namespace resilock;
+using lockdep::ClassId;
+using lockdep::Graph;
+
+namespace {
+
+// Leftover limbo entries from other tests in this binary would perturb
+// the reclaim counts below; drain until quiescent.
+void drain_limbo(Graph& g) {
+  while (g.try_reclaim() > 0) {
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Chunk growth.
+// ---------------------------------------------------------------------
+
+TEST(LockdepScale, GrowsPastLegacyLimitUnderThreadedChurn) {
+  auto& g = Graph::instance();
+  const auto before = g.stats();
+  constexpr std::uint32_t kThreads = 8;
+  constexpr int kPerThread = 400;  // peak live well past 1024
+  std::vector<std::vector<ClassId>> ids(kThreads);
+  runtime::ThreadTeam::run(kThreads, [&](std::uint32_t t) {
+    auto& mine = ids[t];
+    for (int i = 0; i < kPerThread; ++i) {
+      const ClassId c = g.register_class(&mine, "scale.churn");
+      EXPECT_TRUE(lockdep::class_tracked(c));
+      mine.push_back(c);
+      // Churn a third back so registration, retirement, limbo, and
+      // reclaim all race the growth path.
+      if (i % 3 == 0) {
+        g.retire_class(mine.front());
+        mine.erase(mine.begin());
+      }
+    }
+  });
+  std::size_t live_now = 0;
+  for (const auto& v : ids) live_now += v.size();
+  EXPECT_GT(live_now, 1024u);  // the old kMaxClasses would have refused
+  const auto after = g.stats();
+  EXPECT_EQ(after.classes_live, before.classes_live + live_now);
+  EXPECT_GT(after.capacity, 1024u);
+  EXPECT_GE(after.chunks, 2u);
+  // Every survivor still answers with its label — no id moved during
+  // growth, no recycle aliased a live slot.
+  for (const auto& v : ids) {
+    for (const ClassId c : v) {
+      ASSERT_STREQ(g.label_of(c), "scale.churn");
+    }
+  }
+  for (const auto& v : ids) {
+    for (const ClassId c : v) g.retire_class(c);
+  }
+  EXPECT_EQ(g.stats().classes_live, before.classes_live);
+  drain_limbo(g);
+}
+
+// ---------------------------------------------------------------------
+// Epoch grace.
+// ---------------------------------------------------------------------
+
+TEST(LockdepScale, RetireDoesNotRecycleWhileReaderPinned) {
+  auto& g = Graph::instance();
+  drain_limbo(g);
+  int x0 = 0, x1 = 0;
+  const ClassId a = g.register_class(&x0, "grace.a");
+  const ClassId b = g.register_class(&x1, "grace.b");
+  ASSERT_TRUE(lockdep::class_tracked(a));
+  g.ensure_edge(a, b, &x1);
+  ASSERT_TRUE(g.has_edge(a, b));
+
+  // Pin like an in-flight DFS/report reader would, then retire both
+  // classes. Retirement is immediate LOGICALLY (the ids go stale, the
+  // caller never blocks — the old implementation span-waited here on a
+  // global dfs_inflight drain)...
+  g.pin_epoch();
+  g.retire_class(a);
+  g.retire_class(b);
+  EXPECT_EQ(g.label_of(a), nullptr);
+  EXPECT_FALSE(g.has_edge(a, b));
+  const auto limbo_now = g.stats().limbo;
+  EXPECT_GE(limbo_now, 2u);
+  // ...but PHYSICAL recycling must wait out our pin: nothing retired
+  // at or after our pinned epoch may be freed mid-traversal.
+  EXPECT_EQ(g.try_reclaim(), 0u);
+  EXPECT_EQ(g.stats().limbo, limbo_now);
+  g.unpin_epoch();
+  EXPECT_EQ(g.try_reclaim(), 2u);
+  EXPECT_EQ(g.stats().limbo, 0u);
+
+  // The recycled slot re-emerges with a bumped generation, so the old
+  // id cannot alias the new tenant.
+  const ClassId a2 = g.register_class(&x0, "grace.a2");
+  if (lockdep::class_slot(a2) == lockdep::class_slot(a)) {
+    EXPECT_NE(lockdep::class_gen(a2), lockdep::class_gen(a));
+    EXPECT_NE(a2, a);
+  }
+  EXPECT_EQ(g.label_of(a), nullptr);
+  g.retire_class(a2);
+  drain_limbo(g);
+}
+
+// ---------------------------------------------------------------------
+// Generation-stamped attribution.
+// ---------------------------------------------------------------------
+
+TEST(LockdepScale, RecycledSlotDoesNotInheritLockstat) {
+  auto& g = Graph::instance();
+  auto& ls = observe::LockStat::instance();
+  drain_limbo(g);
+  int x = 0;
+  const ClassId a = g.register_class(&x, "gen.stat");
+  ASSERT_TRUE(lockdep::class_tracked(a));
+  observe::ClassStats* sa = ls.stats_for(a);
+  ASSERT_NE(sa, nullptr);
+  sa->misuses.fetch_add(3, std::memory_order_relaxed);
+  g.retire_class(a);
+  drain_limbo(g);
+
+  // Clamp growth and fill every free slot: the recycled slot of `a`
+  // must be among the fresh registrations.
+  lockdep::CapacityLimitGuard clamp(g.capacity());
+  std::vector<ClassId> fill;
+  ClassId a2 = lockdep::kInvalidClass;
+  for (;;) {
+    const ClassId c = g.register_class(&x, "gen.stat2");
+    if (c == lockdep::kUntrackedClass) break;
+    fill.push_back(c);
+    if (lockdep::class_slot(c) == lockdep::class_slot(a)) a2 = c;
+  }
+  ASSERT_TRUE(lockdep::class_tracked(a2));
+  ASSERT_NE(a2, a);
+
+  // The stale id's stats block is still reachable by its own full id
+  // (late recorders holding `a` keep hitting their own block)...
+  observe::ClassStats* stale = ls.peek(a);
+  ASSERT_NE(stale, nullptr);
+  EXPECT_EQ(stale->misuses.load(std::memory_order_relaxed), 3u);
+  // ...but the new generation starts from zero, and recording under it
+  // displaces the old block.
+  observe::ClassStats* sb = ls.stats_for(a2);
+  ASSERT_NE(sb, nullptr);
+  EXPECT_NE(sb, stale);
+  EXPECT_EQ(sb->misuses.load(std::memory_order_relaxed), 0u);
+  EXPECT_EQ(ls.peek(a), nullptr);  // displaced — stale id answers nothing
+  EXPECT_EQ(ls.peek(a2), sb);
+
+  for (const ClassId c : fill) g.retire_class(c);
+  drain_limbo(g);
+}
+
+// ---------------------------------------------------------------------
+// Shard freelist stealing.
+// ---------------------------------------------------------------------
+
+TEST(LockdepScale, AllocatorStealsFromSiblingShards) {
+  auto& g = Graph::instance();
+  drain_limbo(g);
+  // Retirement distributes recycled slots round-robin across ALL
+  // shards; a single thread then re-registering drains its home shard
+  // and must steal the rest.
+  constexpr int kCount = 256;
+  int x = 0;
+  std::vector<ClassId> ids;
+  ids.reserve(kCount);
+  for (int i = 0; i < kCount; ++i) {
+    ids.push_back(g.register_class(&x, "steal.seed"));
+    ASSERT_TRUE(lockdep::class_tracked(ids.back()));
+  }
+  for (const ClassId c : ids) g.retire_class(c);
+  ids.clear();
+  drain_limbo(g);
+
+  // Clamp growth so exhaustion of the home shard cannot be papered
+  // over by mapping a fresh chunk.
+  lockdep::CapacityLimitGuard clamp(g.capacity());
+  const auto steals_before = g.stats().shard_steals;
+  for (int i = 0; i < kCount; ++i) {
+    const ClassId c = g.register_class(&x, "steal.refill");
+    ASSERT_TRUE(lockdep::class_tracked(c));
+    ids.push_back(c);
+  }
+  EXPECT_GT(g.stats().shard_steals, steals_before);
+  for (const ClassId c : ids) g.retire_class(c);
+  drain_limbo(g);
+}
+
+// ---------------------------------------------------------------------
+// Randomized churn fuzz.
+// ---------------------------------------------------------------------
+
+TEST(LockdepScale, RandomChurnReconcilesAgainstRegistry) {
+  auto& g = Graph::instance();
+  drain_limbo(g);
+  const auto live0 = g.stats().classes_live;
+  std::mt19937 rng(0x5ca1ab1e);
+  std::vector<ClassId> live;
+  int x = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (live.empty() || rng() % 100 < 55) {
+      const ClassId c = g.register_class(&x, "fuzz.live");
+      ASSERT_TRUE(lockdep::class_tracked(c));
+      live.push_back(c);
+    } else {
+      const std::size_t k = rng() % live.size();
+      g.retire_class(live[k]);
+      live[k] = live.back();
+      live.pop_back();
+    }
+  }
+  // The graph's live count reconciles exactly with ours, and every
+  // live id still resolves to its label (no recycle aliased us).
+  EXPECT_EQ(g.stats().classes_live, live0 + live.size());
+  for (const ClassId c : live) {
+    ASSERT_STREQ(g.label_of(c), "fuzz.live");
+  }
+  for (const ClassId c : live) g.retire_class(c);
+  EXPECT_EQ(g.stats().classes_live, live0);
+  // Quiesced: the limbo list drains to zero — no leaked rows.
+  drain_limbo(g);
+  EXPECT_EQ(g.stats().limbo, 0u);
+}

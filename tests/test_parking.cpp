@@ -91,6 +91,79 @@ TEST(ParkFallback, TimedWaitTimesOut) {
   EXPECT_GE(platform::monotonic_now_ns() + 1000000ull, deadline);
 }
 
+TEST(ParkFallback, WaitUntilHonorsAbsoluteDeadlineExactly) {
+  std::atomic<std::uint32_t> word{0};
+  const std::uint64_t deadline =
+      platform::monotonic_now_ns() + 20 * 1000000ull;  // 20 ms
+  for (;;) {
+    // Spurious wakes re-wait with the SAME absolute deadline — no
+    // relative re-derivation, which is what the old wait_for path
+    // rounded up.
+    const WaitResult r = fallback::wait_until(&word, 0, deadline);
+    ASSERT_NE(r, WaitResult::kValueChanged);
+    if (r == WaitResult::kTimedOut) break;
+    if (platform::monotonic_now_ns() >= deadline) break;
+  }
+  // Sub-deadline precision: never a single nanosecond early. (No
+  // tight upper bound — scheduling delay after the wake is unbounded
+  // on a loaded CI box.)
+  EXPECT_GE(platform::monotonic_now_ns(), deadline);
+}
+
+TEST(ParkFallback, WakeReachesWaitUntilSleeper) {
+  std::atomic<std::uint32_t> word{0};
+  std::thread t([&] {
+    const std::uint64_t deadline =
+        platform::monotonic_now_ns() + 2000 * 1000000ull;
+    while (word.load(std::memory_order_acquire) == 0) {
+      if (fallback::wait_until(&word, 0, deadline) ==
+          WaitResult::kTimedOut) {
+        break;
+      }
+    }
+  });
+  word.store(1, std::memory_order_release);
+  fallback::wake(&word, 1);
+  t.join();
+  EXPECT_EQ(word.load(std::memory_order_acquire), 1u);
+}
+
+TEST(ParkFutex, WaitUntilTimesOutAtMonotonicDeadline) {
+  // The dispatch path (FUTEX_WAIT_BITSET absolute-monotonic on Linux,
+  // the condvar fallback elsewhere) — same exactness contract.
+  std::atomic<std::uint32_t> word{0};
+  const std::uint64_t deadline =
+      platform::monotonic_now_ns() + 10 * 1000000ull;  // 10 ms
+  for (;;) {
+    const WaitResult r = futex_wait_until(&word, 0, deadline);
+    ASSERT_NE(r, WaitResult::kValueChanged);
+    if (r == WaitResult::kTimedOut) break;
+    if (platform::monotonic_now_ns() >= deadline) break;
+  }
+  EXPECT_GE(platform::monotonic_now_ns(), deadline);
+}
+
+TEST(ParkFutex, PlainWakeReachesAbsoluteDeadlineWaiter) {
+  // Interop both backends guarantee: a plain futex_wake (what every
+  // unlock path issues) must reach a waiter parked with an absolute
+  // deadline (bitset MATCH_ANY native; shared stripes in fallback).
+  std::atomic<std::uint32_t> word{0};
+  std::thread t([&] {
+    const std::uint64_t deadline =
+        platform::monotonic_now_ns() + 2000 * 1000000ull;
+    while (word.load(std::memory_order_acquire) == 0) {
+      if (futex_wait_until(&word, 0, deadline) ==
+          WaitResult::kTimedOut) {
+        break;
+      }
+    }
+  });
+  word.store(1, std::memory_order_release);
+  futex_wake_one(&word);
+  t.join();
+  EXPECT_EQ(word.load(std::memory_order_acquire), 1u);
+}
+
 TEST(ParkFallback, WakeWakesWaiter) {
   std::atomic<std::uint32_t> word{0};
   std::thread t([&] {

@@ -46,7 +46,7 @@
 
 namespace {
 
-constexpr std::uint32_t kNoClsTag = 0xFFFF;
+constexpr std::uint32_t kNoClsTag = 0xFFFFFFFFu;
 
 // ---------------------------------------------------------------------
 // Tolerant key extraction. Searches `"key":` and parses the value that
