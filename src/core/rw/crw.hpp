@@ -36,9 +36,11 @@
 #include "core/resilience.hpp"
 #include "core/rw/read_indicator.hpp"
 #include "core/verify_access.hpp"
+#include "park/parking_lot.hpp"
 #include "platform/spin.hpp"
 #include "platform/thread_registry.hpp"
 #include "platform/topology.hpp"
+#include "runtime/timer.hpp"
 
 namespace resilock {
 
@@ -76,18 +78,19 @@ class CrwLock {
       indicator_.arrive(platform::self_pid());
       cohort_.release(ctx);
     } else if constexpr (P == RwPreference::kReader) {
-      platform::SpinWait w;
       for (;;) {
         indicator_.arrive(platform::self_pid());
         if (!writer_active_.load(std::memory_order_seq_cst)) return;
         indicator_.depart(platform::self_pid());
-        while (writer_active_.load(std::memory_order_acquire)) w.pause();
+        read_side_wait([this] {
+          return !writer_active_.load(std::memory_order_seq_cst);
+        });
       }
     } else {  // writer preference
-      platform::SpinWait w;
       for (;;) {
-        while (writers_pending_.load(std::memory_order_acquire) != 0)
-          w.pause();
+        read_side_wait([this] {
+          return writers_pending_.load(std::memory_order_seq_cst) == 0;
+        });
         indicator_.arrive(platform::self_pid());
         if (writers_pending_.load(std::memory_order_seq_cst) == 0) return;
         indicator_.depart(platform::self_pid());
@@ -174,6 +177,9 @@ class CrwLock {
       if constexpr (P == RwPreference::kWriter) {
         writers_pending_.fetch_sub(1, std::memory_order_seq_cst);
       }
+      // Backed-out barrier: readers parked on the raised flag must
+      // re-check, same as a completed wunlock.
+      if constexpr (P != RwPreference::kNeutral) maybe_wake_readers();
       return false;
     }
     if constexpr (R == kResilient) {
@@ -202,7 +208,23 @@ class CrwLock {
     if constexpr (P == RwPreference::kWriter) {
       writers_pending_.fetch_sub(1, std::memory_order_seq_cst);
     }
+    if constexpr (P != RwPreference::kNeutral) maybe_wake_readers();
     return ok;
+  }
+
+  // Shield rescue hook, mirroring BasicTicketLock: an absorbed misuse
+  // may have left readers parked on a barrier flag whose owner is gone;
+  // bump the epoch and broadcast so they re-evaluate. (RwShield detects
+  // this pair via `requires` and reports waiters_parked in its rescue
+  // telemetry.)
+  void misuse_wake() noexcept {
+    park::ParkStats::instance().misuse_wakes.fetch_add(
+        1, std::memory_order_relaxed);
+    wake_all_readers();
+  }
+
+  std::uint32_t parked_waiters() const noexcept {
+    return parked_.load(std::memory_order_acquire);
   }
 
   ReadIndicator& indicator() { return indicator_; }
@@ -212,6 +234,76 @@ class CrwLock {
 
  private:
   friend struct VerifyAccess;
+
+  // Read-side barrier wait with futex parking (RP: writer_active_; WP:
+  // writers_pending_). The ticket lock's epoch scheme transplants
+  // directly — there is no per-waiter node to futex on, so waiters
+  // sleep on a shared epoch word and every barrier drop broadcast-
+  // wakes; `clear` must load its flag seq_cst so the registration in
+  // parked_ (seq_cst) and the releaser's flag-store/fence/parked_-check
+  // form the Dekker pairing that keeps a parker from slipping between
+  // the store and the wake decision.
+  template <typename Clear>
+  void read_side_wait(Clear&& clear) {
+    platform::SpinWait w;
+    const std::uint32_t budget = park::park_spins();
+    for (std::uint32_t i = 0; i < budget; ++i) {
+      if (clear()) return;
+      w.pause();
+    }
+    if (!park::parking_enabled()) {
+      while (!clear()) w.pause();
+      return;
+    }
+    park::ParkStats& g = park::ParkStats::instance();
+    park::ThreadParkTally& tally = park::ThreadParkTally::mine();
+    for (;;) {
+      // Epoch sample BEFORE the barrier re-check: a wunlock landing
+      // after the re-check has already bumped past the sampled epoch,
+      // so the futex_wait refuses to sleep.
+      const std::uint32_t e = park_epoch_.load(std::memory_order_acquire);
+      parked_.fetch_add(1, std::memory_order_seq_cst);
+      if (clear()) {
+        parked_.fetch_sub(1, std::memory_order_release);
+        return;
+      }
+      const std::uint64_t t0 = runtime::now_ns();
+      g.currently_parked.fetch_add(1, std::memory_order_relaxed);
+      const park::WaitResult r =
+          park::futex_wait(&park_epoch_, e, nullptr);
+      g.currently_parked.fetch_sub(1, std::memory_order_relaxed);
+      parked_.fetch_sub(1, std::memory_order_release);
+      if (r != park::WaitResult::kValueChanged) {
+        tally.parks += 1;
+        tally.park_ns += runtime::now_ns() - t0;
+        g.parks.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (clear()) {
+        if (r != park::WaitResult::kValueChanged) {
+          tally.wakes += 1;
+          g.wakes.fetch_add(1, std::memory_order_relaxed);
+        }
+        return;
+      }
+      g.wakes_spurious.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Releaser half of the Dekker pairing; cheap when parking is cold.
+  void maybe_wake_readers() noexcept {
+    if (!park::parking_enabled() &&
+        parked_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (parked_.load(std::memory_order_relaxed) == 0) return;
+    wake_all_readers();
+  }
+
+  void wake_all_readers() noexcept {
+    park_epoch_.fetch_add(1, std::memory_order_release);
+    park::futex_wake_all(&park_epoch_);
+  }
 
   static ReadIndicator make_indicator(const platform::Topology& topo) {
     if constexpr (std::is_constructible_v<ReadIndicator,
@@ -230,6 +322,12 @@ class CrwLock {
       writers_pending_{0};
   alignas(platform::kCacheLineSize) std::atomic<std::uint32_t>
       writer_pid_{0};
+  // Read-side park epoch + registered-parker count (see
+  // read_side_wait). Own line so parker churn does not bounce the
+  // barrier flags above.
+  alignas(platform::kCacheLineSize) std::atomic<std::uint32_t>
+      park_epoch_{0};
+  std::atomic<std::uint32_t> parked_{0};
 };
 
 // Aliases for the three variants over the default (split) indicator.

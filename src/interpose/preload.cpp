@@ -1,0 +1,459 @@
+// libresilock_preload.so — LD_PRELOAD interposition over glibc pthread
+// locks (the paper's evaluation harness shape: LiTL-style transparent
+// replacement on unmodified binaries, §6).
+//
+//   LD_PRELOAD=$PWD/libresilock_preload.so ./your_app
+//
+// Every pthread_mutex_* / pthread_rwlock_* call in the process routes
+// through the rl_* shim (interpose/pthread_shim.hpp), so the whole
+// resilock stack — shield interception, lockdep, response rules,
+// parking, telemetry, lockstat SIGUSR2 dumps — applies to a binary
+// compiled with no resilock headers. Behavior is selected by the same
+// environment knobs the shim documents (RESILOCK_ALGO, RESILOCK_SHIELD,
+// RESILOCK_TRACE_FILE, RESILOCK_LOCKSTAT, RESILOCK_PARK, ...).
+//
+// Three mechanisms make this safe (each documented at its site):
+//   1. Address adoption — PreloadRegistry maps pthread_mutex_t*
+//      addresses to rl handles, lazily and exactly-once, which is what
+//      makes PTHREAD_MUTEX_INITIALIZER locks (no init call to
+//      intercept) work.
+//   2. Reentrancy guard — resilock's own internal pthread usage
+//      forwards to the real glibc symbols (interpose/reentry.hpp);
+//      without this, adopting lockdep's graph mutex would recurse into
+//      lockdep.
+//   3. Condition-variable shadow mutexes — pthread_cond_wait must not
+//      see an adopted (non-glibc) mutex, so waits are re-expressed over
+//      a per-cond REAL mutex with the rl lock released around the wait
+//      (LiTL's scheme); signal/broadcast serialize on the same shadow
+//      to close the missed-wakeup window.
+//
+// Deliberate non-goals, as in LiTL: mutex/rwlock attributes are
+// ignored (a recursive-attr relock surfaces as the shield's
+// reentrant-relock event), PI/robust protocols are not emulated, and
+// fork() without exec() is unsupported (resilock_drive exec()s).
+
+#include <dlfcn.h>
+#include <pthread.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+#include "interpose/preload_registry.hpp"
+#include "interpose/pthread_shim.hpp"
+#include "interpose/reentry.hpp"
+#include "observe/callsite.hpp"
+#include "platform/env.hpp"
+#include "platform/spin.hpp"
+
+namespace ri = resilock::interpose;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Real glibc symbols, resolved once with dlsym(RTLD_NEXT). Resolution
+// is eager (library constructor) so no lock operation ever runs the
+// dynamic linker; must_sym aborts on a missing symbol because a lock
+// API has no error path that could express "the libc underneath us is
+// gone".
+// ---------------------------------------------------------------------
+
+template <typename Fn>
+Fn* must_sym(const char* name) {
+  void* p = dlsym(RTLD_NEXT, name);
+  if (p == nullptr) {
+    std::fprintf(stderr, "resilock_preload: dlsym(%s) failed: %s\n", name,
+                 dlerror());
+    std::abort();
+  }
+  return reinterpret_cast<Fn*>(p);
+}
+
+struct RealPthread {
+  int (*mutex_init)(pthread_mutex_t*, const pthread_mutexattr_t*);
+  int (*mutex_lock)(pthread_mutex_t*);
+  int (*mutex_trylock)(pthread_mutex_t*);
+  int (*mutex_timedlock)(pthread_mutex_t*, const timespec*);
+  int (*mutex_unlock)(pthread_mutex_t*);
+  int (*mutex_destroy)(pthread_mutex_t*);
+
+  int (*rwlock_init)(pthread_rwlock_t*, const pthread_rwlockattr_t*);
+  int (*rwlock_rdlock)(pthread_rwlock_t*);
+  int (*rwlock_wrlock)(pthread_rwlock_t*);
+  int (*rwlock_tryrdlock)(pthread_rwlock_t*);
+  int (*rwlock_trywrlock)(pthread_rwlock_t*);
+  int (*rwlock_timedrdlock)(pthread_rwlock_t*, const timespec*);
+  int (*rwlock_timedwrlock)(pthread_rwlock_t*, const timespec*);
+  int (*rwlock_unlock)(pthread_rwlock_t*);
+  int (*rwlock_destroy)(pthread_rwlock_t*);
+
+  int (*cond_wait)(pthread_cond_t*, pthread_mutex_t*);
+  int (*cond_timedwait)(pthread_cond_t*, pthread_mutex_t*,
+                        const timespec*);
+  int (*cond_signal)(pthread_cond_t*);
+  int (*cond_broadcast)(pthread_cond_t*);
+};
+
+RealPthread& real() {
+  static RealPthread r = [] {
+    RealPthread t;
+    t.mutex_init = must_sym<int(pthread_mutex_t*,
+                                const pthread_mutexattr_t*)>(
+        "pthread_mutex_init");
+    t.mutex_lock = must_sym<int(pthread_mutex_t*)>("pthread_mutex_lock");
+    t.mutex_trylock =
+        must_sym<int(pthread_mutex_t*)>("pthread_mutex_trylock");
+    t.mutex_timedlock = must_sym<int(pthread_mutex_t*, const timespec*)>(
+        "pthread_mutex_timedlock");
+    t.mutex_unlock =
+        must_sym<int(pthread_mutex_t*)>("pthread_mutex_unlock");
+    t.mutex_destroy =
+        must_sym<int(pthread_mutex_t*)>("pthread_mutex_destroy");
+    t.rwlock_init = must_sym<int(pthread_rwlock_t*,
+                                 const pthread_rwlockattr_t*)>(
+        "pthread_rwlock_init");
+    t.rwlock_rdlock =
+        must_sym<int(pthread_rwlock_t*)>("pthread_rwlock_rdlock");
+    t.rwlock_wrlock =
+        must_sym<int(pthread_rwlock_t*)>("pthread_rwlock_wrlock");
+    t.rwlock_tryrdlock =
+        must_sym<int(pthread_rwlock_t*)>("pthread_rwlock_tryrdlock");
+    t.rwlock_trywrlock =
+        must_sym<int(pthread_rwlock_t*)>("pthread_rwlock_trywrlock");
+    t.rwlock_timedrdlock =
+        must_sym<int(pthread_rwlock_t*, const timespec*)>(
+            "pthread_rwlock_timedrdlock");
+    t.rwlock_timedwrlock =
+        must_sym<int(pthread_rwlock_t*, const timespec*)>(
+            "pthread_rwlock_timedwrlock");
+    t.rwlock_unlock =
+        must_sym<int(pthread_rwlock_t*)>("pthread_rwlock_unlock");
+    t.rwlock_destroy =
+        must_sym<int(pthread_rwlock_t*)>("pthread_rwlock_destroy");
+    t.cond_wait = must_sym<int(pthread_cond_t*, pthread_mutex_t*)>(
+        "pthread_cond_wait");
+    t.cond_timedwait =
+        must_sym<int(pthread_cond_t*, pthread_mutex_t*, const timespec*)>(
+            "pthread_cond_timedwait");
+    t.cond_signal = must_sym<int(pthread_cond_t*)>("pthread_cond_signal");
+    t.cond_broadcast =
+        must_sym<int(pthread_cond_t*)>("pthread_cond_broadcast");
+    return t;
+  }();
+  return r;
+}
+
+ri::PreloadRegistry& reg() { return ri::PreloadRegistry::instance(); }
+
+// ---------------------------------------------------------------------
+// Condition-variable shadow mutexes. glibc's cond_wait manipulates the
+// passed mutex's internals, which an adopted mutex no longer has — so
+// each pthread_cond_t gets a shadow REAL mutex, keyed by address like
+// the adoption registry (never freed, per-bucket spinlock insert,
+// lock-free lookup). The wait protocol:
+//
+//   waiter:   lock(shadow) → rl_unlock(m) → real_cond_wait(c, shadow)
+//             → unlock(shadow) → rl_lock(m)
+//   signaler: lock(shadow) → real_cond_signal(c) → unlock(shadow)
+//
+// A signaler that observes the predicate change after the waiter's
+// rl_unlock must still acquire the shadow, which the waiter holds
+// until it is inside real_cond_wait — so the signal cannot land in the
+// gap between "released m" and "began waiting". This is the standard
+// transparent-interposition wait transformation (LiTL §3).
+// ---------------------------------------------------------------------
+
+struct CondShadow {
+  const void* key;
+  pthread_mutex_t mu = PTHREAD_MUTEX_INITIALIZER;
+  CondShadow* next = nullptr;
+};
+
+class CondShadowTable {
+ public:
+  pthread_mutex_t* shadow_of(const void* cond) {
+    const std::size_t b = bucket_of(cond);
+    for (CondShadow* n = heads_[b].load(std::memory_order_acquire);
+         n != nullptr; n = n->next) {
+      if (n->key == cond) return &n->mu;
+    }
+    resilock::platform::SpinWait w;
+    while (locks_[b].test_and_set(std::memory_order_acquire)) w.pause();
+    CondShadow* head = heads_[b].load(std::memory_order_relaxed);
+    for (CondShadow* n = head; n != nullptr; n = n->next) {
+      if (n->key == cond) {
+        locks_[b].clear(std::memory_order_release);
+        return &n->mu;
+      }
+    }
+    auto* n = new (std::nothrow) CondShadow;
+    if (n == nullptr) {
+      std::fprintf(stderr,
+                   "resilock_preload: out of memory shadowing cond %p\n",
+                   cond);
+      std::abort();
+    }
+    n->key = cond;
+    n->next = head;
+    heads_[b].store(n, std::memory_order_release);
+    locks_[b].clear(std::memory_order_release);
+    return &n->mu;
+  }
+
+ private:
+  static constexpr std::size_t kBuckets = 512;
+
+  static std::size_t bucket_of(const void* p) noexcept {
+    auto h = reinterpret_cast<std::uintptr_t>(p);
+    h ^= h >> 16;
+    h *= 0x9E3779B97F4A7C15ull;
+    return (h >> 32) & (kBuckets - 1);
+  }
+
+  std::atomic<CondShadow*> heads_[kBuckets] = {};
+  std::atomic_flag locks_[kBuckets] = {};
+};
+
+CondShadowTable& shadows() {
+  static CondShadowTable* t = new CondShadowTable;
+  return *t;
+}
+
+int cond_wait_adopted(pthread_cond_t* c, pthread_mutex_t* m,
+                      ri::rl_mutex_t* h, const timespec* abstime) {
+  pthread_mutex_t* shadow = shadows().shadow_of(c);
+  real().mutex_lock(shadow);
+  ri::rl_mutex_unlock(h);
+  const int rc = abstime == nullptr
+                     ? real().cond_wait(c, shadow)
+                     : real().cond_timedwait(c, shadow, abstime);
+  real().mutex_unlock(shadow);
+  (void)m;
+  ri::rl_mutex_lock(h);
+  return rc;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// The interposed entry points. Shape shared by all of them:
+//
+//   if (reentered) forward to glibc     — resilock machinery on stack
+//   guard + site-override scopes        — internals forward; lockstat
+//                                         attributes to the app frame
+//   route through registry + rl_* shim
+//
+// The guard must open BEFORE the registry call: adoption itself runs
+// resilock machinery.
+// ---------------------------------------------------------------------
+
+extern "C" {
+
+int pthread_mutex_init(pthread_mutex_t* m, const pthread_mutexattr_t* a) {
+  if (ri::preload_reentered()) return real().mutex_init(m, a);
+  ri::PreloadReentryScope guard;
+  // Keep the underlying memory a valid REAL mutex too: exit-path code
+  // running after the preload pins its thread (trace atexit) may route
+  // this address to glibc, which must then find initialized state.
+  real().mutex_init(m, a);
+  reg().init_mutex(m);
+  return 0;
+}
+
+int pthread_mutex_lock(pthread_mutex_t* m) {
+  if (ri::preload_reentered()) return real().mutex_lock(m);
+  ri::PreloadReentryScope guard;
+  resilock::observe::InterposedSiteScope site(RESILOCK_RETURN_ADDRESS());
+  return ri::rl_mutex_lock(reg().mutex_for(m));
+}
+
+int pthread_mutex_trylock(pthread_mutex_t* m) {
+  if (ri::preload_reentered()) return real().mutex_trylock(m);
+  ri::PreloadReentryScope guard;
+  resilock::observe::InterposedSiteScope site(RESILOCK_RETURN_ADDRESS());
+  return ri::rl_mutex_trylock(reg().mutex_for(m));
+}
+
+int pthread_mutex_timedlock(pthread_mutex_t* m, const timespec* abstime) {
+  if (ri::preload_reentered()) return real().mutex_timedlock(m, abstime);
+  ri::PreloadReentryScope guard;
+  resilock::observe::InterposedSiteScope site(RESILOCK_RETURN_ADDRESS());
+  return ri::rl_mutex_timedlock(reg().mutex_for(m), abstime);
+}
+
+int pthread_mutex_unlock(pthread_mutex_t* m) {
+  if (ri::preload_reentered()) return real().mutex_unlock(m);
+  ri::PreloadReentryScope guard;
+  resilock::observe::InterposedSiteScope site(RESILOCK_RETURN_ADDRESS());
+  // Unlock of a never-seen address still adopts: the shield then
+  // reports it as a non-owner unlock (errorcheck EPERM) instead of
+  // letting glibc corrupt — that IS the misuse class under test.
+  return ri::rl_mutex_unlock(reg().mutex_for(m));
+}
+
+int pthread_mutex_destroy(pthread_mutex_t* m) {
+  if (ri::preload_reentered()) return real().mutex_destroy(m);
+  ri::PreloadReentryScope guard;
+  const int rc = reg().destroy_mutex(m);
+  real().mutex_destroy(m);
+  return rc;
+}
+
+int pthread_rwlock_init(pthread_rwlock_t* rw,
+                        const pthread_rwlockattr_t* a) {
+  if (ri::preload_reentered()) return real().rwlock_init(rw, a);
+  ri::PreloadReentryScope guard;
+  real().rwlock_init(rw, a);
+  reg().init_rwlock(rw);
+  return 0;
+}
+
+int pthread_rwlock_rdlock(pthread_rwlock_t* rw) {
+  if (ri::preload_reentered()) return real().rwlock_rdlock(rw);
+  ri::PreloadReentryScope guard;
+  resilock::observe::InterposedSiteScope site(RESILOCK_RETURN_ADDRESS());
+  return ri::rl_rwlock_rdlock(reg().rwlock_for(rw));
+}
+
+int pthread_rwlock_wrlock(pthread_rwlock_t* rw) {
+  if (ri::preload_reentered()) return real().rwlock_wrlock(rw);
+  ri::PreloadReentryScope guard;
+  resilock::observe::InterposedSiteScope site(RESILOCK_RETURN_ADDRESS());
+  return ri::rl_rwlock_wrlock(reg().rwlock_for(rw));
+}
+
+int pthread_rwlock_tryrdlock(pthread_rwlock_t* rw) {
+  if (ri::preload_reentered()) return real().rwlock_tryrdlock(rw);
+  ri::PreloadReentryScope guard;
+  resilock::observe::InterposedSiteScope site(RESILOCK_RETURN_ADDRESS());
+  return ri::rl_rwlock_tryrdlock(reg().rwlock_for(rw));
+}
+
+int pthread_rwlock_trywrlock(pthread_rwlock_t* rw) {
+  if (ri::preload_reentered()) return real().rwlock_trywrlock(rw);
+  ri::PreloadReentryScope guard;
+  resilock::observe::InterposedSiteScope site(RESILOCK_RETURN_ADDRESS());
+  return ri::rl_rwlock_trywrlock(reg().rwlock_for(rw));
+}
+
+int pthread_rwlock_timedrdlock(pthread_rwlock_t* rw,
+                               const timespec* abstime) {
+  if (ri::preload_reentered()) {
+    return real().rwlock_timedrdlock(rw, abstime);
+  }
+  ri::PreloadReentryScope guard;
+  resilock::observe::InterposedSiteScope site(RESILOCK_RETURN_ADDRESS());
+  return ri::rl_rwlock_timedrdlock(reg().rwlock_for(rw), abstime);
+}
+
+int pthread_rwlock_timedwrlock(pthread_rwlock_t* rw,
+                               const timespec* abstime) {
+  if (ri::preload_reentered()) {
+    return real().rwlock_timedwrlock(rw, abstime);
+  }
+  ri::PreloadReentryScope guard;
+  resilock::observe::InterposedSiteScope site(RESILOCK_RETURN_ADDRESS());
+  return ri::rl_rwlock_timedwrlock(reg().rwlock_for(rw), abstime);
+}
+
+int pthread_rwlock_unlock(pthread_rwlock_t* rw) {
+  if (ri::preload_reentered()) return real().rwlock_unlock(rw);
+  ri::PreloadReentryScope guard;
+  resilock::observe::InterposedSiteScope site(RESILOCK_RETURN_ADDRESS());
+  return ri::rl_rwlock_unlock(reg().rwlock_for(rw));
+}
+
+int pthread_rwlock_destroy(pthread_rwlock_t* rw) {
+  if (ri::preload_reentered()) return real().rwlock_destroy(rw);
+  ri::PreloadReentryScope guard;
+  const int rc = reg().destroy_rwlock(rw);
+  real().rwlock_destroy(rw);
+  return rc;
+}
+
+int pthread_cond_wait(pthread_cond_t* c, pthread_mutex_t* m) {
+  if (ri::preload_reentered()) return real().cond_wait(c, m);
+  ri::PreloadReentryScope guard;
+  resilock::observe::InterposedSiteScope site(RESILOCK_RETURN_ADDRESS());
+  ri::rl_mutex_t* h = reg().find_mutex(m);
+  // Unadopted mutex here means the caller never locked it through us —
+  // already UB for cond_wait; glibc's own diagnosis is the best answer.
+  if (h == nullptr) return real().cond_wait(c, m);
+  return cond_wait_adopted(c, m, h, nullptr);
+}
+
+int pthread_cond_timedwait(pthread_cond_t* c, pthread_mutex_t* m,
+                           const timespec* abstime) {
+  if (ri::preload_reentered()) return real().cond_timedwait(c, m, abstime);
+  ri::PreloadReentryScope guard;
+  resilock::observe::InterposedSiteScope site(RESILOCK_RETURN_ADDRESS());
+  ri::rl_mutex_t* h = reg().find_mutex(m);
+  if (h == nullptr) return real().cond_timedwait(c, m, abstime);
+  return cond_wait_adopted(c, m, h, abstime);
+}
+
+int pthread_cond_signal(pthread_cond_t* c) {
+  if (ri::preload_reentered()) return real().cond_signal(c);
+  ri::PreloadReentryScope guard;
+  pthread_mutex_t* shadow = shadows().shadow_of(c);
+  real().mutex_lock(shadow);
+  const int rc = real().cond_signal(c);
+  real().mutex_unlock(shadow);
+  return rc;
+}
+
+int pthread_cond_broadcast(pthread_cond_t* c) {
+  if (ri::preload_reentered()) return real().cond_broadcast(c);
+  ri::PreloadReentryScope guard;
+  pthread_mutex_t* shadow = shadows().shadow_of(c);
+  real().mutex_lock(shadow);
+  const int rc = real().cond_broadcast(c);
+  real().mutex_unlock(shadow);
+  return rc;
+}
+
+}  // extern "C"
+
+namespace {
+
+__attribute__((constructor)) void preload_ctor() {
+  // Resolve every real symbol before the first interposed call — no
+  // lock operation should ever enter the dynamic linker.
+  ri::PreloadReentryScope guard;
+  (void)real();
+  if (resilock::platform::env_flag("RESILOCK_PRELOAD_VERBOSE", false)) {
+    std::fprintf(stderr, "resilock_preload: active (shield=%d)\n",
+                 ri::shield_interposition_enabled() ? 1 : 0);
+  }
+}
+
+__attribute__((destructor)) void preload_dtor() {
+  // Library destructors run after atexit handlers; anything later on
+  // this thread (other .so destructors) must bypass adoption.
+  ri::preload_pin_thread();
+  if (const char* path =
+          resilock::platform::env_raw("RESILOCK_PRELOAD_STATS_FILE")) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f != nullptr) {
+      const ri::PreloadRegistryStats s =
+          ri::PreloadRegistry::instance().stats();
+      std::fprintf(
+          f,
+          "{\"adopted_mutexes\":%llu,\"init_mutexes\":%llu,"
+          "\"destroyed_mutexes\":%llu,\"adopted_rwlocks\":%llu,"
+          "\"init_rwlocks\":%llu,\"destroyed_rwlocks\":%llu,"
+          "\"live_nodes\":%llu}\n",
+          static_cast<unsigned long long>(s.adopted_mutexes),
+          static_cast<unsigned long long>(s.init_mutexes),
+          static_cast<unsigned long long>(s.destroyed_mutexes),
+          static_cast<unsigned long long>(s.adopted_rwlocks),
+          static_cast<unsigned long long>(s.init_rwlocks),
+          static_cast<unsigned long long>(s.destroyed_rwlocks),
+          static_cast<unsigned long long>(s.live_nodes));
+      std::fclose(f);
+    }
+  }
+}
+
+}  // namespace

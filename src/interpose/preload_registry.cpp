@@ -1,0 +1,272 @@
+#include "interpose/preload_registry.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "interpose/reentry.hpp"
+#include "interpose/transparent_mutex.hpp"
+#include "platform/spin.hpp"
+
+namespace resilock::interpose {
+
+namespace {
+
+// One node per distinct lock address ever seen. `state` is the only
+// field readers synchronize on: kLive is release-published after the
+// handle is fully constructed, so an acquire load of kLive makes the
+// handle visible. Nodes are never freed (see the header's rationale).
+template <typename Handle>
+struct Node {
+  const void* key;
+  Handle handle{nullptr};
+  std::atomic<int> state{0};  // 0 = tombstone, 1 = live
+  Node* next = nullptr;       // written before head publication
+};
+
+constexpr int kTombstone = 0;
+constexpr int kLive = 1;
+
+struct MutexTraits {
+  using Handle = rl_mutex_t;
+  static constexpr const char* kKind = "mutex";
+  static int make(Handle* h) {
+    return rl_mutex_init(
+        h, nullptr, default_resilience() == kResilient ? 1 : 0);
+  }
+  static int make_fallback(Handle* h) {
+    // A bogus RESILOCK_ALGO must not wedge an interposed program whose
+    // lock operations have no error path; fall back to the default.
+    return rl_mutex_init(h, "MCS", 1);
+  }
+  static void destroy(Handle* h) { rl_mutex_destroy(h); }
+};
+
+struct RwlockTraits {
+  using Handle = rl_rwlock_t;
+  static constexpr const char* kKind = "rwlock";
+  static int make(Handle* h) {
+    return rl_rwlock_init(
+        h, nullptr, default_resilience() == kResilient ? 1 : 0);
+  }
+  static int make_fallback(Handle* h) { return rl_rwlock_init(h, "np", 1); }
+  static void destroy(Handle* h) { rl_rwlock_destroy(h); }
+};
+
+template <typename Traits>
+class Table {
+  using Handle = typename Traits::Handle;
+  using N = Node<Handle>;
+
+ public:
+  Handle* adopt_or_get(const void* addr, std::atomic<std::uint64_t>& adopted,
+                       std::atomic<std::uint64_t>& nodes) {
+    const std::size_t b = bucket_of(addr);
+    if (N* n = find_in(b, addr);
+        n != nullptr && n->state.load(std::memory_order_acquire) == kLive) {
+      return &n->handle;
+    }
+    BucketLock lk(buckets_[b]);
+    N* n = find_in(b, addr);
+    if (n == nullptr) {
+      n = new_node(b, addr);
+      nodes.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (n->state.load(std::memory_order_relaxed) != kLive) {
+      make_handle(n);
+      adopted.fetch_add(1, std::memory_order_relaxed);
+    }
+    return &n->handle;
+  }
+
+  Handle* find(const void* addr) {
+    N* n = find_in(bucket_of(addr), addr);
+    if (n == nullptr ||
+        n->state.load(std::memory_order_acquire) != kLive) {
+      return nullptr;
+    }
+    return &n->handle;
+  }
+
+  Handle* init(const void* addr, std::atomic<std::uint64_t>& inits,
+               std::atomic<std::uint64_t>& nodes) {
+    const std::size_t b = bucket_of(addr);
+    BucketLock lk(buckets_[b]);
+    N* n = find_in(b, addr);
+    if (n == nullptr) {
+      n = new_node(b, addr);
+      nodes.fetch_add(1, std::memory_order_relaxed);
+    } else if (n->state.load(std::memory_order_relaxed) == kLive) {
+      // Re-init of a live address: honor it (the old handle's state is
+      // the caller's UB to own, the fresh handle is ours to provide).
+      n->state.store(kTombstone, std::memory_order_release);
+      Traits::destroy(&n->handle);
+    }
+    make_handle(n);
+    inits.fetch_add(1, std::memory_order_relaxed);
+    return &n->handle;
+  }
+
+  int destroy(const void* addr, std::atomic<std::uint64_t>& destroys) {
+    const std::size_t b = bucket_of(addr);
+    BucketLock lk(buckets_[b]);
+    N* n = find_in(b, addr);
+    if (n == nullptr ||
+        n->state.load(std::memory_order_relaxed) != kLive) {
+      // Never adopted (e.g. destroy of an unused static initializer):
+      // nothing of ours to tear down.
+      return 0;
+    }
+    n->state.store(kTombstone, std::memory_order_release);
+    Traits::destroy(&n->handle);
+    destroys.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+
+ private:
+  static constexpr std::size_t kBuckets = 2048;
+
+  struct Bucket {
+    std::atomic<N*> head{nullptr};
+    std::atomic_flag mu = ATOMIC_FLAG_INIT;
+  };
+
+  class BucketLock {
+   public:
+    explicit BucketLock(Bucket& b) : b_(b) {
+      platform::SpinWait w;
+      while (b_.mu.test_and_set(std::memory_order_acquire)) w.pause();
+    }
+    ~BucketLock() { b_.mu.clear(std::memory_order_release); }
+    BucketLock(const BucketLock&) = delete;
+    BucketLock& operator=(const BucketLock&) = delete;
+
+   private:
+    Bucket& b_;
+  };
+
+  static std::size_t bucket_of(const void* addr) noexcept {
+    auto h = reinterpret_cast<std::uintptr_t>(addr);
+    h ^= h >> 16;
+    h *= 0x9E3779B97F4A7C15ull;  // Fibonacci mix
+    return (h >> 32) & (kBuckets - 1);
+  }
+
+  N* find_in(std::size_t b, const void* addr) const noexcept {
+    for (N* n = buckets_[b].head.load(std::memory_order_acquire);
+         n != nullptr; n = n->next) {
+      if (n->key == addr) return n;
+    }
+    return nullptr;
+  }
+
+  // Caller holds the bucket lock. The node is published tombstoned;
+  // only the kLive store makes the handle reachable to lock-free
+  // readers.
+  N* new_node(std::size_t b, const void* addr) {
+    N* n = new (std::nothrow) N;
+    if (n == nullptr) {
+      std::fprintf(stderr,
+                   "resilock_preload: out of memory adopting %p\n", addr);
+      std::abort();
+    }
+    n->key = addr;
+    n->next = buckets_[b].head.load(std::memory_order_relaxed);
+    buckets_[b].head.store(n, std::memory_order_release);
+    return n;
+  }
+
+  // Caller holds the bucket lock; node state is kTombstone.
+  void make_handle(N* n) {
+    // Guarded: handle construction runs resilock machinery (registry
+    // lookup, shield wrap, lockdep class registration, telemetry
+    // autostart) whose own pthread calls must reach glibc, not the
+    // interposition layer that called us.
+    PreloadReentryScope guard;
+    if (Traits::make(&n->handle) != 0 &&
+        Traits::make_fallback(&n->handle) != 0) {
+      std::fprintf(stderr,
+                   "resilock_preload: cannot construct %s for %p\n",
+                   Traits::kKind, n->key);
+      std::abort();
+    }
+    n->state.store(kLive, std::memory_order_release);
+  }
+
+  Bucket buckets_[kBuckets];
+};
+
+}  // namespace
+
+struct PreloadRegistry::Impl {
+  Table<MutexTraits> mutexes;
+  Table<RwlockTraits> rwlocks;
+  std::atomic<std::uint64_t> adopted_mutexes{0};
+  std::atomic<std::uint64_t> init_mutexes{0};
+  std::atomic<std::uint64_t> destroyed_mutexes{0};
+  std::atomic<std::uint64_t> adopted_rwlocks{0};
+  std::atomic<std::uint64_t> init_rwlocks{0};
+  std::atomic<std::uint64_t> destroyed_rwlocks{0};
+  std::atomic<std::uint64_t> live_nodes{0};
+};
+
+PreloadRegistry::PreloadRegistry() : impl_(new Impl) {}
+
+PreloadRegistry& PreloadRegistry::instance() {
+  static PreloadRegistry* inst = new PreloadRegistry;
+  return *inst;
+}
+
+rl_mutex_t* PreloadRegistry::mutex_for(const void* addr) {
+  return impl_->mutexes.adopt_or_get(addr, impl_->adopted_mutexes,
+                                     impl_->live_nodes);
+}
+
+rl_mutex_t* PreloadRegistry::find_mutex(const void* addr) {
+  return impl_->mutexes.find(addr);
+}
+
+rl_mutex_t* PreloadRegistry::init_mutex(const void* addr) {
+  return impl_->mutexes.init(addr, impl_->init_mutexes,
+                             impl_->live_nodes);
+}
+
+int PreloadRegistry::destroy_mutex(const void* addr) {
+  return impl_->mutexes.destroy(addr, impl_->destroyed_mutexes);
+}
+
+rl_rwlock_t* PreloadRegistry::rwlock_for(const void* addr) {
+  return impl_->rwlocks.adopt_or_get(addr, impl_->adopted_rwlocks,
+                                     impl_->live_nodes);
+}
+
+rl_rwlock_t* PreloadRegistry::find_rwlock(const void* addr) {
+  return impl_->rwlocks.find(addr);
+}
+
+rl_rwlock_t* PreloadRegistry::init_rwlock(const void* addr) {
+  return impl_->rwlocks.init(addr, impl_->init_rwlocks,
+                             impl_->live_nodes);
+}
+
+int PreloadRegistry::destroy_rwlock(const void* addr) {
+  return impl_->rwlocks.destroy(addr, impl_->destroyed_rwlocks);
+}
+
+PreloadRegistryStats PreloadRegistry::stats() const noexcept {
+  PreloadRegistryStats s;
+  s.adopted_mutexes =
+      impl_->adopted_mutexes.load(std::memory_order_relaxed);
+  s.init_mutexes = impl_->init_mutexes.load(std::memory_order_relaxed);
+  s.destroyed_mutexes =
+      impl_->destroyed_mutexes.load(std::memory_order_relaxed);
+  s.adopted_rwlocks =
+      impl_->adopted_rwlocks.load(std::memory_order_relaxed);
+  s.init_rwlocks = impl_->init_rwlocks.load(std::memory_order_relaxed);
+  s.destroyed_rwlocks =
+      impl_->destroyed_rwlocks.load(std::memory_order_relaxed);
+  s.live_nodes = impl_->live_nodes.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace resilock::interpose

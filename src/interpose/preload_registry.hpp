@@ -1,0 +1,85 @@
+// Address-keyed adoption registry for LD_PRELOAD interposition.
+//
+// A preloaded pthread program hands us pthread_mutex_t* / pthread_rwlock_t*
+// pointers it initialized itself — often statically, via
+// PTHREAD_MUTEX_INITIALIZER, with no init call we could intercept. The
+// registry maps those addresses to resilock handles (the rl_* shim's
+// rl_mutex_t / rl_rwlock_t), adopting unknown addresses lazily on first
+// use with exactly-once semantics: however many threads race the first
+// lock of a static-initializer mutex, exactly one handle is created and
+// every racer gets it.
+//
+// Structure: a fixed array of buckets, each an insertion-ordered singly
+// linked list. Lookups are lock-free (acquire loads down the chain);
+// inserts and re-inits serialize on a per-bucket spinlock (atomic_flag —
+// deliberately NOT a pthread mutex, since in the preload this code runs
+// inside the interposition path itself). Nodes are never freed:
+// pthread_mutex_destroy tombstones the node (handle destroyed, slot
+// kept), and a later init or adoption at the same address revives it.
+// The leak is bounded by the number of DISTINCT lock addresses the
+// program ever uses — the same bound LiTL accepts, and what makes
+// lock-free readers safe without an epoch scheme.
+#pragma once
+
+#include <cstdint>
+
+#include "interpose/pthread_shim.hpp"
+
+namespace resilock::interpose {
+
+struct PreloadRegistryStats {
+  std::uint64_t adopted_mutexes = 0;   // lazy adoptions (static init path)
+  std::uint64_t init_mutexes = 0;      // eager pthread_mutex_init routes
+  std::uint64_t destroyed_mutexes = 0;
+  std::uint64_t adopted_rwlocks = 0;
+  std::uint64_t init_rwlocks = 0;
+  std::uint64_t destroyed_rwlocks = 0;
+  std::uint64_t live_nodes = 0;        // distinct addresses ever seen
+};
+
+class PreloadRegistry {
+ public:
+  // Leaked singleton: preloaded programs operate locks from atexit
+  // handlers and static destructors; the registry must outlive them.
+  static PreloadRegistry& instance();
+
+  // The handle for `addr`, adopting (default algorithm, shield on per
+  // RESILOCK_SHIELD) when the address is unknown or tombstoned.
+  // Exactly-once under arbitrary concurrency. Never returns nullptr —
+  // allocation failure during adoption aborts (a lock operation has no
+  // error path that could express it).
+  rl_mutex_t* mutex_for(const void* addr);
+
+  // nullptr when the address was never adopted (or is tombstoned) —
+  // the query the preload's pthread_mutex_destroy uses.
+  rl_mutex_t* find_mutex(const void* addr);
+
+  // Eager registration for an intercepted pthread_mutex_init: creates
+  // (or revives) the handle. A live handle at the same address is
+  // destroyed and replaced — re-initializing an in-use mutex is UB the
+  // caller owns; honoring the re-init keeps us faithful.
+  rl_mutex_t* init_mutex(const void* addr);
+
+  // Tombstones the handle; 0, or EBUSY when the address is unknown
+  // (destroy of a never-used static initializer is a no-op: 0).
+  int destroy_mutex(const void* addr);
+
+  // Same trio for pthread_rwlock_t addresses.
+  rl_rwlock_t* rwlock_for(const void* addr);
+  rl_rwlock_t* find_rwlock(const void* addr);
+  rl_rwlock_t* init_rwlock(const void* addr);
+  int destroy_rwlock(const void* addr);
+
+  PreloadRegistryStats stats() const noexcept;
+
+ private:
+  PreloadRegistry();
+  ~PreloadRegistry() = delete;
+  PreloadRegistry(const PreloadRegistry&) = delete;
+  PreloadRegistry& operator=(const PreloadRegistry&) = delete;
+
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace resilock::interpose

@@ -209,16 +209,31 @@ RwHandle* rw_impl_of(rl_rwlock_t* rw) {
   return static_cast<RwHandle*>(rw->impl);
 }
 
-template <RwPreference P>
+template <RwPreference P, template <Resilience> class Cohort>
 RwAny* make_rw_variant(bool resilient, bool shielded) {
   if (resilient) {
-    using Rw = CrwLock<kResilient, SplitReadIndicator, P>;
+    using Rw =
+        CrwLock<kResilient, SplitReadIndicator, P, Cohort<kResilient>>;
     if (shielded) return new ShieldedRwAdapter<Rw>();
     return new BareRwAdapter<Rw>();
   }
-  using Rw = CrwLock<kOriginal, SplitReadIndicator, P>;
+  using Rw = CrwLock<kOriginal, SplitReadIndicator, P, Cohort<kOriginal>>;
   if (shielded) return new ShieldedRwAdapter<Rw>();
   return new BareRwAdapter<Rw>();
+}
+
+// RESILOCK_RW_COHORT selects the writer-side cohort family. The paper's
+// C-PTKT-TKT is the default; C-BO-BO (TAS-local, competitive handoff)
+// is the right pick when software threads outnumber cores — a FIFO
+// cohort convoys on reader arrival in neutral mode exactly the way a
+// FIFO mutex convoys under oversubscription.
+template <RwPreference P>
+RwAny* make_rw_pref(bool resilient, bool shielded) {
+  const char* c = platform::env_raw("RESILOCK_RW_COHORT");
+  if (c != nullptr && std::string_view(c) == "C-BO-BO") {
+    return make_rw_variant<P, CBoBoLock>(resilient, shielded);
+  }
+  return make_rw_variant<P, CPtktTktLock>(resilient, shielded);
 }
 
 }  // namespace
@@ -237,13 +252,13 @@ int rl_rwlock_init(rl_rwlock_t* rw, const char* preference,
   const bool shielded = shield_interposition_enabled();
   RwAny* impl = nullptr;
   if (pref == "np" || pref == "neutral") {
-    impl = make_rw_variant<RwPreference::kNeutral>(resilient != 0,
+    impl = make_rw_pref<RwPreference::kNeutral>(resilient != 0,
                                                    shielded);
   } else if (pref == "rp" || pref == "reader") {
-    impl = make_rw_variant<RwPreference::kReader>(resilient != 0,
+    impl = make_rw_pref<RwPreference::kReader>(resilient != 0,
                                                   shielded);
   } else if (pref == "wp" || pref == "writer") {
-    impl = make_rw_variant<RwPreference::kWriter>(resilient != 0,
+    impl = make_rw_pref<RwPreference::kWriter>(resilient != 0,
                                                   shielded);
   } else {
     return EINVAL;

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "interpose/reentry.hpp"
 #include "lockdep/lockdep.hpp"
 #include "platform/env.hpp"
 #include "platform/json.hpp"
@@ -82,6 +83,10 @@ bool export_trace_jsonl(const char* path, std::size_t* written) {
 
 namespace {
 void atexit_trace_dump() {
+  // Runs on the exiting thread OUTSIDE any interposed frame. Under
+  // LD_PRELOAD the drain below operates resilock-internal locks, which
+  // must reach glibc rather than be adopted mid-exit.
+  interpose::preload_pin_thread();
   if (const char* path = platform::env_raw("RESILOCK_TRACE_FILE")) {
     export_trace_jsonl(path);
   }

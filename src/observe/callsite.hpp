@@ -30,6 +30,39 @@
 
 namespace resilock::observe {
 
+namespace detail {
+// Interposition call-site override (LD_PRELOAD path). When the shield
+// is reached through libresilock_preload.so, RESILOCK_RETURN_ADDRESS()
+// inside Shield::acquire names the preload shim, not the application.
+// The preload entry point captures ITS return address (application
+// code) here before forwarding; current_site() prefers it.
+inline thread_local const void* interposed_site = nullptr;
+}  // namespace detail
+
+// The call site lockstat should attribute this acquisition to: the
+// interposition override when one is active on this thread, otherwise
+// the address the caller captured itself.
+inline const void* current_site(const void* captured) noexcept {
+  const void* o = detail::interposed_site;
+  return o != nullptr ? o : captured;
+}
+
+// RAII setter for the override; preload entry points hold one across
+// the forwarded rl_* call.
+class InterposedSiteScope {
+ public:
+  explicit InterposedSiteScope(const void* site) noexcept
+      : prev_(detail::interposed_site) {
+    detail::interposed_site = site;
+  }
+  ~InterposedSiteScope() { detail::interposed_site = prev_; }
+  InterposedSiteScope(const InterposedSiteScope&) = delete;
+  InterposedSiteScope& operator=(const InterposedSiteScope&) = delete;
+
+ private:
+  const void* prev_;
+};
+
 class CallSiteTable {
  public:
   static constexpr std::size_t kSlots = 8;

@@ -1,0 +1,69 @@
+#include "platform/affinity.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <algorithm>
+
+namespace resilock::platform {
+
+std::vector<int> allowed_cpus() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) != 0) return {};
+  std::vector<int> cpus;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (CPU_ISSET(c, &set)) cpus.push_back(c);
+  }
+  return cpus;
+}
+
+std::vector<int> placement_cpus(const Topology& topo,
+                                const std::vector<int>& cpus,
+                                std::size_t nthreads, Placement p) {
+  std::vector<int> out;
+  if (cpus.empty() || nthreads == 0) return out;
+  out.reserve(nthreads);
+  // Partition the allowed CPUs into num_domains() contiguous blocks —
+  // the same block shape Topology::domain_of assumes for pids.
+  const std::size_t domains =
+      std::max<std::size_t>(1, std::min<std::size_t>(topo.num_domains(),
+                                                     cpus.size()));
+  const std::size_t per_dom = (cpus.size() + domains - 1) / domains;
+  if (p == Placement::kCompact) {
+    for (std::size_t i = 0; i < nthreads; ++i) {
+      out.push_back(cpus[i % cpus.size()]);
+    }
+  } else {
+    // Spread: walk domains round-robin, taking the next unused CPU of
+    // each; wrap when the whole set is consumed.
+    std::size_t taken = 0;
+    std::vector<std::size_t> next_in_dom(domains, 0);
+    std::size_t dom = 0;
+    while (out.size() < nthreads) {
+      const std::size_t base = dom * per_dom;
+      const std::size_t limit =
+          std::min(per_dom, cpus.size() - std::min(base, cpus.size()));
+      if (next_in_dom[dom] < limit) {
+        out.push_back(cpus[base + next_in_dom[dom]]);
+        ++next_in_dom[dom];
+        ++taken;
+      }
+      dom = (dom + 1) % domains;
+      if (taken == cpus.size()) {  // all consumed: start a fresh pass
+        std::fill(next_in_dom.begin(), next_in_dom.end(), 0);
+        taken = 0;
+      }
+    }
+  }
+  return out;
+}
+
+bool pin_self_to(int cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+}  // namespace resilock::platform

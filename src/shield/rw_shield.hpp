@@ -139,7 +139,8 @@ class RwShield {
     // Call-site capture stays in this body so the return address
     // points at application code (see Shield::acquire).
     const bool lockstat = observe::lockstat_enabled();
-    const void* site = lockstat ? RESILOCK_RETURN_ADDRESS() : nullptr;
+    const void* site =
+        lockstat ? observe::current_site(RESILOCK_RETURN_ADDRESS()) : nullptr;
     auto& tbl = HeldLockTable::mine();
     // `fresh` reflects the table, not the policy outcome: a forwarded
     // (passthrough or §5-disabled) re-acquire must neither bump the
@@ -233,7 +234,8 @@ class RwShield {
 
   void wlock(Context& ctx) {
     const bool lockstat = observe::lockstat_enabled();
-    const void* site = lockstat ? RESILOCK_RETURN_ADDRESS() : nullptr;
+    const void* site =
+        lockstat ? observe::current_site(RESILOCK_RETURN_ADDRESS()) : nullptr;
     auto& tbl = HeldLockTable::mine();
     const bool fresh = !tbl.holds(this);  // see rlock
     if (!fresh && misuse_checks_enabled()) {
@@ -330,7 +332,8 @@ class RwShield {
     requires requires(Base& b, Context& c) { b.try_rlock(c); }
   {
     const bool lockstat = observe::lockstat_enabled();
-    const void* site = lockstat ? RESILOCK_RETURN_ADDRESS() : nullptr;
+    const void* site =
+        lockstat ? observe::current_site(RESILOCK_RETURN_ADDRESS()) : nullptr;
     auto& tbl = HeldLockTable::mine();
     const bool fresh = !tbl.holds(this);  // see rlock
     if (!fresh && misuse_checks_enabled()) {
@@ -357,7 +360,8 @@ class RwShield {
     requires requires(Base& b, Context& c) { b.try_wlock(c); }
   {
     const bool lockstat = observe::lockstat_enabled();
-    const void* site = lockstat ? RESILOCK_RETURN_ADDRESS() : nullptr;
+    const void* site =
+        lockstat ? observe::current_site(RESILOCK_RETURN_ADDRESS()) : nullptr;
     auto& tbl = HeldLockTable::mine();
     const bool fresh = !tbl.holds(this);  // see rlock
     if (!fresh && misuse_checks_enabled()) {

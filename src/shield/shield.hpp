@@ -130,7 +130,8 @@ class Shield {
     // application code (a noinline helper would collapse every site
     // into the shield). One relaxed flag load when lockstat is off.
     const bool lockstat = observe::lockstat_enabled();
-    const void* site = lockstat ? RESILOCK_RETURN_ADDRESS() : nullptr;
+    const void* site =
+        lockstat ? observe::current_site(RESILOCK_RETURN_ADDRESS()) : nullptr;
     if (HeldLockTable::mine().holds(this) && confirm_held_or_heal() &&
         misuse_checks_enabled()) {
       if (intercept_relock()) return;  // absorbed as a depth bump
@@ -200,7 +201,8 @@ class Shield {
     requires(generic_has_trylock<Base>())
   {
     const bool lockstat = observe::lockstat_enabled();
-    const void* site = lockstat ? RESILOCK_RETURN_ADDRESS() : nullptr;
+    const void* site =
+        lockstat ? observe::current_site(RESILOCK_RETURN_ADDRESS()) : nullptr;
     if (HeldLockTable::mine().holds(this) && confirm_held_or_heal() &&
         misuse_checks_enabled()) {
       if (intercept_relock()) return true;  // absorbed

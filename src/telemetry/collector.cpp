@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "interpose/reentry.hpp"
 #include "lockdep/event_ring.hpp"
 #include "lockdep/lockdep.hpp"
 #include "lockdep/trace_export.hpp"
@@ -136,6 +137,10 @@ struct Collector::Impl {
   }
 
   void run() {
+    // Under LD_PRELOAD interposition, every pthread call this thread
+    // makes must reach glibc directly — the collector's entire lifetime
+    // is resilock machinery, never application lock traffic.
+    interpose::preload_pin_thread();
     std::uint64_t cur_sleep = kMinSleepUs;
     for (;;) {
       const std::size_t n = drain_cycle();
@@ -188,6 +193,11 @@ Collector::Collector() : impl_(new Impl) {
 }
 
 Collector::~Collector() {
+  // Static destruction runs on whatever thread called exit(), outside
+  // any interposition reentry scope. Without the pin, stop()'s own
+  // std::mutex operations would be adopted by the preload layer —
+  // whose rl_mutex_init autostarts the collector being destroyed.
+  interpose::preload_pin_thread();
   stop();
   delete impl_;
 }

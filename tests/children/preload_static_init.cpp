@@ -1,0 +1,48 @@
+// Static-initializer adoption race: four threads hit the very first
+// lock of a PTHREAD_MUTEX_INITIALIZER mutex at the same moment (a
+// barrier lines them up), so the preload's address-keyed registry sees
+// four concurrent adoption attempts for one address. Exactly one may
+// construct the resilock handle; the parent test reads the preload's
+// stats JSON (RESILOCK_PRELOAD_STATS_FILE) and asserts
+// adopted_mutexes == 1 — a double registration would show 2+, a lost
+// adoption would deadlock or corrupt the counter invariant printed
+// below.
+#include <pthread.h>
+#include <stdio.h>
+
+namespace {
+
+constexpr int kThreads = 4;
+constexpr long kPerThread = 5000;
+
+pthread_mutex_t g_mu = PTHREAD_MUTEX_INITIALIZER;
+pthread_barrier_t g_gate;
+long g_counter = 0;
+
+void* worker(void*) {
+  // Rendezvous so every thread's FIRST touch of g_mu races the others.
+  pthread_barrier_wait(&g_gate);
+  for (long i = 0; i < kPerThread; ++i) {
+    pthread_mutex_lock(&g_mu);
+    ++g_counter;
+    pthread_mutex_unlock(&g_mu);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  pthread_barrier_init(&g_gate, nullptr, kThreads);
+  pthread_t tids[kThreads];
+  for (int i = 0; i < kThreads; ++i) {
+    if (pthread_create(&tids[i], nullptr, worker, nullptr) != 0) {
+      fprintf(stderr, "pthread_create failed\n");
+      return 1;
+    }
+  }
+  for (int i = 0; i < kThreads; ++i) pthread_join(tids[i], nullptr);
+  pthread_barrier_destroy(&g_gate);
+  printf("static-init-total=%ld\n", g_counter);
+  return 0;
+}

@@ -23,6 +23,7 @@
 #include "core/clh.hpp"
 #include "core/hmcs.hpp"
 #include "core/mcs.hpp"
+#include "core/rw/crw.hpp"
 #include "core/ticket.hpp"
 #include "interpose/pthread_shim.hpp"
 #include "lockdep/lockdep.hpp"
@@ -32,11 +33,13 @@
 #include "platform/chrono_to_timespec.hpp"
 #include "platform/topology.hpp"
 #include "response/response.hpp"
+#include "shield/rw_shield.hpp"
 #include "shield/shield.hpp"
 #include "verify/checkers.hpp"
 
 using namespace resilock;
 using namespace resilock::park;
+using response::ResponseRulesGuard;
 namespace rv = resilock::verify;
 
 namespace {
@@ -655,4 +658,104 @@ TEST(ParkObserve, CurrentlyParkedGaugeTracksLiveWaiter) {
   wake_word(word);
   t.join();
   EXPECT_EQ(stats().currently_parked, before);
+}
+
+// ---------------------------------------------------------------------
+// C-RW read-side parking: the barrier waits (RP: writer_active_, WP:
+// writers_pending_) park on the shared epoch word instead of spinning,
+// and every barrier drop broadcast-wakes. These pin the carry-over from
+// the futex-tier PR: rw rescue telemetry used to report
+// waiters_parked == 0 because the read side never parked.
+// ---------------------------------------------------------------------
+
+TEST(ParkLocks, CrwReaderParksOnActiveWriterBarrier) {
+  ParkingGuard park(true);
+  ParkSpinsGuard spins(4);
+  CrwRpLockResilient lock;
+  CrwRpLockResilient::Context wctx, rctx;
+  lock.wlock(wctx);
+  std::atomic<bool> read_entered{false};
+  std::thread reader([&] {
+    lock.rlock(rctx);
+    read_entered.store(true, std::memory_order_release);
+    EXPECT_TRUE(lock.runlock(rctx));
+  });
+  // The reader must actually park (not yield-spin) on the RP barrier.
+  ASSERT_TRUE(rv::wait_for([&] { return lock.parked_waiters() >= 1; },
+                           rv::milliseconds{2000}));
+  EXPECT_FALSE(read_entered.load(std::memory_order_acquire));
+  EXPECT_TRUE(lock.wunlock(wctx));  // barrier drop broadcast-wakes
+  reader.join();
+  EXPECT_TRUE(read_entered.load());
+  EXPECT_EQ(lock.parked_waiters(), 0u);
+}
+
+TEST(ParkLocks, CrwWpReaderParksOnPendingWriter) {
+  ParkingGuard park(true);
+  ParkSpinsGuard spins(4);
+  CrwWpLockResilient lock;
+  CrwWpLockResilient::Context wctx, rctx;
+  lock.wlock(wctx);  // writers_pending_ stays raised until wunlock
+  std::atomic<bool> read_entered{false};
+  std::thread reader([&] {
+    lock.rlock(rctx);
+    read_entered.store(true, std::memory_order_release);
+    EXPECT_TRUE(lock.runlock(rctx));
+  });
+  ASSERT_TRUE(rv::wait_for([&] { return lock.parked_waiters() >= 1; },
+                           rv::milliseconds{2000}));
+  EXPECT_FALSE(read_entered.load(std::memory_order_acquire));
+  EXPECT_TRUE(lock.wunlock(wctx));
+  reader.join();
+  EXPECT_TRUE(read_entered.load());
+  EXPECT_EQ(lock.parked_waiters(), 0u);
+}
+
+namespace {
+std::atomic<int> g_rw_rescue_aborts{0};
+void rw_rescue_abort_trap(response::ResponseEvent, const void*) {
+  g_rw_rescue_aborts.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+TEST(ParkLocks, RwRescueSeesParkedReadersAndBroadcastWakes) {
+  ParkingGuard park(true);
+  ParkSpinsGuard spins(4);
+  // The rule pair is the assertion: a misuse while a reader is parked
+  // must match parked>=1 (suppress); if the read side were not wired
+  // into parking the context would carry waiters_parked == 0, fall
+  // through to misuse=abort, and trip the trap.
+  ResponseRulesGuard rules("misuse@parked>=1=suppress;misuse=abort");
+  response::ScopedAbortHandler trap(rw_rescue_abort_trap);
+  g_rw_rescue_aborts.store(0, std::memory_order_relaxed);
+
+  shield::RwShield<CrwRpLockResilient> rw;
+  CrwRpLockResilient::Context wctx, rctx, mctx;
+  rw.wlock(wctx);
+  std::atomic<bool> read_entered{false};
+  std::thread reader([&] {
+    rw.rlock(rctx);
+    read_entered.store(true, std::memory_order_release);
+    EXPECT_TRUE(rw.unlock(rctx));
+  });
+  ASSERT_TRUE(rv::wait_for(
+      [&] { return rw.base().parked_waiters() >= 1; },
+      rv::milliseconds{2000}));
+
+  const std::uint64_t wakes_before = stats().misuse_wakes;
+  // Non-holder unlock (the §4 bug) from a third thread: absorbed, and
+  // the rescue broadcast re-checks the parked reader.
+  std::thread misuser([&] { EXPECT_FALSE(rw.unlock(mctx)); });
+  misuser.join();
+  EXPECT_EQ(g_rw_rescue_aborts.load(std::memory_order_relaxed), 0)
+      << "rescue context reported waiters_parked == 0";
+  EXPECT_GE(stats().misuse_wakes, wakes_before + 1);
+
+  // The parked reader is still correct: it stays out until the writer
+  // really leaves, then proceeds.
+  EXPECT_FALSE(read_entered.load(std::memory_order_acquire));
+  EXPECT_TRUE(rw.unlock(wctx));
+  reader.join();
+  EXPECT_TRUE(read_entered.load());
+  EXPECT_EQ(rw.base().parked_waiters(), 0u);
 }

@@ -1,0 +1,153 @@
+// In-process tests for the preload adoption registry — including the
+// adopt-once race the LD_PRELOAD fixture cannot exercise under TSan
+// (a sanitized .so cannot be preloaded into an unsanitized child, so
+// this is the TSan job's view of the static-initializer race).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "interpose/preload_registry.hpp"
+#include "interpose/pthread_shim.hpp"
+
+namespace ri = resilock::interpose;
+using ri::rl_mutex_t;
+using ri::rl_rwlock_t;
+using ri::rl_mutex_lock;
+using ri::rl_mutex_unlock;
+using ri::rl_rwlock_rdlock;
+using ri::rl_rwlock_wrlock;
+using ri::rl_rwlock_unlock;
+
+namespace {
+
+// The registry singleton is process-wide, so tests assert on DELTAS of
+// its counters, and every test uses fresh fake addresses.
+ri::PreloadRegistryStats snap() {
+  return ri::PreloadRegistry::instance().stats();
+}
+
+// Fake "pthread_mutex_t" storage: the registry only keys on the
+// address, it never dereferences the app's lock memory.
+struct FakeLock {
+  alignas(64) unsigned char bytes[64];
+};
+
+}  // namespace
+
+TEST(PreloadRegistry, AdoptOnceUnderContention) {
+  constexpr int kThreads = 8;
+  constexpr int kLocksPerRound = 16;
+  const ri::PreloadRegistryStats before = snap();
+
+  std::vector<FakeLock> addrs(kLocksPerRound);
+  std::vector<rl_mutex_t*> seen[kThreads];
+  std::atomic<int> gate{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      gate.fetch_add(1, std::memory_order_acq_rel);
+      while (gate.load(std::memory_order_acquire) < kThreads) {
+      }
+      for (int i = 0; i < kLocksPerRound; ++i) {
+        seen[t].push_back(
+            ri::PreloadRegistry::instance().mutex_for(&addrs[i]));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Every thread resolved every address to the same handle.
+  for (int i = 0; i < kLocksPerRound; ++i) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[0][i], seen[t][i]) << "addr " << i;
+    }
+  }
+  // And each address was adopted exactly once despite the race.
+  const ri::PreloadRegistryStats after = snap();
+  EXPECT_EQ(after.adopted_mutexes - before.adopted_mutexes,
+            static_cast<std::uint64_t>(kLocksPerRound));
+  EXPECT_EQ(after.live_nodes - before.live_nodes,
+            static_cast<std::uint64_t>(kLocksPerRound));
+
+  // The adopted handles are real, working locks.
+  EXPECT_EQ(rl_mutex_lock(seen[0][0]), 0);
+  EXPECT_EQ(rl_mutex_unlock(seen[0][0]), 0);
+  for (int i = 0; i < kLocksPerRound; ++i) {
+    ri::PreloadRegistry::instance().destroy_mutex(&addrs[i]);
+  }
+}
+
+TEST(PreloadRegistry, FindOnlySeesAdoptedAddresses) {
+  FakeLock a, b;
+  EXPECT_EQ(ri::PreloadRegistry::instance().find_mutex(&a), nullptr);
+  rl_mutex_t* h = ri::PreloadRegistry::instance().mutex_for(&a);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(ri::PreloadRegistry::instance().find_mutex(&a), h);
+  EXPECT_EQ(ri::PreloadRegistry::instance().find_mutex(&b), nullptr);
+  ri::PreloadRegistry::instance().destroy_mutex(&a);
+  // Tombstoned: invisible to find, but adoptable again.
+  EXPECT_EQ(ri::PreloadRegistry::instance().find_mutex(&a), nullptr);
+  rl_mutex_t* h2 = ri::PreloadRegistry::instance().mutex_for(&a);
+  ASSERT_NE(h2, nullptr);
+  EXPECT_EQ(rl_mutex_lock(h2), 0);
+  EXPECT_EQ(rl_mutex_unlock(h2), 0);
+  ri::PreloadRegistry::instance().destroy_mutex(&a);
+}
+
+TEST(PreloadRegistry, InitReplacesLiveHandle) {
+  FakeLock a;
+  const ri::PreloadRegistryStats before = snap();
+  rl_mutex_t* h1 = ri::PreloadRegistry::instance().init_mutex(&a);
+  ASSERT_NE(h1, nullptr);
+  // Re-init at the same address: same slot, fresh handle underneath
+  // (the pointer is stable because nodes are never freed).
+  rl_mutex_t* h2 = ri::PreloadRegistry::instance().init_mutex(&a);
+  EXPECT_EQ(h1, h2);
+  const ri::PreloadRegistryStats after = snap();
+  EXPECT_EQ(after.init_mutexes - before.init_mutexes, 2u);
+  EXPECT_EQ(after.live_nodes - before.live_nodes, 1u);
+  EXPECT_EQ(rl_mutex_lock(h2), 0);
+  EXPECT_EQ(rl_mutex_unlock(h2), 0);
+  ri::PreloadRegistry::instance().destroy_mutex(&a);
+}
+
+TEST(PreloadRegistry, DestroyOfUnknownAddressIsBenign) {
+  FakeLock a;
+  // Destroy of a never-used static initializer: a no-op, not an error.
+  EXPECT_EQ(ri::PreloadRegistry::instance().destroy_mutex(&a), 0);
+  EXPECT_EQ(ri::PreloadRegistry::instance().destroy_rwlock(&a), 0);
+}
+
+TEST(PreloadRegistry, RwlockAdoptionAndUse) {
+  constexpr int kThreads = 4;
+  FakeLock a;
+  const ri::PreloadRegistryStats before = snap();
+  std::atomic<int> gate{0};
+  rl_rwlock_t* handles[kThreads] = {};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      gate.fetch_add(1, std::memory_order_acq_rel);
+      while (gate.load(std::memory_order_acquire) < kThreads) {
+      }
+      rl_rwlock_t* h = ri::PreloadRegistry::instance().rwlock_for(&a);
+      handles[t] = h;
+      // Readers overlap; each holds briefly to overlap the others.
+      EXPECT_EQ(rl_rwlock_rdlock(h), 0);
+      EXPECT_EQ(rl_rwlock_unlock(h), 0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(handles[0], handles[t]);
+  const ri::PreloadRegistryStats after = snap();
+  EXPECT_EQ(after.adopted_rwlocks - before.adopted_rwlocks, 1u);
+  // Write side works on the adopted handle too.
+  EXPECT_EQ(rl_rwlock_wrlock(handles[0]), 0);
+  EXPECT_EQ(rl_rwlock_unlock(handles[0]), 0);
+  ri::PreloadRegistry::instance().destroy_rwlock(&a);
+}
