@@ -163,6 +163,10 @@ class CrwLock {
     if (!cohort_.try_acquire(ctx)) {
       if constexpr (P == RwPreference::kWriter) {
         writers_pending_.fetch_sub(1, std::memory_order_seq_cst);
+        // Same barrier as every other pending-count drop: a reader that
+        // parked on the raised count must observe this 1->0 transition
+        // or it sleeps through the lost epoch bump forever.
+        maybe_wake_readers();
       }
       return false;
     }

@@ -29,8 +29,17 @@
 //
 // Deliberate non-goals, as in LiTL: mutex/rwlock attributes are
 // ignored (a recursive-attr relock surfaces as the shield's
-// reentrant-relock event), PI/robust protocols are not emulated, and
-// fork() without exec() is unsupported (resilock_drive exec()s).
+// reentrant-relock event; a cond initialized with a non-default clock
+// attr is honored only when glibc provides the native clockwait
+// symbol), PI/robust protocols are not emulated, and fork() without
+// exec() is unsupported (resilock_drive exec()s).
+//
+// The clock-based entry points (pthread_mutex_clocklock,
+// pthread_rwlock_clock{rd,wr}lock, pthread_cond_clockwait; glibc 2.30+)
+// ARE interposed — leaving them to glibc would lock the raw object at
+// an address whose other users go through the adopted handle, silently
+// breaking mutual exclusion. They translate the caller's clock into
+// the CLOCK_REALTIME deadline the rl timed APIs take.
 
 #include <dlfcn.h>
 #include <pthread.h>
@@ -70,6 +79,14 @@ Fn* must_sym(const char* name) {
   return reinterpret_cast<Fn*>(p);
 }
 
+// For symbols newer than the baseline (the glibc 2.30 clock variants):
+// nullptr when the libc underneath lacks them, with the callers
+// falling back to a realtime translation of the timed entry points.
+template <typename Fn>
+Fn* opt_sym(const char* name) {
+  return reinterpret_cast<Fn*>(dlsym(RTLD_NEXT, name));
+}
+
 struct RealPthread {
   int (*mutex_init)(pthread_mutex_t*, const pthread_mutexattr_t*);
   int (*mutex_lock)(pthread_mutex_t*);
@@ -93,6 +110,16 @@ struct RealPthread {
                         const timespec*);
   int (*cond_signal)(pthread_cond_t*);
   int (*cond_broadcast)(pthread_cond_t*);
+  int (*cond_destroy)(pthread_cond_t*);
+
+  // glibc 2.30+ clock variants; nullptr on older libcs (opt_sym).
+  int (*mutex_clocklock)(pthread_mutex_t*, clockid_t, const timespec*);
+  int (*rwlock_clockrdlock)(pthread_rwlock_t*, clockid_t,
+                            const timespec*);
+  int (*rwlock_clockwrlock)(pthread_rwlock_t*, clockid_t,
+                            const timespec*);
+  int (*cond_clockwait)(pthread_cond_t*, pthread_mutex_t*, clockid_t,
+                        const timespec*);
 };
 
 RealPthread& real() {
@@ -139,6 +166,20 @@ RealPthread& real() {
     t.cond_signal = must_sym<int(pthread_cond_t*)>("pthread_cond_signal");
     t.cond_broadcast =
         must_sym<int(pthread_cond_t*)>("pthread_cond_broadcast");
+    t.cond_destroy =
+        must_sym<int(pthread_cond_t*)>("pthread_cond_destroy");
+    t.mutex_clocklock =
+        opt_sym<int(pthread_mutex_t*, clockid_t, const timespec*)>(
+            "pthread_mutex_clocklock");
+    t.rwlock_clockrdlock =
+        opt_sym<int(pthread_rwlock_t*, clockid_t, const timespec*)>(
+            "pthread_rwlock_clockrdlock");
+    t.rwlock_clockwrlock =
+        opt_sym<int(pthread_rwlock_t*, clockid_t, const timespec*)>(
+            "pthread_rwlock_clockwrlock");
+    t.cond_clockwait = opt_sym<int(pthread_cond_t*, pthread_mutex_t*,
+                                   clockid_t, const timespec*)>(
+        "pthread_cond_clockwait");
     return t;
   }();
   return r;
@@ -162,12 +203,23 @@ ri::PreloadRegistry& reg() { return ri::PreloadRegistry::instance(); }
 // until it is inside real_cond_wait — so the signal cannot land in the
 // gap between "released m" and "began waiting". This is the standard
 // transparent-interposition wait transformation (LiTL §3).
+//
+// Reclamation: pthread_cond_destroy unlinks the cond's shadow node
+// onto a free list that shadow_of reuses, so a program churning
+// heap-allocated condvars at fresh addresses holds the table at its
+// peak-live size instead of growing without bound. Nodes are never
+// freed — a lock-free reader can still be traversing one — which makes
+// stale traversal benign: a reader that follows a recycled node's next
+// pointer off its chain simply misses, and the locked slow path
+// re-checks under the bucket lock before inserting. (Racing shadow_of
+// against destroy of the SAME cond is already UB per POSIX; the free
+// list only has to keep that race memory-safe, not meaningful.)
 // ---------------------------------------------------------------------
 
 struct CondShadow {
-  const void* key;
+  std::atomic<const void*> key{nullptr};
   pthread_mutex_t mu = PTHREAD_MUTEX_INITIALIZER;
-  CondShadow* next = nullptr;
+  std::atomic<CondShadow*> next{nullptr};
 };
 
 class CondShadowTable {
@@ -175,30 +227,58 @@ class CondShadowTable {
   pthread_mutex_t* shadow_of(const void* cond) {
     const std::size_t b = bucket_of(cond);
     for (CondShadow* n = heads_[b].load(std::memory_order_acquire);
-         n != nullptr; n = n->next) {
-      if (n->key == cond) return &n->mu;
+         n != nullptr; n = n->next.load(std::memory_order_acquire)) {
+      if (n->key.load(std::memory_order_acquire) == cond) return &n->mu;
     }
     resilock::platform::SpinWait w;
     while (locks_[b].test_and_set(std::memory_order_acquire)) w.pause();
     CondShadow* head = heads_[b].load(std::memory_order_relaxed);
-    for (CondShadow* n = head; n != nullptr; n = n->next) {
-      if (n->key == cond) {
+    for (CondShadow* n = head; n != nullptr;
+         n = n->next.load(std::memory_order_relaxed)) {
+      if (n->key.load(std::memory_order_relaxed) == cond) {
         locks_[b].clear(std::memory_order_release);
         return &n->mu;
       }
     }
-    auto* n = new (std::nothrow) CondShadow;
+    CondShadow* n = pop_free();
+    if (n == nullptr) n = new (std::nothrow) CondShadow;
     if (n == nullptr) {
       std::fprintf(stderr,
                    "resilock_preload: out of memory shadowing cond %p\n",
                    cond);
       std::abort();
     }
-    n->key = cond;
-    n->next = head;
+    n->key.store(cond, std::memory_order_relaxed);
+    n->next.store(head, std::memory_order_relaxed);
     heads_[b].store(n, std::memory_order_release);
     locks_[b].clear(std::memory_order_release);
     return &n->mu;
+  }
+
+  // pthread_cond_destroy hook: unlink cond's node (if any) and recycle
+  // it. The shadow mutex stays as-is — a destroyed cond has no waiters,
+  // so it is unlocked and reusable verbatim.
+  void reclaim(const void* cond) {
+    const std::size_t b = bucket_of(cond);
+    resilock::platform::SpinWait w;
+    while (locks_[b].test_and_set(std::memory_order_acquire)) w.pause();
+    CondShadow* prev = nullptr;
+    for (CondShadow* n = heads_[b].load(std::memory_order_relaxed);
+         n != nullptr; n = n->next.load(std::memory_order_relaxed)) {
+      if (n->key.load(std::memory_order_relaxed) == cond) {
+        CondShadow* after = n->next.load(std::memory_order_relaxed);
+        if (prev == nullptr) {
+          heads_[b].store(after, std::memory_order_release);
+        } else {
+          prev->next.store(after, std::memory_order_release);
+        }
+        n->key.store(nullptr, std::memory_order_relaxed);
+        push_free(n);
+        break;
+      }
+      prev = n;
+    }
+    locks_[b].clear(std::memory_order_release);
   }
 
  private:
@@ -211,8 +291,27 @@ class CondShadowTable {
     return (h >> 32) & (kBuckets - 1);
   }
 
+  CondShadow* pop_free() {
+    resilock::platform::SpinWait w;
+    while (free_lock_.test_and_set(std::memory_order_acquire)) w.pause();
+    CondShadow* n = free_head_;
+    if (n != nullptr) free_head_ = n->next.load(std::memory_order_relaxed);
+    free_lock_.clear(std::memory_order_release);
+    return n;
+  }
+
+  void push_free(CondShadow* n) {
+    resilock::platform::SpinWait w;
+    while (free_lock_.test_and_set(std::memory_order_acquire)) w.pause();
+    n->next.store(free_head_, std::memory_order_relaxed);
+    free_head_ = n;
+    free_lock_.clear(std::memory_order_release);
+  }
+
   std::atomic<CondShadow*> heads_[kBuckets] = {};
   std::atomic_flag locks_[kBuckets] = {};
+  std::atomic_flag free_lock_ = {};
+  CondShadow* free_head_ = nullptr;
 };
 
 CondShadowTable& shadows() {
@@ -230,6 +329,66 @@ int cond_wait_adopted(pthread_cond_t* c, pthread_mutex_t* m,
                      : real().cond_timedwait(c, shadow, abstime);
   real().mutex_unlock(shadow);
   (void)m;
+  ri::rl_mutex_lock(h);
+  return rc;
+}
+
+// ---------------------------------------------------------------------
+// Clock-variant deadline translation. The rl timed APIs speak
+// CLOCK_REALTIME absolutes (the pthread_*_timedlock contract), so a
+// CLOCK_MONOTONIC deadline is re-based through a paired now() sample of
+// both clocks. An already-expired deadline stays expired after
+// translation (the rl gate still tries once, matching glibc's
+// grab-if-free-even-when-late behavior). EINVAL mirrors glibc: bad
+// tv_nsec or a clock other than REALTIME/MONOTONIC.
+// ---------------------------------------------------------------------
+
+int clock_deadline_to_realtime(clockid_t clockid, const timespec* abstime,
+                               timespec* out) {
+  if (abstime == nullptr || abstime->tv_nsec < 0 ||
+      abstime->tv_nsec >= 1000000000L) {
+    return EINVAL;
+  }
+  if (clockid == CLOCK_REALTIME) {
+    *out = *abstime;
+    return 0;
+  }
+  if (clockid != CLOCK_MONOTONIC) return EINVAL;
+  timespec mono, wall;
+  clock_gettime(CLOCK_MONOTONIC, &mono);
+  clock_gettime(CLOCK_REALTIME, &wall);
+  out->tv_sec = wall.tv_sec + (abstime->tv_sec - mono.tv_sec);
+  out->tv_nsec = wall.tv_nsec + (abstime->tv_nsec - mono.tv_nsec);
+  if (out->tv_nsec >= 1000000000L) {
+    out->tv_nsec -= 1000000000L;
+    ++out->tv_sec;
+  } else if (out->tv_nsec < 0) {
+    out->tv_nsec += 1000000000L;
+    --out->tv_sec;
+  }
+  return 0;
+}
+
+// Real-symbol dispatch for the cond clock wait: native when the libc
+// has it, otherwise translated onto cond_timedwait (correct for the
+// default REALTIME cond clock attr; see the non-goals note).
+int real_cond_clockwait(pthread_cond_t* c, pthread_mutex_t* mu,
+                        clockid_t clockid, const timespec* abstime) {
+  if (real().cond_clockwait != nullptr) {
+    return real().cond_clockwait(c, mu, clockid, abstime);
+  }
+  timespec wall;
+  const int rc = clock_deadline_to_realtime(clockid, abstime, &wall);
+  return rc != 0 ? rc : real().cond_timedwait(c, mu, &wall);
+}
+
+int cond_clockwait_adopted(pthread_cond_t* c, ri::rl_mutex_t* h,
+                           clockid_t clockid, const timespec* abstime) {
+  pthread_mutex_t* shadow = shadows().shadow_of(c);
+  real().mutex_lock(shadow);
+  ri::rl_mutex_unlock(h);
+  const int rc = real_cond_clockwait(c, shadow, clockid, abstime);
+  real().mutex_unlock(shadow);
   ri::rl_mutex_lock(h);
   return rc;
 }
@@ -255,8 +414,11 @@ int pthread_mutex_init(pthread_mutex_t* m, const pthread_mutexattr_t* a) {
   ri::PreloadReentryScope guard;
   // Keep the underlying memory a valid REAL mutex too: exit-path code
   // running after the preload pins its thread (trace atexit) may route
-  // this address to glibc, which must then find initialized state.
-  real().mutex_init(m, a);
+  // this address to glibc, which must then find initialized state. An
+  // init glibc rejects (EINVAL attr) must not leave a live adopted
+  // handle behind a failure the app was told about.
+  const int rc = real().mutex_init(m, a);
+  if (rc != 0) return rc;
   reg().init_mutex(m);
   return 0;
 }
@@ -282,6 +444,24 @@ int pthread_mutex_timedlock(pthread_mutex_t* m, const timespec* abstime) {
   return ri::rl_mutex_timedlock(reg().mutex_for(m), abstime);
 }
 
+int pthread_mutex_clocklock(pthread_mutex_t* m, clockid_t clockid,
+                            const timespec* abstime) {
+  if (ri::preload_reentered()) {
+    if (real().mutex_clocklock != nullptr) {
+      return real().mutex_clocklock(m, clockid, abstime);
+    }
+    timespec wall;
+    const int rc = clock_deadline_to_realtime(clockid, abstime, &wall);
+    return rc != 0 ? rc : real().mutex_timedlock(m, &wall);
+  }
+  ri::PreloadReentryScope guard;
+  resilock::observe::InterposedSiteScope site(RESILOCK_RETURN_ADDRESS());
+  timespec wall;
+  const int rc = clock_deadline_to_realtime(clockid, abstime, &wall);
+  if (rc != 0) return rc;
+  return ri::rl_mutex_timedlock(reg().mutex_for(m), &wall);
+}
+
 int pthread_mutex_unlock(pthread_mutex_t* m) {
   if (ri::preload_reentered()) return real().mutex_unlock(m);
   ri::PreloadReentryScope guard;
@@ -304,7 +484,8 @@ int pthread_rwlock_init(pthread_rwlock_t* rw,
                         const pthread_rwlockattr_t* a) {
   if (ri::preload_reentered()) return real().rwlock_init(rw, a);
   ri::PreloadReentryScope guard;
-  real().rwlock_init(rw, a);
+  const int rc = real().rwlock_init(rw, a);
+  if (rc != 0) return rc;
   reg().init_rwlock(rw);
   return 0;
 }
@@ -357,6 +538,42 @@ int pthread_rwlock_timedwrlock(pthread_rwlock_t* rw,
   return ri::rl_rwlock_timedwrlock(reg().rwlock_for(rw), abstime);
 }
 
+int pthread_rwlock_clockrdlock(pthread_rwlock_t* rw, clockid_t clockid,
+                               const timespec* abstime) {
+  if (ri::preload_reentered()) {
+    if (real().rwlock_clockrdlock != nullptr) {
+      return real().rwlock_clockrdlock(rw, clockid, abstime);
+    }
+    timespec wall;
+    const int rc = clock_deadline_to_realtime(clockid, abstime, &wall);
+    return rc != 0 ? rc : real().rwlock_timedrdlock(rw, &wall);
+  }
+  ri::PreloadReentryScope guard;
+  resilock::observe::InterposedSiteScope site(RESILOCK_RETURN_ADDRESS());
+  timespec wall;
+  const int rc = clock_deadline_to_realtime(clockid, abstime, &wall);
+  if (rc != 0) return rc;
+  return ri::rl_rwlock_timedrdlock(reg().rwlock_for(rw), &wall);
+}
+
+int pthread_rwlock_clockwrlock(pthread_rwlock_t* rw, clockid_t clockid,
+                               const timespec* abstime) {
+  if (ri::preload_reentered()) {
+    if (real().rwlock_clockwrlock != nullptr) {
+      return real().rwlock_clockwrlock(rw, clockid, abstime);
+    }
+    timespec wall;
+    const int rc = clock_deadline_to_realtime(clockid, abstime, &wall);
+    return rc != 0 ? rc : real().rwlock_timedwrlock(rw, &wall);
+  }
+  ri::PreloadReentryScope guard;
+  resilock::observe::InterposedSiteScope site(RESILOCK_RETURN_ADDRESS());
+  timespec wall;
+  const int rc = clock_deadline_to_realtime(clockid, abstime, &wall);
+  if (rc != 0) return rc;
+  return ri::rl_rwlock_timedwrlock(reg().rwlock_for(rw), &wall);
+}
+
 int pthread_rwlock_unlock(pthread_rwlock_t* rw) {
   if (ri::preload_reentered()) return real().rwlock_unlock(rw);
   ri::PreloadReentryScope guard;
@@ -393,6 +610,18 @@ int pthread_cond_timedwait(pthread_cond_t* c, pthread_mutex_t* m,
   return cond_wait_adopted(c, m, h, abstime);
 }
 
+int pthread_cond_clockwait(pthread_cond_t* c, pthread_mutex_t* m,
+                           clockid_t clockid, const timespec* abstime) {
+  if (ri::preload_reentered()) {
+    return real_cond_clockwait(c, m, clockid, abstime);
+  }
+  ri::PreloadReentryScope guard;
+  resilock::observe::InterposedSiteScope site(RESILOCK_RETURN_ADDRESS());
+  ri::rl_mutex_t* h = reg().find_mutex(m);
+  if (h == nullptr) return real_cond_clockwait(c, m, clockid, abstime);
+  return cond_clockwait_adopted(c, h, clockid, abstime);
+}
+
 int pthread_cond_signal(pthread_cond_t* c) {
   if (ri::preload_reentered()) return real().cond_signal(c);
   ri::PreloadReentryScope guard;
@@ -411,6 +640,13 @@ int pthread_cond_broadcast(pthread_cond_t* c) {
   const int rc = real().cond_broadcast(c);
   real().mutex_unlock(shadow);
   return rc;
+}
+
+int pthread_cond_destroy(pthread_cond_t* c) {
+  if (ri::preload_reentered()) return real().cond_destroy(c);
+  ri::PreloadReentryScope guard;
+  shadows().reclaim(c);
+  return real().cond_destroy(c);
 }
 
 }  // extern "C"

@@ -711,6 +711,43 @@ TEST(ParkLocks, CrwWpReaderParksOnPendingWriter) {
   EXPECT_EQ(lock.parked_waiters(), 0u);
 }
 
+// REVIEW fix pin: a WP try_wlock that fails at the cohort still backs
+// its writers_pending_ raise out through the wake barrier. The witness
+// is the parked reader's re-check: the back-out's epoch bump lands as
+// a spurious wake (the count is still held up by the real writer), so
+// wakes_spurious must advance. Without the barrier the bump never
+// happens — and when the failing trylock's decrement is the 1->0
+// transition (reachable racing wunlock's cohort-release window), a
+// parked reader sleeps through it forever.
+TEST(ParkLocks, CrwWpFailedTryWlockBackoutWakesParkedReaders) {
+  ParkingGuard park(true);
+  ParkSpinsGuard spins(4);
+  CrwWpLockResilient lock;
+  CrwWpLockResilient::Context wctx, w2ctx, rctx;
+  lock.wlock(wctx);  // holds the cohort, pending = 1
+  std::atomic<bool> read_entered{false};
+  std::thread reader([&] {
+    lock.rlock(rctx);
+    read_entered.store(true, std::memory_order_release);
+    EXPECT_TRUE(lock.runlock(rctx));
+  });
+  ASSERT_TRUE(rv::wait_for([&] { return lock.parked_waiters() >= 1; },
+                           rv::milliseconds{2000}));
+  const std::uint64_t spurious_before = stats().wakes_spurious;
+  // Cohort held by the live writer → try_acquire fails → pending
+  // back-out 2->1 must broadcast like every other decrement site.
+  EXPECT_FALSE(lock.try_wlock(w2ctx));
+  ASSERT_TRUE(rv::wait_for(
+      [&] { return stats().wakes_spurious >= spurious_before + 1; },
+      rv::milliseconds{2000}))
+      << "failed try_wlock back-out did not wake parked readers";
+  EXPECT_FALSE(read_entered.load(std::memory_order_acquire));
+  EXPECT_TRUE(lock.wunlock(wctx));
+  reader.join();
+  EXPECT_TRUE(read_entered.load());
+  EXPECT_EQ(lock.parked_waiters(), 0u);
+}
+
 namespace {
 std::atomic<int> g_rw_rescue_aborts{0};
 void rw_rescue_abort_trap(response::ResponseEvent, const void*) {

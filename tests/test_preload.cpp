@@ -78,11 +78,14 @@ const std::string& child_bin(const std::string& name) {
   };
   static Built child = build("preload_child");
   static Built static_init = build("preload_static_init");
+  static Built clock_child = build("preload_clock_child");
   static const Built none{"", false};
-  const Built& b = name == "preload_child"
-                       ? child
-                       : (name == "preload_static_init" ? static_init
-                                                        : none);
+  const Built& b =
+      name == "preload_child"
+          ? child
+          : (name == "preload_static_init"
+                 ? static_init
+                 : (name == "preload_clock_child" ? clock_child : none));
   EXPECT_TRUE(b.ok) << "failed to compile child " << name;
   return b.path;
 }
@@ -162,6 +165,35 @@ TEST(PreloadE2E, StaticInitializerAdoptedExactlyOnce) {
   const std::string s = slurp(stats);
   EXPECT_NE(s.find("\"adopted_mutexes\":1"), std::string::npos) << s;
   std::remove(stats.c_str());
+}
+
+// The glibc 2.30+ clock entry points are interposed too: a child that
+// mixes pthread_mutex_lock and pthread_mutex_clocklock threads over
+// one mutex keeps an exact total (un-interposed clock variants would
+// lock the raw glibc object while the others hold the adopted handle
+// — no mutual exclusion), monotonic deadlines produce ETIMEDOUT
+// against held locks, unsupported clocks produce EINVAL, and a
+// cond_clockwait with no signaler times out with the lock reacquired.
+// The churn loop at the end exercises the cond-shadow reclamation in
+// pthread_cond_destroy.
+TEST(PreloadE2E, ClockVariantsRouteThroughAdoptedHandles) {
+  RunResult r = run("env " + preload_env() + " " +
+                    child_bin("preload_clock_child"));
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("clock-total=80000\n"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("clocklock-timeout=ok"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("clocklock-einval=ok"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("clockrdlock-timeout=ok"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("clockrwlock-free=ok"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("clockwait-timeout=ok"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("cond-churn=done"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("clock-child-exit"), std::string::npos) << r.out;
 }
 
 // RESILOCK_SHIELD=0 control: the preload still interposes (the stats
